@@ -1,0 +1,42 @@
+"""E11 (ablation) — the best-effort framework's exact-evaluation oracle.
+
+DESIGN.md §5 marks the oracle as a configuration choice: Monte-Carlo
+forward simulation (noisy, cheap per call on small spreads) vs a fixed
+RR-set collection per query (deterministic within the query, pays an
+upfront sampling cost).
+
+Expected shape: the RIS oracle front-loads cost (collection build) and
+then evaluates seeds in O(|collection|) set intersections, so it wins when
+the bound framework requests many evaluations (larger k); the MC oracle
+wins at small k.  Determinism also stabilises CELF: the RIS oracle should
+need fewer re-evaluations.
+"""
+
+import pytest
+
+from repro.core.besteffort import BestEffortKeywordIM
+
+
+@pytest.mark.benchmark(group="e11-oracle")
+@pytest.mark.parametrize("oracle", ["mc", "ris"])
+@pytest.mark.parametrize("k", [5, 10])
+def test_oracle_choice(
+    benchmark, bench_weights, bound_estimators, gamma_dm, oracle, k
+):
+    engine = BestEffortKeywordIM(
+        bench_weights,
+        bound_estimators["precomputation"],
+        oracle=oracle,
+        num_samples=60,
+        num_sets=2000,
+        seed=111,
+    )
+    result = benchmark.pedantic(
+        engine.query, (gamma_dm, k), rounds=2, iterations=1
+    )
+    benchmark.extra_info["oracle"] = oracle
+    benchmark.extra_info["k"] = k
+    benchmark.extra_info["exact_evaluations"] = result.statistics[
+        "exact_evaluations"
+    ]
+    benchmark.extra_info["spread"] = result.spread

@@ -1,0 +1,60 @@
+"""E12 (extension) — model refresh cost: absorb vs rebuild (ref. [9]).
+
+When periodic EM re-fits drift the edge probabilities, the influencer
+index can absorb the refresh in place whenever the new envelope stays
+under the one the sketches pruned against (the thresholds remain a valid
+coupling).  This bench measures the absorbed-refresh cost against a full
+sketch rebuild.
+
+Expected shape: absorbed refresh is orders of magnitude cheaper than
+rebuild (it only drops per-sketch weight caches) while answering the same
+queries; envelope-raising refreshes pay the rebuild price once.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.dynamic import DynamicInfluenceEngine
+from repro.core.influencer_index import InfluencerIndex
+from repro.topics.edges import TopicEdgeWeights
+
+
+@pytest.fixture(scope="module")
+def drifted(bench_graph, bench_dataset):
+    weights = bench_dataset.true_edge_weights
+    rng = np.random.default_rng(121)
+    drift = np.clip(
+        weights.weights * rng.uniform(0.7, 1.0, size=weights.weights.shape),
+        0.0,
+        1.0,
+    )
+    return TopicEdgeWeights(bench_graph, drift)
+
+
+@pytest.mark.benchmark(group="e12-refresh")
+def test_absorbed_refresh(benchmark, bench_dataset, drifted):
+    weights = bench_dataset.true_edge_weights
+    engine = DynamicInfluenceEngine(weights, num_sketches=300, seed=122)
+    users = list(range(0, bench_dataset.graph.num_nodes, 37))
+    gamma = np.full(weights.num_topics, 1.0 / weights.num_topics)
+
+    def refresh_and_query():
+        engine.refresh(drifted)
+        return [engine.estimate_user_spread(user, gamma) for user in users]
+
+    benchmark(refresh_and_query)
+    benchmark.extra_info["absorbed"] = engine.refreshes_absorbed
+    benchmark.extra_info["rebuilt"] = engine.refreshes_rebuilt
+
+
+@pytest.mark.benchmark(group="e12-refresh")
+def test_full_rebuild(benchmark, bench_dataset, drifted):
+    users = list(range(0, bench_dataset.graph.num_nodes, 37))
+    gamma = np.full(drifted.num_topics, 1.0 / drifted.num_topics)
+
+    def rebuild_and_query():
+        index = InfluencerIndex(drifted, num_sketches=300, seed=122)
+        return [index.estimate_user_spread(user, gamma) for user in users]
+
+    benchmark(rebuild_and_query)
+    benchmark.extra_info["num_sketches"] = 300

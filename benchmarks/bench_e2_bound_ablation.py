@@ -1,0 +1,58 @@
+"""E2 — ablation of the three upper-bound estimators (§II-C).
+
+Measures, per estimator: (a) bound evaluation latency for a query, (b) the
+bound tightness (mean bound over a node sample, lower = tighter given all
+are sound), and (c) the pruning power when driving the best-effort loop
+(exact oracle evaluations needed).
+
+Expected shape: neighborhood is cheapest and loosest; precomputation is
+cheap online and tight for sharp queries; local is tightest but pays a
+per-candidate online cost (hence evaluated on a shortlist, not all nodes).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.besteffort import BestEffortKeywordIM
+
+K = 5
+
+
+@pytest.mark.benchmark(group="e2-bound-latency")
+@pytest.mark.parametrize("name", ["precomputation", "neighborhood"])
+def test_bounds_all_nodes_latency(benchmark, bound_estimators, gamma_dm, name):
+    estimator = bound_estimators[name]
+    bounds = benchmark(estimator.bounds, gamma_dm)
+    benchmark.extra_info["mean_bound"] = float(np.mean(bounds))
+    benchmark.extra_info["index_size_floats"] = estimator.index_size
+
+
+@pytest.mark.benchmark(group="e2-bound-latency")
+def test_local_bounds_shortlist_latency(benchmark, bound_estimators, gamma_dm):
+    estimator = bound_estimators["local"]
+    shortlist = list(range(0, estimator.graph.num_nodes, 8))
+    bounds = benchmark(estimator.bounds_for, shortlist, gamma_dm)
+    benchmark.extra_info["mean_bound"] = float(np.mean(bounds))
+    benchmark.extra_info["shortlist_size"] = len(shortlist)
+
+
+@pytest.mark.benchmark(group="e2-pruning-power")
+@pytest.mark.parametrize("name", ["precomputation", "neighborhood"])
+def test_best_effort_pruning_power(
+    benchmark, bench_weights, bound_estimators, gamma_dm, name
+):
+    engine = BestEffortKeywordIM(
+        bench_weights,
+        bound_estimators[name],
+        oracle="mc",
+        num_samples=60,
+        seed=11,
+    )
+    result = benchmark.pedantic(engine.query, (gamma_dm, K), rounds=2, iterations=1)
+    benchmark.extra_info["exact_evaluations"] = result.statistics[
+        "exact_evaluations"
+    ]
+    benchmark.extra_info["candidates"] = result.statistics[
+        "candidates_considered"
+    ]
+    benchmark.extra_info["spread"] = result.spread

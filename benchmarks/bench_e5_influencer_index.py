@@ -1,0 +1,66 @@
+"""E5 — influencer-index size / build cost / accuracy trade-off (§II-D).
+
+Sweeps the number of sketches (poll roots) and measures build time, stored
+edges (after lazy-propagation pruning), per-query spread-estimation latency
+and estimation error against a high-budget Monte-Carlo reference.
+
+Expected shape: build cost and memory grow linearly in sketch count; the
+estimator's RMSE shrinks like 1/√R; query latency grows sublinearly because
+only sketches containing the target are traversed (membership pruning).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.influencer_index import InfluencerIndex
+from repro.propagation.ic import IndependentCascade
+
+SKETCH_COUNTS = [50, 200, 800]
+
+
+@pytest.fixture(scope="module")
+def reference_spreads(bench_graph, bench_weights, gamma_dm):
+    probabilities = bench_weights.edge_probabilities(gamma_dm)
+    cascade = IndependentCascade(bench_graph, probabilities)
+    users = list(range(0, bench_graph.num_nodes, 23))
+    return {
+        user: cascade.estimate_spread([user], num_samples=800, seed=5)
+        for user in users
+    }
+
+
+@pytest.mark.benchmark(group="e5-build")
+@pytest.mark.parametrize("num_sketches", SKETCH_COUNTS)
+def test_index_build(benchmark, bench_weights, num_sketches):
+    index = benchmark.pedantic(
+        InfluencerIndex,
+        args=(bench_weights,),
+        kwargs=dict(num_sketches=num_sketches, seed=31),
+        rounds=1,
+        iterations=1,
+    )
+    stats = index.statistics()
+    benchmark.extra_info["num_sketches"] = num_sketches
+    benchmark.extra_info["stored_edges"] = stats["total_edges"]
+    benchmark.extra_info["pruned_edges"] = stats["edges_pruned_permanently"]
+
+
+@pytest.mark.benchmark(group="e5-accuracy")
+@pytest.mark.parametrize("num_sketches", SKETCH_COUNTS)
+def test_estimation_accuracy_and_latency(
+    benchmark, bench_weights, gamma_dm, reference_spreads, num_sketches
+):
+    index = InfluencerIndex(bench_weights, num_sketches=num_sketches, seed=31)
+    users = sorted(reference_spreads)
+
+    def run():
+        return [index.estimate_user_spread(user, gamma_dm) for user in users]
+
+    estimates = benchmark(run)
+    errors = [
+        estimate - reference_spreads[user]
+        for user, estimate in zip(users, estimates)
+    ]
+    benchmark.extra_info["num_sketches"] = num_sketches
+    benchmark.extra_info["rmse"] = float(np.sqrt(np.mean(np.square(errors))))
+    benchmark.extra_info["users_evaluated"] = len(users)

@@ -1,0 +1,65 @@
+"""E6 — influential path exploration: latency and tree size vs θ (§II-E).
+
+Sweeps the MIA pruning threshold for the forward and reverse directions and
+records latency, tree size, and cluster counts — the knobs behind the demo's
+interactive exploration.
+
+Expected shape: smaller θ → larger trees → superlinear latency growth (the
+Dijkstra frontier grows with tree size); reverse exploration mirrors the
+forward costs; the d3 export adds negligible overhead.
+"""
+
+import pytest
+
+from repro.viz.d3 import path_tree_to_d3_force
+
+THRESHOLDS = [0.1, 0.05, 0.01, 0.001]
+
+
+@pytest.fixture(scope="module")
+def star_user(bench_system):
+    return bench_system.find_influencers("data mining", 1).seeds[0]
+
+
+@pytest.mark.benchmark(group="e6-paths-forward")
+@pytest.mark.parametrize("threshold", THRESHOLDS)
+def test_forward_exploration(benchmark, bench_system, star_user, threshold):
+    tree = benchmark(
+        bench_system.explore_paths, star_user, threshold=threshold
+    )
+    benchmark.extra_info["threshold"] = threshold
+    benchmark.extra_info["tree_size"] = tree.size
+    benchmark.extra_info["clusters"] = len(tree.clusters(min_size=2))
+
+
+@pytest.mark.benchmark(group="e6-paths-reverse")
+@pytest.mark.parametrize("threshold", [0.05, 0.01])
+def test_reverse_exploration(benchmark, bench_system, threshold):
+    sink = bench_system.graph.num_nodes - 1  # late paper: many influencers
+    tree = benchmark(
+        bench_system.explore_paths,
+        sink,
+        direction="influenced_by",
+        threshold=threshold,
+    )
+    benchmark.extra_info["threshold"] = threshold
+    benchmark.extra_info["tree_size"] = tree.size
+
+
+@pytest.mark.benchmark(group="e6-paths-export")
+def test_d3_export_overhead(benchmark, bench_system, star_user):
+    tree = bench_system.explore_paths(star_user, threshold=0.01)
+    payload = benchmark(path_tree_to_d3_force, tree)
+    benchmark.extra_info["nodes"] = len(payload["nodes"])
+    benchmark.extra_info["links"] = len(payload["links"])
+
+
+@pytest.mark.benchmark(group="e6-paths-topic")
+def test_topic_conditioned_exploration(benchmark, bench_system, star_user):
+    tree = benchmark(
+        bench_system.explore_paths,
+        star_user,
+        keywords="data mining",
+        threshold=0.01,
+    )
+    benchmark.extra_info["tree_size"] = tree.size

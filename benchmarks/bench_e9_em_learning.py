@@ -1,0 +1,79 @@
+"""E9 — EM learning of the TIC model (the §II-B substrate, reference [2]).
+
+Measures EM fit cost vs topic count and corpus size, and records the
+log-likelihood improvement and data-fit quality (correlation between the
+learned edge envelope and observed activation frequencies).
+
+Expected shape: per-iteration cost linear in (items × topics + events ×
+topics); log-likelihood increases monotonically; data-fit correlation is
+high (> 0.7) regardless of corpus size, while planted-parameter recovery
+improves with corpus density (more events per edge).
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets.citation import CitationNetworkGenerator
+from repro.topics.em import EMConfig, TICLearner
+
+
+def _fit_quality(dataset, fitted):
+    graph = dataset.graph
+    attempts, successes = {}, {}
+    for item in dataset.items:
+        for event in item.events:
+            edge = graph.edge_id(event.source, event.target)
+            attempts[edge] = attempts.get(edge, 0) + 1
+            successes[edge] = successes.get(edge, 0) + int(event.activated)
+    edges = sorted(attempts)
+    frequency = np.array([successes[e] / attempts[e] for e in edges])
+    learned = fitted.edge_weights.max_over_topics()[edges]
+    return float(np.corrcoef(frequency, learned)[0, 1])
+
+
+@pytest.mark.benchmark(group="e9-em-topics")
+@pytest.mark.parametrize("num_topics", [4, 8])
+def test_em_fit_vs_topics(benchmark, bench_dataset, num_topics):
+    learner = TICLearner(
+        bench_dataset.graph,
+        bench_dataset.vocabulary,
+        EMConfig(num_topics=num_topics, max_iterations=15, seed=0),
+    )
+    fitted = benchmark.pedantic(
+        learner.fit, (bench_dataset.items,), rounds=1, iterations=1
+    )
+    benchmark.extra_info["num_topics"] = num_topics
+    benchmark.extra_info["iterations"] = fitted.iterations
+    benchmark.extra_info["ll_improvement"] = (
+        fitted.log_likelihoods[-1] - fitted.log_likelihoods[0]
+    )
+    benchmark.extra_info["fit_correlation"] = _fit_quality(
+        bench_dataset, fitted
+    )
+
+
+@pytest.mark.benchmark(group="e9-em-corpus")
+@pytest.mark.parametrize("papers_per_author", [2, 6])
+def test_em_fit_vs_corpus_density(benchmark, papers_per_author):
+    dataset = CitationNetworkGenerator(
+        num_researchers=200,
+        citations_per_paper=3,
+        papers_per_author=papers_per_author,
+        seed=91,
+    ).generate()
+    learner = TICLearner(
+        dataset.graph,
+        dataset.vocabulary,
+        EMConfig(num_topics=8, max_iterations=15, seed=0),
+    )
+    fitted = benchmark.pedantic(
+        learner.fit, (dataset.items,), rounds=1, iterations=1
+    )
+    planted = dataset.true_edge_weights.max_over_topics()
+    learned = fitted.edge_weights.max_over_topics()
+    benchmark.extra_info["papers_per_author"] = papers_per_author
+    benchmark.extra_info["num_items"] = len(dataset.items)
+    benchmark.extra_info["fit_correlation"] = _fit_quality(dataset, fitted)
+    benchmark.extra_info["planted_recovery_correlation"] = float(
+        np.corrcoef(learned, planted)[0, 1]
+    )

@@ -1,0 +1,81 @@
+"""Shared fixtures for the experiment benchmarks (see DESIGN.md §4).
+
+Everything expensive is session-scoped.  The benchmark graph is kept at a
+few hundred nodes so the whole suite runs in minutes on a laptop while
+preserving the *shapes* the paper's claims rest on (see the repro
+calibration note: billion-edge scale needs C extensions, out of scope).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.besteffort import BestEffortKeywordIM
+from repro.core.bounds import (
+    LocalGraphBound,
+    NeighborhoodBound,
+    PrecomputationBound,
+)
+from repro.core.octopus import Octopus, OctopusConfig
+from repro.datasets.citation import CitationNetworkGenerator
+
+
+@pytest.fixture(scope="session")
+def bench_dataset():
+    """The workhorse dataset: 400-researcher synthetic ACMCite."""
+    return CitationNetworkGenerator(
+        num_researchers=400,
+        citations_per_paper=4,
+        papers_per_author=3,
+        seed=1001,
+    ).generate()
+
+
+@pytest.fixture(scope="session")
+def bench_graph(bench_dataset):
+    return bench_dataset.graph
+
+
+@pytest.fixture(scope="session")
+def bench_weights(bench_dataset):
+    return bench_dataset.true_edge_weights
+
+
+@pytest.fixture(scope="session")
+def bench_system(bench_dataset):
+    config = OctopusConfig(
+        num_sketches=200,
+        num_topic_samples=16,
+        topic_sample_rr_sets=1500,
+        oracle_samples=60,
+        seed=1002,
+    )
+    return Octopus.from_dataset(bench_dataset, config=config)
+
+
+@pytest.fixture(scope="session")
+def gamma_dm(bench_system):
+    """The running example query: γ('data mining')."""
+    return bench_system.derive_gamma("data mining")
+
+
+@pytest.fixture(scope="session")
+def bound_estimators(bench_weights):
+    """The three §II-C bound estimators, built once."""
+    return {
+        "precomputation": PrecomputationBound(bench_weights, grid=4),
+        "neighborhood": NeighborhoodBound(bench_weights),
+        "local": LocalGraphBound(bench_weights, radius=2),
+    }
+
+
+@pytest.fixture(scope="session")
+def best_effort_engine(bench_weights, bound_estimators):
+    return BestEffortKeywordIM(
+        bench_weights,
+        bound_estimators["precomputation"],
+        oracle="mc",
+        num_samples=60,
+        seed=1003,
+    )

@@ -1,0 +1,45 @@
+"""OCTOPUS: an online topic-aware influence analysis system (ICDE 2018).
+
+A full reproduction of the OCTOPUS system: topic-aware independent-cascade
+modelling with EM learning, keyword-based influence maximization with a
+best-effort bound framework and topic-sample index, personalized influential
+keyword suggestion over an influencer index, and MIA-based influential-path
+exploration — behind the :class:`~repro.core.octopus.Octopus` facade.
+
+Quickstart::
+
+    from repro import CitationNetworkGenerator, Octopus
+
+    dataset = CitationNetworkGenerator(num_researchers=500, seed=7).generate()
+    system = Octopus.from_dataset(dataset)
+    result = system.find_influencers("data mining", k=5)
+    for node, label in result.top(5):
+        print(label)
+"""
+
+from repro.core.octopus import Octopus, OctopusConfig
+from repro.core.query import InfluencerResult, KeywordQuery, KeywordSuggestionResult
+from repro.datasets.citation import CitationNetworkGenerator
+from repro.datasets.social import SocialNetworkGenerator
+from repro.graph.digraph import GraphBuilder, SocialGraph
+from repro.topics.edges import TopicEdgeWeights
+from repro.topics.model import TopicModel
+from repro.topics.vocabulary import Vocabulary
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Octopus",
+    "OctopusConfig",
+    "KeywordQuery",
+    "InfluencerResult",
+    "KeywordSuggestionResult",
+    "CitationNetworkGenerator",
+    "SocialNetworkGenerator",
+    "SocialGraph",
+    "GraphBuilder",
+    "TopicEdgeWeights",
+    "TopicModel",
+    "Vocabulary",
+    "__version__",
+]

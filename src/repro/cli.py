@@ -1,0 +1,244 @@
+"""Command-line interface to the OCTOPUS system.
+
+The demo paper fronts OCTOPUS with a web UI; this CLI exposes the same
+services to a terminal (and doubles as the reference client for the
+library).  A dataset directory (created by ``octopus generate`` or
+:func:`repro.datasets.loaders.save_dataset`) plays the role of the deployed
+network.
+
+Commands::
+
+    octopus generate  --kind citation --out DIR [--size N] [--seed S]
+    octopus influencers DIR "data mining" [-k 10]
+    octopus suggest     DIR "Ada Abadi"   [-k 3]
+    octopus paths       DIR "Ada Abadi"   [--keywords "data mining"]
+                        [--threshold 0.01] [--reverse] [--json FILE]
+    octopus radar       DIR "em algorithm"
+    octopus complete    DIR --users PREFIX | --keywords PREFIX
+    octopus stats       DIR
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.core.octopus import Octopus, OctopusConfig
+from repro.datasets.citation import CitationNetworkGenerator
+from repro.datasets.loaders import load_dataset, save_dataset
+from repro.datasets.social import SocialNetworkGenerator
+from repro.utils.validation import ValidationError
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="octopus",
+        description="Online topic-aware influence analysis (ICDE'18 repro).",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser(
+        "generate", help="generate a synthetic dataset directory"
+    )
+    generate.add_argument(
+        "--kind", choices=("citation", "social"), default="citation"
+    )
+    generate.add_argument("--out", required=True, help="output directory")
+    generate.add_argument("--size", type=int, default=500, help="user count")
+    generate.add_argument("--seed", type=int, default=7)
+
+    def add_system_command(name: str, help_text: str) -> argparse.ArgumentParser:
+        sub = commands.add_parser(name, help=help_text)
+        sub.add_argument("dataset", help="dataset directory")
+        sub.add_argument("--seed", type=int, default=0, help="engine seed")
+        sub.add_argument(
+            "--fast",
+            action="store_true",
+            help="small index budgets (quicker startup, noisier answers)",
+        )
+        return sub
+
+    influencers = add_system_command(
+        "influencers", "keyword-based influential user discovery"
+    )
+    influencers.add_argument("keywords", help="comma-separated keywords")
+    influencers.add_argument("-k", type=int, default=10)
+
+    suggest = add_system_command(
+        "suggest", "personalized influential keyword suggestion"
+    )
+    suggest.add_argument("user", help="user name or id")
+    suggest.add_argument("-k", type=int, default=3)
+    suggest.add_argument(
+        "--exact", action="store_true", help="exhaustive search (slow)"
+    )
+
+    paths = add_system_command("paths", "influential path exploration")
+    paths.add_argument("user", help="user name or id")
+    paths.add_argument("--keywords", default=None)
+    paths.add_argument("--threshold", type=float, default=0.01)
+    paths.add_argument(
+        "--reverse", action="store_true", help="explore who influences the user"
+    )
+    paths.add_argument("--json", default=None, help="write d3 payload here")
+
+    radar = add_system_command("radar", "topic interpretation of keywords")
+    radar.add_argument("keywords", help="comma-separated keywords")
+
+    complete = add_system_command("complete", "auto-completion")
+    group = complete.add_mutually_exclusive_group(required=True)
+    group.add_argument("--users", metavar="PREFIX")
+    group.add_argument("--keywords", metavar="PREFIX")
+    complete.add_argument("--limit", type=int, default=10)
+
+    add_system_command("stats", "system and index statistics")
+    return parser
+
+
+def _load_system(arguments: argparse.Namespace) -> Octopus:
+    dataset = load_dataset(arguments.dataset)
+    if arguments.fast:
+        config = OctopusConfig(
+            num_sketches=60,
+            num_topic_samples=6,
+            topic_sample_rr_sets=400,
+            oracle_samples=30,
+            seed=arguments.seed,
+        )
+    else:
+        config = OctopusConfig(seed=arguments.seed)
+    return Octopus.from_dataset(dataset, config=config)
+
+
+def _resolve_user_argument(system: Octopus, text: str):
+    try:
+        return system.resolve_user(int(text))
+    except (ValueError, ValidationError):
+        return system.resolve_user(text)
+
+
+def _command_generate(arguments: argparse.Namespace) -> int:
+    if arguments.kind == "citation":
+        dataset = CitationNetworkGenerator(
+            num_researchers=arguments.size, seed=arguments.seed
+        ).generate()
+    else:
+        dataset = SocialNetworkGenerator(
+            num_users=arguments.size, seed=arguments.seed
+        ).generate()
+    save_dataset(dataset, arguments.out)
+    summary = dataset.summary()
+    print(f"wrote {dataset.name} to {arguments.out}")
+    for key in ("num_users", "num_edges", "num_items", "vocabulary_size"):
+        print(f"  {key:<18s} {summary[key]:,.0f}")
+    return 0
+
+
+def _command_influencers(arguments: argparse.Namespace) -> int:
+    system = _load_system(arguments)
+    result = system.find_influencers(arguments.keywords, k=arguments.k)
+    print(f"keywords : {', '.join(result.query.keywords)}")
+    print(f"spread   : {result.spread:.1f}")
+    print(f"latency  : {result.elapsed_seconds * 1e3:.1f} ms")
+    for rank, (node, label) in enumerate(result.top(arguments.k), start=1):
+        print(f"{rank:3d}. {label}  (user {node})")
+    return 0
+
+
+def _command_suggest(arguments: argparse.Namespace) -> int:
+    system = _load_system(arguments)
+    user = _resolve_user_argument(system, arguments.user)
+    method = "exact" if arguments.exact else "greedy"
+    result = system.suggest_keywords(user, k=arguments.k, method=method)
+    print(f"user     : {result.target_label} (user {result.target})")
+    print(f"keywords : {', '.join(result.keywords)}")
+    print(f"spread   : {result.spread:.1f}")
+    from repro.viz.radar import radar_chart_data
+    from repro.viz.text import render_radar
+
+    payload = radar_chart_data(
+        system.topic_model, result.keywords, system.topic_names
+    )
+    print(render_radar(payload))
+    return 0
+
+
+def _command_paths(arguments: argparse.Namespace) -> int:
+    system = _load_system(arguments)
+    user = _resolve_user_argument(system, arguments.user)
+    direction = "influenced_by" if arguments.reverse else "influences"
+    tree = system.explore_paths(
+        user,
+        keywords=arguments.keywords,
+        threshold=arguments.threshold,
+        direction=direction,
+    )
+    from repro.viz.text import render_path_tree
+
+    print(render_path_tree(tree))
+    if arguments.json:
+        from repro.viz.d3 import path_tree_to_d3_force
+
+        with open(arguments.json, "w", encoding="utf-8") as handle:
+            json.dump(path_tree_to_d3_force(tree), handle, indent=1)
+        print(f"d3 payload written to {arguments.json}")
+    return 0
+
+
+def _command_radar(arguments: argparse.Namespace) -> int:
+    system = _load_system(arguments)
+    from repro.viz.text import render_radar
+
+    print(render_radar(system.radar(arguments.keywords)))
+    return 0
+
+
+def _command_complete(arguments: argparse.Namespace) -> int:
+    system = _load_system(arguments)
+    if arguments.users is not None:
+        completions = system.autocomplete_users(arguments.users, arguments.limit)
+    else:
+        completions = system.autocomplete_keywords(
+            arguments.keywords, arguments.limit
+        )
+    for key, payload in completions:
+        print(f"{key}\t{payload}")
+    return 0
+
+
+def _command_stats(arguments: argparse.Namespace) -> int:
+    system = _load_system(arguments)
+    for key, value in sorted(system.statistics().items()):
+        print(f"{key:<45s} {value:.4f}")
+    return 0
+
+
+_HANDLERS = {
+    "generate": _command_generate,
+    "influencers": _command_influencers,
+    "suggest": _command_suggest,
+    "paths": _command_paths,
+    "radar": _command_radar,
+    "complete": _command_complete,
+    "stats": _command_stats,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    arguments = parser.parse_args(argv)
+    try:
+        return _HANDLERS[arguments.command](arguments)
+    except ValidationError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,135 @@
+"""Online model refresh: influence analysis under evolving edge weights.
+
+OCTOPUS's deployment story (and its reference [9], real-time IM on dynamic
+social streams) requires the model to track the network: action logs keep
+arriving, the EM fit is re-run (or incrementally updated), and the
+per-edge topic probabilities ``pp^z`` drift.  Naively, every index must be
+rebuilt.
+
+The key structural fact this module exploits: the influencer index's
+sketches separate *randomness* (per-edge uniform thresholds θ, drawn at
+build time) from *model* (the weight rows consulted at query time).  A
+threshold is a coupling device — ``P(θ_e ≤ p) = p`` for any ``p`` — so
+sketches built once remain **exactly valid** under any weight refresh; only
+the per-sketch weight-row cache must be dropped.  The same separation holds
+for nothing else: bound tables and topic-sample seed caches genuinely
+depend on the weights and are rebuilt (tracked as the refresh cost
+benchmark E12 measures).
+
+One caveat, handled explicitly: sketch construction *prunes* edges whose
+threshold exceeds the build-time envelope ``max_z pp^z_e``.  A refresh that
+*raises* an edge's probability above the old envelope would make pruning
+unsound, so :class:`DynamicInfluenceEngine` verifies the new weights stay
+under the envelope actually used for pruning and otherwise triggers a
+sketch rebuild for correctness.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.influencer_index import InfluencerIndex
+from repro.topics.edges import TopicEdgeWeights
+from repro.utils.logging import get_logger
+from repro.utils.rng import SeedLike
+from repro.utils.validation import ValidationError
+
+__all__ = ["DynamicInfluenceEngine"]
+
+_LOGGER = get_logger("core.dynamic")
+
+
+class DynamicInfluenceEngine:
+    """Influencer-index lifecycle under streaming weight refreshes.
+
+    Wraps an :class:`InfluencerIndex` and swaps in refreshed
+    :class:`TopicEdgeWeights` (e.g. from periodic EM re-fits) without
+    re-sampling sketches whenever that is provably sound.
+
+    Statistics track how many refreshes were absorbed in-place vs forced a
+    rebuild.
+    """
+
+    def __init__(
+        self,
+        edge_weights: TopicEdgeWeights,
+        *,
+        num_sketches: int = 300,
+        seed: SeedLike = None,
+    ) -> None:
+        self.graph = edge_weights.graph
+        self._seed = seed
+        self._num_sketches = num_sketches
+        self.edge_weights = edge_weights
+        # The envelope the sketches' pruning decisions were taken against.
+        self._pruning_envelope = edge_weights.max_over_topics().copy()
+        self.index = InfluencerIndex(
+            edge_weights, num_sketches=num_sketches, seed=seed
+        )
+        self.refreshes_absorbed = 0
+        self.refreshes_rebuilt = 0
+        self.version = 0
+
+    # ------------------------------------------------------------------
+
+    def refresh(self, new_weights: TopicEdgeWeights) -> bool:
+        """Swap in *new_weights*; returns ``True`` if absorbed in place.
+
+        In-place absorption requires (a) the same graph object (edge ids
+        must align) and (b) every new per-edge probability to stay within
+        the envelope the sketches pruned against.  Otherwise the sketches
+        are re-sampled from the engine's seed (still deterministic).
+        """
+        if new_weights.graph is not self.graph:
+            raise ValidationError(
+                "refresh requires weights on the same graph instance"
+            )
+        if new_weights.num_topics != self.edge_weights.num_topics:
+            raise ValidationError(
+                f"topic count changed ({self.edge_weights.num_topics} → "
+                f"{new_weights.num_topics}); rebuild the engine instead"
+            )
+        self.version += 1
+        new_envelope = new_weights.max_over_topics()
+        if np.all(new_envelope <= self._pruning_envelope + 1e-12):
+            # Sound: every pruned edge stays impossible, every kept
+            # threshold remains a valid coupling draw.
+            self.edge_weights = new_weights
+            self.index.edge_weights = new_weights
+            self.index._weight_cache.clear()
+            self.refreshes_absorbed += 1
+            _LOGGER.debug("refresh %d absorbed in place", self.version)
+            return True
+        raised = int(np.sum(new_envelope > self._pruning_envelope + 1e-12))
+        _LOGGER.debug(
+            "refresh %d rebuilds sketches (%d edges exceeded the pruning "
+            "envelope)",
+            self.version,
+            raised,
+        )
+        self.edge_weights = new_weights
+        self._pruning_envelope = new_envelope.copy()
+        self.index = InfluencerIndex(
+            new_weights, num_sketches=self._num_sketches, seed=self._seed
+        )
+        self.refreshes_rebuilt += 1
+        return False
+
+    # ------------------------------------------------------------------
+
+    def estimate_user_spread(self, user: int, gamma: np.ndarray) -> float:
+        """Current-model spread estimate (delegates to the live index)."""
+        return self.index.estimate_user_spread(user, gamma)
+
+    def statistics(self) -> Dict[str, float]:
+        """Refresh bookkeeping plus the live index's statistics."""
+        stats = {
+            "version": float(self.version),
+            "refreshes_absorbed": float(self.refreshes_absorbed),
+            "refreshes_rebuilt": float(self.refreshes_rebuilt),
+        }
+        for key, value in self.index.statistics().items():
+            stats[f"index.{key}"] = value
+        return stats

@@ -1,0 +1,327 @@
+"""The influencer index behind personalized keyword suggestion (§II-D).
+
+"To achieve real-time influence spread computation, we introduce a novel
+index structure that maintains 'influencers' of uniformly sampled users to
+avoid online sampling from scratch.  We also devise effective pruning and
+delay materialization techniques for fast influence computation."
+
+Structure.  The index samples *poll roots* uniformly and builds, per root, a
+**sketch**: the reverse-reachable subgraph over *potentially live* edges.
+Each examined edge draws a fixed uniform threshold ``θ_e``; under a query
+topic distribution γ the edge is live iff ``θ_e ≤ pp_e(γ)``, so reachability
+in a sketch distributes exactly like an IC reverse-reachable set while the
+shared thresholds couple all queries (the lazy-propagation sampling of [6]).
+
+* **Lazy propagation / permanent pruning** — an edge whose threshold exceeds
+  the topic envelope ``max_z pp^z_e`` can never be live for any γ and is
+  dropped at build time; only query-dependent edges are materialised.
+* **Delayed materialization** — sketches grow up to ``chunk_size`` nodes at
+  build time and keep their unexplored frontier plus a private RNG stream;
+  a query that needs to know whether a node belongs to a sketch expands it
+  on demand, deterministically.
+* **Membership pruning** — a node→sketches inverted map lets a target-user
+  query touch only the sketches that (currently) contain the user.
+
+Estimator.  ``σ̂_γ(S) = (n / R) · #{sketches whose root is reached from S
+via live edges}`` — the standard unbiased RIS estimator, here evaluated by a
+vectorised liveness test (one mat-vec per sketch) plus a reverse BFS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.topics.edges import TopicEdgeWeights
+from repro.utils.rng import SeedLike, spawn_generators
+from repro.utils.validation import (
+    ValidationError,
+    check_node_id,
+    check_positive,
+    check_simplex,
+)
+
+__all__ = ["Sketch", "InfluencerIndex"]
+
+
+@dataclass
+class Sketch:
+    """Reverse potential-world sketch rooted at ``root``.
+
+    ``edge_sources``/``edge_targets``/``edge_thresholds`` describe the
+    materialised potentially-live edges (each target is already in the
+    sketch); ``frontier`` holds nodes whose in-edges have not been examined
+    yet (delayed materialization).
+    """
+
+    root: int
+    nodes: Set[int]
+    edge_sources: List[int] = field(default_factory=list)
+    edge_targets: List[int] = field(default_factory=list)
+    edge_ids: List[int] = field(default_factory=list)
+    edge_thresholds: List[float] = field(default_factory=list)
+    frontier: List[int] = field(default_factory=list)
+    edges_pruned: int = 0
+
+    @property
+    def complete(self) -> bool:
+        """Whether every reachable in-edge has been examined."""
+        return not self.frontier
+
+    @property
+    def num_edges(self) -> int:
+        """Materialised (potentially live) edge count."""
+        return len(self.edge_sources)
+
+
+class InfluencerIndex:
+    """Sampled reverse sketches supporting real-time spread estimation."""
+
+    def __init__(
+        self,
+        edge_weights: TopicEdgeWeights,
+        num_sketches: int = 500,
+        *,
+        chunk_size: int = 100_000,
+        seed: SeedLike = None,
+    ) -> None:
+        check_positive(num_sketches, "num_sketches")
+        check_positive(chunk_size, "chunk_size")
+        self.edge_weights = edge_weights
+        self.graph = edge_weights.graph
+        if self.graph.num_nodes == 0:
+            raise ValidationError("cannot index an empty graph")
+        self.num_sketches = num_sketches
+        self.chunk_size = chunk_size
+        self._envelope = edge_weights.max_over_topics()
+        generators = spawn_generators(seed, num_sketches + 1)
+        root_rng, self._sketch_rngs = generators[0], generators[1:]
+        roots = root_rng.integers(0, self.graph.num_nodes, size=num_sketches)
+        self.sketches: List[Sketch] = []
+        self._membership: Dict[int, List[int]] = {}
+        self._weight_cache: Dict[int, np.ndarray] = {}
+        for index, root in enumerate(roots):
+            sketch = Sketch(root=int(root), nodes={int(root)}, frontier=[int(root)])
+            self._expand(index, sketch, budget=chunk_size)
+            self.sketches.append(sketch)
+        for index, sketch in enumerate(self.sketches):
+            for node in sketch.nodes:
+                self._membership.setdefault(node, []).append(index)
+
+    # ------------------------------------------------------------------
+    # Construction / delayed materialization
+    # ------------------------------------------------------------------
+
+    def _expand(self, sketch_index: int, sketch: Sketch, budget: int) -> None:
+        """Examine in-edges of up to *budget* frontier nodes."""
+        rng = self._sketch_rngs[sketch_index]
+        graph = self.graph
+        envelope = self._envelope
+        processed = 0
+        while sketch.frontier and processed < budget:
+            node = sketch.frontier.pop()
+            processed += 1
+            start, stop = graph.in_offsets[node], graph.in_offsets[node + 1]
+            degree = stop - start
+            if degree == 0:
+                continue
+            thresholds = rng.random(degree)
+            sources = graph.in_sources[start:stop]
+            edge_ids = graph.in_edge_ids[start:stop]
+            for offset in range(degree):
+                theta = float(thresholds[offset])
+                edge_id = int(edge_ids[offset])
+                if theta > envelope[edge_id]:
+                    sketch.edges_pruned += 1  # never live under any γ
+                    continue
+                source = int(sources[offset])
+                sketch.edge_sources.append(source)
+                sketch.edge_targets.append(node)
+                sketch.edge_ids.append(edge_id)
+                sketch.edge_thresholds.append(theta)
+                if source not in sketch.nodes:
+                    sketch.nodes.add(source)
+                    sketch.frontier.append(source)
+        # Materialised arrays changed; invalidate the per-sketch cache.
+        self._weight_cache.pop(sketch_index, None)
+
+    def _materialize(self, sketch_index: int) -> Sketch:
+        """Fully expand a sketch on demand (delayed materialization).
+
+        A query evaluated on a truncated sketch would be biased: unexamined
+        in-edges of frontier nodes can carry live paths, and a node's
+        absence is only proven once the frontier is exhausted.  Expansion
+        is deterministic (per-sketch RNG stream), happens at most once per
+        sketch, and updates the membership map.
+        """
+        sketch = self.sketches[sketch_index]
+        if sketch.complete:
+            return sketch
+        while not sketch.complete:
+            self._expand(sketch_index, sketch, budget=self.chunk_size)
+        for member in sketch.nodes:
+            postings = self._membership.setdefault(member, [])
+            if sketch_index not in postings:
+                postings.append(sketch_index)
+        return sketch
+
+    def _contains_after_materialize(self, sketch_index: int, node: int) -> bool:
+        """Whether *node* belongs to the (fully materialised) sketch."""
+        return node in self._materialize(sketch_index).nodes
+
+    def _sketch_weights(self, sketch_index: int) -> np.ndarray:
+        """Topic-weight rows of a sketch's edges, cached per sketch."""
+        if sketch_index not in self._weight_cache:
+            sketch = self.sketches[sketch_index]
+            rows = np.asarray(sketch.edge_ids, dtype=np.int64)
+            self._weight_cache[sketch_index] = self.edge_weights.weights[rows]
+        return self._weight_cache[sketch_index]
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def sketches_containing(self, node: int) -> List[int]:
+        """Sketch indices currently containing *node* (may grow on demand)."""
+        check_node_id(node, self.graph.num_nodes, "node")
+        return list(self._membership.get(node, []))
+
+    def _live_reverse_reachable(
+        self, sketch_index: int, gamma: np.ndarray
+    ) -> Set[int]:
+        """Nodes reaching the sketch root via γ-live edges."""
+        sketch = self.sketches[sketch_index]
+        if sketch.num_edges == 0:
+            return {sketch.root}
+        weights = self._sketch_weights(sketch_index)
+        live = (weights @ gamma) >= np.asarray(sketch.edge_thresholds)
+        incoming: Dict[int, List[int]] = {}
+        for position in np.flatnonzero(live):
+            incoming.setdefault(sketch.edge_targets[position], []).append(
+                sketch.edge_sources[position]
+            )
+        reached = {sketch.root}
+        stack = [sketch.root]
+        while stack:
+            node = stack.pop()
+            for source in incoming.get(node, ()):
+                if source not in reached:
+                    reached.add(source)
+                    stack.append(source)
+        return reached
+
+    def estimate_user_spread(self, user: int, gamma: np.ndarray) -> float:
+        """σ̂_γ({user}): real-time single-user spread estimate."""
+        check_node_id(user, self.graph.num_nodes, "user")
+        gamma = self._check_gamma(gamma)
+        hits = 0
+        for sketch_index in range(self.num_sketches):
+            if not self._contains_after_materialize(sketch_index, user):
+                continue  # membership pruning: user cannot reach this root
+            if user in self._live_reverse_reachable(sketch_index, gamma):
+                hits += 1
+        return self.graph.num_nodes * hits / self.num_sketches
+
+    def estimate_user_spread_many(
+        self, user: int, gammas: np.ndarray
+    ) -> np.ndarray:
+        """Spread of *user* under many candidate distributions at once.
+
+        The workhorse of keyword suggestion: evaluates all candidate keyword
+        sets' γ's against each relevant sketch with a single liveness
+        mat-mat product per sketch.
+        """
+        check_node_id(user, self.graph.num_nodes, "user")
+        gammas = np.atleast_2d(np.asarray(gammas, dtype=np.float64))
+        if gammas.shape[1] != self.edge_weights.num_topics:
+            raise ValidationError(
+                f"gammas must have {self.edge_weights.num_topics} columns, "
+                f"got {gammas.shape[1]}"
+            )
+        hits = np.zeros(gammas.shape[0], dtype=np.int64)
+        for sketch_index in range(self.num_sketches):
+            if not self._contains_after_materialize(sketch_index, user):
+                continue
+            sketch = self.sketches[sketch_index]
+            if sketch.num_edges == 0:
+                if user == sketch.root:
+                    hits += 1
+                continue
+            weights = self._sketch_weights(sketch_index)
+            thresholds = np.asarray(sketch.edge_thresholds)
+            live_matrix = (weights @ gammas.T) >= thresholds[:, None]
+            for query_index in range(gammas.shape[0]):
+                if self._reaches_root(sketch, live_matrix[:, query_index], user):
+                    hits[query_index] += 1
+        return self.graph.num_nodes * hits / self.num_sketches
+
+    def _reaches_root(
+        self, sketch: Sketch, live: np.ndarray, user: int
+    ) -> bool:
+        if user == sketch.root:
+            return True
+        incoming: Dict[int, List[int]] = {}
+        for position in np.flatnonzero(live):
+            incoming.setdefault(sketch.edge_targets[position], []).append(
+                sketch.edge_sources[position]
+            )
+        stack = [sketch.root]
+        reached = {sketch.root}
+        while stack:
+            node = stack.pop()
+            for source in incoming.get(node, ()):
+                if source == user:
+                    return True
+                if source not in reached:
+                    reached.add(source)
+                    stack.append(source)
+        return False
+
+    def estimate_seed_set_spread(
+        self, seeds: Sequence[int], gamma: np.ndarray
+    ) -> float:
+        """σ̂_γ(S) for a seed set (used by tests against RIS baselines)."""
+        gamma = self._check_gamma(gamma)
+        seed_set = set(int(s) for s in seeds)
+        for node in seed_set:
+            check_node_id(node, self.graph.num_nodes, "seed")
+        if not seed_set:
+            return 0.0
+        hits = 0
+        for sketch_index in range(self.num_sketches):
+            members = self._materialize(sketch_index).nodes
+            if seed_set.isdisjoint(members):
+                continue
+            reached = self._live_reverse_reachable(sketch_index, gamma)
+            if not seed_set.isdisjoint(reached):
+                hits += 1
+        return self.graph.num_nodes * hits / self.num_sketches
+
+    def _check_gamma(self, gamma: np.ndarray) -> np.ndarray:
+        gamma = check_simplex(gamma, "gamma")
+        if gamma.size != self.edge_weights.num_topics:
+            raise ValidationError(
+                f"gamma has {gamma.size} entries for "
+                f"{self.edge_weights.num_topics} topics"
+            )
+        return gamma
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def statistics(self) -> Dict[str, float]:
+        """Index-size and pruning statistics (benchmark E5 reports these)."""
+        total_edges = sum(sketch.num_edges for sketch in self.sketches)
+        total_pruned = sum(sketch.edges_pruned for sketch in self.sketches)
+        total_nodes = sum(len(sketch.nodes) for sketch in self.sketches)
+        complete = sum(1 for sketch in self.sketches if sketch.complete)
+        return {
+            "num_sketches": float(self.num_sketches),
+            "total_edges": float(total_edges),
+            "total_nodes": float(total_nodes),
+            "edges_pruned_permanently": float(total_pruned),
+            "complete_sketches": float(complete),
+        }

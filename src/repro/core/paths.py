@@ -1,0 +1,240 @@
+"""Influential-path visualisation and exploration (§II-E).
+
+Restricts a user's influence to the maximum influence arborescence (MIA,
+[4]): the tree of highest-activation-probability paths out of (MIOA) or into
+(MIIA) the user, pruned below a probability threshold θ.  The resulting
+:class:`PathTree` supports the demo's interactions: node sizes ("the size of
+each node represents the effect of the user on influence"), clusters (the
+root's subtrees — "the influenced users roughly form some clusters"), and
+click-highlighting of all paths through a node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.graph.digraph import SocialGraph
+from repro.graph.traversal import max_probability_paths
+from repro.topics.edges import TopicEdgeWeights
+from repro.topics.priors import uniform_distribution
+from repro.utils.validation import (
+    ValidationError,
+    check_in_range,
+    check_node_id,
+    check_simplex,
+)
+
+__all__ = ["PathTree", "InfluencePathExplorer"]
+
+
+@dataclass
+class PathTree:
+    """An influence arborescence rooted at a queried user.
+
+    ``parents[v]`` is the previous hop on the best path between ``root`` and
+    ``v`` (``root`` maps to itself); ``probabilities[v]`` is that path's
+    activation probability — the node's *effect* in the visualisation.
+    ``direction`` is ``"influences"`` (MIOA: who the root influences) or
+    ``"influenced_by"`` (MIIA: who influences the root).
+    """
+
+    root: int
+    direction: str
+    threshold: float
+    gamma: np.ndarray
+    parents: Dict[int, int]
+    probabilities: Dict[int, float]
+    labels: Dict[int, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.direction not in ("influences", "influenced_by"):
+            raise ValidationError(
+                f"direction must be 'influences' or 'influenced_by', "
+                f"got {self.direction!r}"
+            )
+        self._children: Optional[Dict[int, List[int]]] = None
+        self._subtree_sizes: Optional[Dict[int, int]] = None
+
+    # -- structure ------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Number of nodes in the tree (root included)."""
+        return len(self.parents)
+
+    def children(self) -> Dict[int, List[int]]:
+        """Child lists (nodes one hop further from the root), cached."""
+        if self._children is None:
+            children: Dict[int, List[int]] = {node: [] for node in self.parents}
+            for node, parent in self.parents.items():
+                if node != self.root:
+                    children[parent].append(node)
+            for child_list in children.values():
+                child_list.sort(key=lambda n: -self.probabilities[n])
+            self._children = children
+        return self._children
+
+    def subtree_size(self, node: int) -> int:
+        """Number of nodes in *node*'s subtree (itself included)."""
+        if self._subtree_sizes is None:
+            sizes: Dict[int, int] = {}
+            children = self.children()
+            order: List[int] = []
+            stack = [self.root]
+            while stack:
+                current = stack.pop()
+                order.append(current)
+                stack.extend(children[current])
+            for current in reversed(order):
+                sizes[current] = 1 + sum(sizes[child] for child in children[current])
+            self._subtree_sizes = sizes
+        if node not in self.parents:
+            raise ValidationError(f"node {node} is not in the path tree")
+        return self._subtree_sizes[node]
+
+    def depth_of(self, node: int) -> int:
+        """Hop distance between *node* and the root."""
+        return len(self.path_to(node)) - 1
+
+    # -- demo interactions ----------------------------------------------
+
+    def path_to(self, node: int) -> List[int]:
+        """The best influence path between the root and *node*.
+
+        Returned root-first regardless of direction.
+        """
+        if node not in self.parents:
+            raise ValidationError(f"node {node} is not in the path tree")
+        path = [node]
+        while path[-1] != self.root:
+            path.append(self.parents[path[-1]])
+        path.reverse()
+        return path
+
+    def paths_through(self, node: int) -> List[List[int]]:
+        """All root-to-leaf-ish paths passing through *node*.
+
+        The demo's click interaction: the root→node prefix joined with every
+        maximal continuation below *node*.
+        """
+        prefix = self.path_to(node)
+        children = self.children()
+        if not children[node]:
+            return [prefix]
+        paths: List[List[int]] = []
+        stack: List[List[int]] = [[node]]
+        while stack:
+            partial = stack.pop()
+            tail = partial[-1]
+            if not children[tail]:
+                paths.append(prefix[:-1] + partial)
+                continue
+            for child in children[tail]:
+                stack.append(partial + [child])
+        return paths
+
+    def clusters(self, min_size: int = 1) -> List[List[int]]:
+        """The root's subtrees, largest first — the Scenario-3 "clusters"."""
+        children = self.children()
+        result: List[List[int]] = []
+        for child in children[self.root]:
+            members: List[int] = []
+            stack = [child]
+            while stack:
+                current = stack.pop()
+                members.append(current)
+                stack.extend(children[current])
+            if len(members) >= min_size:
+                result.append(sorted(members))
+        result.sort(key=len, reverse=True)
+        return result
+
+    def label_of(self, node: int) -> str:
+        """Display label of *node*."""
+        return self.labels.get(node, f"node-{node}")
+
+    def to_dict(self) -> Dict:
+        """JSON-serialisable summary (the d3 exporter consumes this)."""
+        return {
+            "root": self.root,
+            "direction": self.direction,
+            "threshold": self.threshold,
+            "gamma": [float(x) for x in self.gamma],
+            "nodes": [
+                {
+                    "id": node,
+                    "label": self.label_of(node),
+                    "probability": self.probabilities[node],
+                    "parent": self.parents[node] if node != self.root else None,
+                }
+                for node in sorted(self.parents)
+            ],
+        }
+
+
+class InfluencePathExplorer:
+    """Builds :class:`PathTree` views over the topic-aware graph."""
+
+    def __init__(self, edge_weights: TopicEdgeWeights) -> None:
+        self.edge_weights = edge_weights
+        self.graph = edge_weights.graph
+
+    def explore(
+        self,
+        user: int,
+        *,
+        gamma: Optional[np.ndarray] = None,
+        threshold: float = 0.01,
+        direction: str = "influences",
+        max_nodes: Optional[int] = None,
+    ) -> PathTree:
+        """Build the influence arborescence of *user*.
+
+        Parameters
+        ----------
+        gamma:
+            Topic distribution of interest (defaults to uniform — overall
+            influence).
+        threshold:
+            MIA pruning parameter θ: paths with activation probability below
+            it are ignored.
+        direction:
+            ``"influences"`` explores whom the user influences (MIOA);
+            ``"influenced_by"`` explores the user's influencers (MIIA).
+        max_nodes:
+            Optional cap on tree size for interactive latency.
+        """
+        check_node_id(user, self.graph.num_nodes, "user")
+        check_in_range(threshold, 0.0, 1.0, "threshold")
+        if direction not in ("influences", "influenced_by"):
+            raise ValidationError(
+                f"direction must be 'influences' or 'influenced_by', "
+                f"got {direction!r}"
+            )
+        if gamma is None:
+            gamma = uniform_distribution(self.edge_weights.num_topics)
+        gamma = check_simplex(gamma, "gamma")
+        probabilities = self.edge_weights.edge_probabilities(gamma)
+        path_probs, parents = max_probability_paths(
+            self.graph,
+            user,
+            probabilities,
+            threshold=threshold,
+            reverse=(direction == "influenced_by"),
+            max_nodes=max_nodes,
+        )
+        labels = {}
+        if self.graph.labels is not None:
+            labels = {node: self.graph.label_of(node) for node in parents}
+        return PathTree(
+            root=user,
+            direction=direction,
+            threshold=threshold,
+            gamma=gamma,
+            parents=parents,
+            probabilities=path_probs,
+            labels=labels,
+        )

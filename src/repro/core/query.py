@@ -1,0 +1,99 @@
+"""Query and result types of the OCTOPUS keyword interface."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.validation import ValidationError, check_positive, check_simplex
+
+__all__ = ["KeywordQuery", "InfluencerResult", "KeywordSuggestionResult"]
+
+
+@dataclass(frozen=True)
+class KeywordQuery:
+    """A keyword-based influence-maximization query.
+
+    ``keywords`` are raw user keywords; ``gamma`` is the topic distribution
+    the topic model derived from them (γ of Section II-B).  ``k`` is the
+    requested seed-set size.
+    """
+
+    keywords: Tuple[str, ...]
+    gamma: np.ndarray
+    k: int
+
+    def __post_init__(self) -> None:
+        if not self.keywords:
+            raise ValidationError("query must contain at least one keyword")
+        check_positive(self.k, "k")
+        object.__setattr__(self, "gamma", check_simplex(self.gamma, "gamma"))
+        self.gamma.setflags(write=False)
+
+    @property
+    def dominant_topic(self) -> int:
+        """Topic carrying the most query mass."""
+        return int(np.argmax(self.gamma))
+
+
+@dataclass
+class InfluencerResult:
+    """Answer to a keyword IM query.
+
+    ``seeds`` is ordered by selection; ``spreads`` holds the cumulative
+    spread after each selection (the marginal structure drives the "diverse
+    results" observation of Scenario 1); ``labels`` resolves seeds to user
+    names when the graph is labelled.
+    """
+
+    query: KeywordQuery
+    seeds: List[int]
+    spread: float
+    labels: List[str] = field(default_factory=list)
+    marginal_gains: List[float] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+    statistics: Dict[str, float] = field(default_factory=dict)
+
+    def top(self, count: int) -> List[Tuple[int, str]]:
+        """First *count* seeds as ``(node, label)`` pairs."""
+        labels = self.labels or [f"node-{node}" for node in self.seeds]
+        return list(zip(self.seeds[:count], labels[:count]))
+
+    def __repr__(self) -> str:
+        return (
+            f"InfluencerResult(keywords={list(self.query.keywords)}, "
+            f"k={self.query.k}, spread={self.spread:.2f})"
+        )
+
+
+@dataclass
+class KeywordSuggestionResult:
+    """Answer to a personalized influential-keywords query (§II-D).
+
+    ``keywords`` is the selected k-sized keyword set; ``spread`` its
+    estimated topic-aware influence spread for the target user; ``gamma``
+    the topic distribution the set induces (rendered as the radar diagram);
+    ``per_keyword_spread`` the singleton spread of each candidate that was
+    evaluated, for diagnostics and UI ranking.
+    """
+
+    target: int
+    target_label: str
+    keywords: List[str]
+    spread: float
+    gamma: np.ndarray
+    per_keyword_spread: Dict[str, float] = field(default_factory=dict)
+    elapsed_seconds: float = 0.0
+    statistics: Dict[str, float] = field(default_factory=dict)
+
+    def radar_series(self) -> List[float]:
+        """Topic-distribution series for the radar diagram."""
+        return [float(value) for value in self.gamma]
+
+    def __repr__(self) -> str:
+        return (
+            f"KeywordSuggestionResult(target={self.target_label!r}, "
+            f"keywords={self.keywords}, spread={self.spread:.2f})"
+        )

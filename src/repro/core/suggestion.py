@@ -1,0 +1,231 @@
+"""Personalized influential keywords suggestion (§II-D, reference [6]).
+
+Given a target user, find the k-sized keyword set maximising the user's
+topic-aware influence spread — the user's "selling points".  The problem is
+NP-hard and NP-hard to approximate within any constant ratio [6], so the
+suggester combines:
+
+* a **sampling-based estimator** — the :class:`InfluencerIndex` evaluates
+  any candidate keyword set's γ against fixed coupled worlds, so candidate
+  comparisons are noise-free;
+* **candidate pruning** — candidates come from the target's own action
+  vocabulary, then only the ``candidate_limit`` best singletons (evaluated
+  in one vectorised pass) enter the combinatorial search;
+* **greedy with lazy re-evaluation** for the k-set search, with optional
+  exhaustive enumeration for small candidate pools (tests compare both);
+* an optional **topic-consistency filter** restricting the pool to the
+  dominant topic of the best singleton keyword, mirroring [6]'s consistency
+  requirement (the Bayesian posterior already penalises incoherent sets:
+  the product over keywords flattens γ when topics disagree).
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.influencer_index import InfluencerIndex
+from repro.core.query import KeywordSuggestionResult
+from repro.topics.model import TopicModel
+from repro.utils.heap import LazyGreedyQueue
+from repro.utils.validation import ValidationError, check_positive
+
+__all__ = ["KeywordSuggester"]
+
+
+class KeywordSuggester:
+    """Suggests the most influential keyword set for a target user."""
+
+    def __init__(
+        self,
+        topic_model: TopicModel,
+        influencer_index: InfluencerIndex,
+        user_keywords: Dict[int, List[int]],
+        *,
+        candidate_limit: int = 30,
+        consistency_filter: bool = False,
+    ) -> None:
+        check_positive(candidate_limit, "candidate_limit")
+        self.topic_model = topic_model
+        self.index = influencer_index
+        self.graph = influencer_index.graph
+        self.user_keywords = user_keywords
+        self.candidate_limit = candidate_limit
+        self.consistency_filter = consistency_filter
+
+    # ------------------------------------------------------------------
+
+    def candidates_for(self, target: int) -> List[int]:
+        """Candidate word ids for *target* (their own action vocabulary)."""
+        words = self.user_keywords.get(target, [])
+        # Deduplicate preserving frequency order: more-used words first.
+        counts: Dict[int, int] = {}
+        for word in words:
+            counts[word] = counts.get(word, 0) + 1
+        return sorted(counts, key=lambda w: (-counts[w], w))
+
+    def suggest(
+        self,
+        target: int,
+        k: int = 3,
+        *,
+        method: str = "greedy",
+    ) -> KeywordSuggestionResult:
+        """Suggest a k-sized influential keyword set for *target*.
+
+        ``method`` is ``"greedy"`` (lazy greedy, default) or ``"exact"``
+        (exhaustive over the pruned candidate pool; exponential in *k*, for
+        validation only).
+        """
+        check_positive(k, "k")
+        if method not in ("greedy", "exact"):
+            raise ValidationError(f"method must be 'greedy' or 'exact', got {method!r}")
+        started = time.perf_counter()
+        candidates = self.candidates_for(target)
+        if not candidates:
+            raise ValidationError(
+                f"user {target} has no recorded keywords to suggest from"
+            )
+
+        singleton_spreads, pool = self._prune_candidates(target, candidates)
+        if self.consistency_filter and len(pool) > 1:
+            pool = self._filter_consistent(pool, singleton_spreads)
+
+        if method == "exact":
+            keywords, spread, evaluations = self._exact_search(target, pool, k)
+        else:
+            keywords, spread, evaluations = self._greedy_search(
+                target, pool, k, singleton_spreads
+            )
+
+        gamma = self.topic_model.keyword_topic_posterior(keywords)
+        vocabulary = self.topic_model.vocabulary
+        per_keyword = {
+            vocabulary.word_of(word): float(singleton_spreads[word])
+            for word in pool
+        }
+        elapsed = time.perf_counter() - started
+        return KeywordSuggestionResult(
+            target=target,
+            target_label=self.graph.label_of(target),
+            keywords=[vocabulary.word_of(word) for word in keywords],
+            spread=spread,
+            gamma=gamma,
+            per_keyword_spread=per_keyword,
+            elapsed_seconds=elapsed,
+            statistics={
+                "candidates_total": float(len(candidates)),
+                "candidates_after_pruning": float(len(pool)),
+                "set_evaluations": float(evaluations),
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _prune_candidates(
+        self, target: int, candidates: List[int]
+    ) -> Tuple[Dict[int, float], List[int]]:
+        """Singleton spreads for all candidates; keep the best ones."""
+        gammas = np.stack(
+            [
+                self.topic_model.keyword_topic_posterior([word])
+                for word in candidates
+            ]
+        )
+        spreads = self.index.estimate_user_spread_many(target, gammas)
+        singleton = {word: float(s) for word, s in zip(candidates, spreads)}
+        order = sorted(candidates, key=lambda w: (-singleton[w], w))
+        return singleton, order[: self.candidate_limit]
+
+    def _filter_consistent(
+        self, pool: List[int], singleton_spreads: Dict[int, float]
+    ) -> List[int]:
+        """Keep candidates sharing the best singleton's dominant topic."""
+        best = pool[0]
+        anchor_topic = self.topic_model.dominant_topic([best])
+        filtered = [
+            word
+            for word in pool
+            if self.topic_model.dominant_topic([word]) == anchor_topic
+        ]
+        return filtered if filtered else [best]
+
+    def _spread_of_set(self, target: int, words: Sequence[int]) -> float:
+        gamma = self.topic_model.keyword_topic_posterior(list(words))
+        return self.index.estimate_user_spread(target, gamma)
+
+    def _greedy_search(
+        self,
+        target: int,
+        pool: List[int],
+        k: int,
+        singleton_spreads: Dict[int, float],
+    ) -> Tuple[List[int], float, int]:
+        """Lazy greedy over keywords.
+
+        The objective is *not* submodular in the keyword set (adding a word
+        reshapes γ), so stale queue entries are re-evaluated and the loop
+        additionally guards against negative "gains": a word that lowers the
+        current set's spread is skipped, and the search stops early when no
+        remaining word improves it.
+        """
+        selected: List[int] = []
+        current = 0.0
+        evaluations = 0
+        queue: LazyGreedyQueue = LazyGreedyQueue()
+        for word in pool:
+            queue.push(word, singleton_spreads[word])
+        queue.mark_all_stale()
+        skipped: List[Tuple[int, float]] = []
+        while len(selected) < k and len(queue) > 0:
+            word, gain, fresh = queue.pop_best()
+            # Round 0: the cached singleton spreads are exact gains already.
+            if fresh or not selected:
+                # A strictly negative gain means the keyword would *reduce*
+                # the set's spread (γ reshaping is not monotone) — skip it.
+                # Zero-gain keywords are kept so the set reaches size k.
+                if gain < 0.0 and selected:
+                    skipped.append((word, gain))
+                    continue
+                selected.append(word)
+                current += gain
+                queue.mark_all_stale()
+                skipped.clear()
+            else:
+                value = self._spread_of_set(target, selected + [word])
+                evaluations += 1
+                queue.push(word, value - current)
+        spread = self._spread_of_set(target, selected) if selected else 0.0
+        evaluations += 1
+        return selected, spread, evaluations
+
+    def _exact_search(
+        self, target: int, pool: List[int], k: int
+    ) -> Tuple[List[int], float, int]:
+        """Exhaustive search over all k-subsets of the pruned pool."""
+        best_words: List[int] = []
+        best_spread = -1.0
+        evaluations = 0
+        size = min(k, len(pool))
+        # Evaluate all subsets of exactly `size`; also smaller sizes, since a
+        # smaller coherent set can beat a larger incoherent one.
+        for subset_size in range(1, size + 1):
+            subsets = list(itertools.combinations(pool, subset_size))
+            gammas = np.stack(
+                [
+                    self.topic_model.keyword_topic_posterior(list(subset))
+                    for subset in subsets
+                ]
+            )
+            spreads = self.index.estimate_user_spread_many(target, gammas)
+            evaluations += len(subsets)
+            for subset, spread in zip(subsets, spreads):
+                if spread > best_spread:
+                    best_spread = float(spread)
+                    best_words = list(subset)
+        return best_words, best_spread, evaluations

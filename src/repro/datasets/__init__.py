@@ -1,0 +1,21 @@
+"""Demo-network substrates (paper Section III).
+
+The paper demonstrates OCTOPUS on the ACMCite citation network and on
+Tencent's QQ network; neither is redistributable, so this package generates
+synthetic equivalents with *known ground truth* (topic model, per-edge topic
+probabilities and node-topic affinities), which additionally lets the test
+suite verify EM recovery — something the real data could never support.
+"""
+
+from repro.datasets.actions import SocialDataset
+from repro.datasets.citation import CitationNetworkGenerator
+from repro.datasets.loaders import load_dataset, save_dataset
+from repro.datasets.social import SocialNetworkGenerator
+
+__all__ = [
+    "SocialDataset",
+    "CitationNetworkGenerator",
+    "SocialNetworkGenerator",
+    "save_dataset",
+    "load_dataset",
+]

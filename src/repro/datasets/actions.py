@@ -1,0 +1,95 @@
+"""The dataset bundle: social graph + action logs + ground truth.
+
+"The data fed to OCTOPUS consists of 1) a social graph that models SN users
+and their relationships and 2) a set of social actions (UGC) from the users"
+(§II-A).  A :class:`SocialDataset` carries both, plus the generating model's
+ground truth so experiments can compare learned against planted parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.graph.digraph import SocialGraph
+from repro.topics.edges import TopicEdgeWeights
+from repro.topics.em import ItemObservation
+from repro.topics.model import TopicModel
+from repro.topics.vocabulary import Vocabulary
+from repro.utils.validation import ValidationError
+
+__all__ = ["SocialDataset"]
+
+
+@dataclass
+class SocialDataset:
+    """A social network with action logs and generating ground truth.
+
+    Attributes
+    ----------
+    graph:
+        The social graph (labelled with user names).
+    vocabulary:
+        Keywords extracted from the action logs.
+    items:
+        The action log: each item is a propagated piece of UGC with its
+        keywords and its propagation events — the EM learner's input.
+    user_keywords:
+        Word ids used by each user (candidate pool for keyword suggestion).
+    topic_names:
+        Human-readable topic names (radar-diagram axes).
+    true_topic_model / true_edge_weights:
+        The planted model that generated the actions; ``None`` for datasets
+        loaded from external logs.
+    node_affinities:
+        Planted per-user topic-interest vectors (``None`` when unknown).
+    """
+
+    name: str
+    graph: SocialGraph
+    vocabulary: Vocabulary
+    items: List[ItemObservation]
+    user_keywords: Dict[int, List[int]]
+    topic_names: List[str]
+    true_topic_model: Optional[TopicModel] = None
+    true_edge_weights: Optional[TopicEdgeWeights] = None
+    node_affinities: Optional[np.ndarray] = None
+    metadata: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for user in self.user_keywords:
+            if not 0 <= user < self.graph.num_nodes:
+                raise ValidationError(
+                    f"user_keywords references unknown user {user}"
+                )
+
+    @property
+    def num_topics(self) -> int:
+        """Number of planted topics."""
+        return len(self.topic_names)
+
+    def summary(self) -> Dict[str, float]:
+        """Size statistics used by example scripts and benchmarks."""
+        activations = sum(
+            sum(1 for event in item.events if event.activated)
+            for item in self.items
+        )
+        exposures = sum(len(item.events) for item in self.items)
+        return {
+            "num_users": float(self.graph.num_nodes),
+            "num_edges": float(self.graph.num_edges),
+            "num_items": float(len(self.items)),
+            "vocabulary_size": float(len(self.vocabulary)),
+            "num_topics": float(self.num_topics),
+            "num_exposures": float(exposures),
+            "num_activations": float(activations),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"SocialDataset(name={self.name!r}, users={self.graph.num_nodes}, "
+            f"edges={self.graph.num_edges}, items={len(self.items)}, "
+            f"vocabulary={len(self.vocabulary)})"
+        )

@@ -1,0 +1,271 @@
+"""Synthetic citation social network — the ACMCite substitute.
+
+Reproduces the construction of §II-B/§III on synthetic data: "we process the
+raw data to construct a social graph with researchers and the citation
+relationships among the researchers.  We take the papers as well as their
+citations as action logs.  (...) we extract distinct keywords from paper
+titles and take them as W.  Then, we regard a v's paper citing a u's paper
+as an item propagated from u to v."
+
+Generation (all parameters planted and returned as ground truth):
+
+1. researchers form a preferential-attachment citation graph whose edges
+   point from the cited (influencing) to the citing (influenced) researcher;
+2. each researcher draws a Dirichlet topic-affinity vector;
+3. per-edge topic probabilities come from the endpoint affinities
+   (influence needs shared interest);
+4. each paper picks its author's topic, draws title keywords from the
+   topic's keyword distribution, and propagates along the author's
+   out-edges: every exposure activates with the planted ``pp^z`` — giving
+   action logs whose statistics match the model the EM learner fits.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.datasets.actions import SocialDataset
+from repro.datasets.names import generate_names
+from repro.graph.digraph import SocialGraph
+from repro.graph.generators import citation_dag
+from repro.topics.edges import TopicEdgeWeights
+from repro.topics.em import ItemObservation, PropagationEvent
+from repro.topics.model import TopicModel
+from repro.topics.vocabulary import Vocabulary
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_in_range, check_positive
+
+__all__ = ["RESEARCH_TOPICS", "CitationNetworkGenerator", "build_topic_model"]
+
+# Eight research areas with characteristic title keywords; chosen to cover
+# the demo's queries ("data mining", "EM algorithm", "social network", ...).
+RESEARCH_TOPICS: List[Tuple[str, List[str]]] = [
+    (
+        "data mining",
+        [
+            "data mining", "association rules", "frequent patterns",
+            "clustering", "outlier detection", "classification",
+            "feature selection", "sampling", "itemsets", "decision trees",
+            "pattern discovery", "rule mining", "anomaly detection",
+            "dimensionality reduction", "ensemble methods",
+        ],
+    ),
+    (
+        "machine learning",
+        [
+            "machine learning", "em algorithm", "neural networks",
+            "graphical models", "kernel methods", "reinforcement learning",
+            "bayesian inference", "gradient descent", "regression",
+            "support vector machines",
+            "deep learning", "generative models", "variational inference",
+            "latent variables", "topic models",
+        ],
+    ),
+    (
+        "databases",
+        [
+            "query optimization", "transaction processing", "indexing",
+            "relational databases", "query processing", "concurrency control",
+            "sql", "storage engines", "distributed databases",
+            "data integration", "schema matching", "joins",
+            "column stores", "recovery", "materialized views",
+        ],
+    ),
+    (
+        "social networks",
+        [
+            "social network", "influence maximization", "network evolution",
+            "link prediction", "small-world phenomenon", "community detection",
+            "viral marketing", "information diffusion", "graph mining",
+            "centrality", "homophily", "cascades",
+            "recommendation", "user modeling", "temporal networks",
+        ],
+    ),
+    (
+        "systems",
+        [
+            "operating systems", "distributed systems", "fault tolerance",
+            "consensus", "virtualization", "scheduling",
+            "file systems", "caching", "replication",
+            "cloud computing", "performance analysis", "load balancing",
+            "energy efficiency", "scalability", "networking",
+        ],
+    ),
+    (
+        "theory",
+        [
+            "approximation algorithms", "computational complexity",
+            "randomized algorithms", "graph theory", "combinatorics",
+            "online algorithms", "lower bounds", "np-hardness",
+            "submodularity", "linear programming", "hashing",
+            "streaming algorithms", "sketching", "game theory",
+            "mechanism design",
+        ],
+    ),
+    (
+        "information retrieval",
+        [
+            "information retrieval", "search engines", "ranking",
+            "text mining", "natural language processing", "question answering",
+            "document classification", "relevance feedback", "web search",
+            "crawling", "inverted indexes", "language models",
+            "entity resolution", "summarization", "semantic search",
+        ],
+    ),
+    (
+        "human-computer interaction",
+        [
+            "human-computer interaction", "user studies", "visualization",
+            "user interfaces", "accessibility", "crowdsourcing",
+            "interactive systems", "usability", "multimedia",
+            "virtual reality", "eye tracking", "gesture recognition",
+            "design patterns", "participatory design", "mobile interfaces",
+        ],
+    ),
+]
+
+
+def build_topic_model(
+    topics: List[Tuple[str, List[str]]],
+    *,
+    own_topic_mass: float = 0.85,
+    topic_prior: "np.ndarray | None" = None,
+) -> Tuple[Vocabulary, TopicModel]:
+    """Planted word-topic model: each topic concentrates on its keywords.
+
+    ``own_topic_mass`` of each topic's probability is spread uniformly over
+    its own keyword list; the remainder is spread over the whole vocabulary
+    (so every word has non-zero probability under every topic, as a fitted
+    model would).
+    """
+    check_in_range(own_topic_mass, 0.0, 1.0, "own_topic_mass")
+    vocabulary = Vocabulary()
+    per_topic_ids: List[List[int]] = []
+    for _name, words in topics:
+        per_topic_ids.append([vocabulary.add(word) for word in words])
+    vocabulary.freeze()
+    vocab_size = len(vocabulary)
+    num_topics = len(topics)
+    matrix = np.full(
+        (vocab_size, num_topics),
+        (1.0 - own_topic_mass) / vocab_size,
+        dtype=np.float64,
+    )
+    for topic, word_ids in enumerate(per_topic_ids):
+        matrix[word_ids, topic] += own_topic_mass / len(word_ids)
+    matrix /= matrix.sum(axis=0, keepdims=True)
+    model = TopicModel(vocabulary, matrix, topic_prior=topic_prior)
+    return vocabulary, model
+
+
+class CitationNetworkGenerator:
+    """Generates ACMCite-like datasets with planted ground truth."""
+
+    def __init__(
+        self,
+        num_researchers: int = 1000,
+        citations_per_paper: int = 5,
+        papers_per_author: int = 4,
+        *,
+        title_length: Tuple[int, int] = (4, 8),
+        base_probability: float = 0.4,
+        affinity_concentration: float = 0.25,
+        exposure_rate: float = 0.8,
+        seed: SeedLike = None,
+    ) -> None:
+        check_positive(num_researchers, "num_researchers")
+        check_positive(citations_per_paper, "citations_per_paper")
+        check_positive(papers_per_author, "papers_per_author")
+        check_in_range(base_probability, 0.0, 1.0, "base_probability")
+        check_in_range(exposure_rate, 0.0, 1.0, "exposure_rate")
+        check_positive(affinity_concentration, "affinity_concentration")
+        if title_length[0] < 1 or title_length[1] < title_length[0]:
+            raise ValueError(f"invalid title_length range {title_length}")
+        self.num_researchers = num_researchers
+        self.citations_per_paper = citations_per_paper
+        self.papers_per_author = papers_per_author
+        self.title_length = title_length
+        self.base_probability = base_probability
+        self.affinity_concentration = affinity_concentration
+        self.exposure_rate = exposure_rate
+        self.seed = seed
+
+    def generate(self) -> SocialDataset:
+        """Build the dataset (deterministic for a fixed seed)."""
+        rng = as_generator(self.seed)
+        num_topics = len(RESEARCH_TOPICS)
+        vocabulary, topic_model = build_topic_model(RESEARCH_TOPICS)
+
+        structure = citation_dag(
+            self.num_researchers, self.citations_per_paper, seed=rng
+        )
+        labels = generate_names(self.num_researchers)
+        graph = SocialGraph.from_edges(
+            structure.num_nodes,
+            [(u, v) for _e, u, v in structure.edges()],
+            labels,
+        )
+
+        affinities = rng.dirichlet(
+            np.full(num_topics, self.affinity_concentration),
+            size=self.num_researchers,
+        )
+        edge_weights = TopicEdgeWeights.from_node_affinities(
+            graph, affinities, self.base_probability, seed=rng
+        )
+
+        items, user_keywords = self._generate_papers(
+            graph, topic_model, edge_weights, affinities, rng
+        )
+        return SocialDataset(
+            name="acmcite-synthetic",
+            graph=graph,
+            vocabulary=vocabulary,
+            items=items,
+            user_keywords=user_keywords,
+            topic_names=[name for name, _words in RESEARCH_TOPICS],
+            true_topic_model=topic_model,
+            true_edge_weights=edge_weights,
+            node_affinities=affinities,
+            metadata={
+                "base_probability": self.base_probability,
+                "exposure_rate": self.exposure_rate,
+            },
+        )
+
+    def _generate_papers(
+        self,
+        graph: SocialGraph,
+        topic_model: TopicModel,
+        edge_weights: TopicEdgeWeights,
+        affinities: np.ndarray,
+        rng: np.random.Generator,
+    ) -> Tuple[List[ItemObservation], Dict[int, List[int]]]:
+        items: List[ItemObservation] = []
+        user_keywords: Dict[int, List[int]] = {}
+        vocab_size = len(topic_model.vocabulary)
+        word_given_topic = topic_model.word_given_topic
+        low, high = self.title_length
+        for author in range(graph.num_nodes):
+            out_start = graph.out_offsets[author]
+            out_stop = graph.out_offsets[author + 1]
+            for _paper in range(self.papers_per_author):
+                topic = int(rng.choice(len(affinities[author]), p=affinities[author]))
+                length = int(rng.integers(low, high + 1))
+                words = rng.choice(
+                    vocab_size, size=length, p=word_given_topic[:, topic]
+                )
+                keywords = [int(w) for w in words]
+                user_keywords.setdefault(author, []).extend(keywords)
+                events = []
+                for edge_id in range(out_start, out_stop):
+                    if rng.random() >= self.exposure_rate:
+                        continue  # the reader never saw this paper
+                    reader = int(graph.out_targets[edge_id])
+                    probability = float(edge_weights.weights[edge_id, topic])
+                    activated = bool(rng.random() < probability)
+                    events.append(PropagationEvent(author, reader, activated))
+                items.append(ItemObservation.create(keywords, events))
+        return items, user_keywords

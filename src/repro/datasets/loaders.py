@@ -1,0 +1,142 @@
+"""Persistence of :class:`~repro.datasets.actions.SocialDataset` bundles.
+
+A dataset directory contains::
+
+    graph.tsv        edge list with labels (repro.graph.io format)
+    dataset.json     vocabulary, topic names, user keywords, metadata
+    items.jsonl      one item (keywords + events) per line
+    edge_weights.npy / word_topic.npy / affinities.npy   ground truth
+                                                          (when present)
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.datasets.actions import SocialDataset
+from repro.graph.io import read_edge_list, write_edge_list
+from repro.topics.edges import TopicEdgeWeights
+from repro.topics.em import ItemObservation, PropagationEvent
+from repro.topics.model import TopicModel
+from repro.topics.vocabulary import Vocabulary
+from repro.utils.validation import ValidationError
+
+__all__ = ["save_dataset", "load_dataset"]
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+def save_dataset(dataset: SocialDataset, directory: PathLike) -> None:
+    """Write *dataset* to *directory* (created if missing)."""
+    os.makedirs(directory, exist_ok=True)
+    write_edge_list(dataset.graph, os.path.join(directory, "graph.tsv"))
+    manifest = {
+        "name": dataset.name,
+        "topic_names": dataset.topic_names,
+        "vocabulary": dataset.vocabulary.words(),
+        "vocabulary_counts": dataset.vocabulary.counts(),
+        "user_keywords": {
+            str(user): words for user, words in dataset.user_keywords.items()
+        },
+        "metadata": dataset.metadata,
+        "has_ground_truth": dataset.true_edge_weights is not None,
+    }
+    with open(
+        os.path.join(directory, "dataset.json"), "w", encoding="utf-8"
+    ) as handle:
+        json.dump(manifest, handle)
+    with open(
+        os.path.join(directory, "items.jsonl"), "w", encoding="utf-8"
+    ) as handle:
+        for item in dataset.items:
+            record = {
+                "keywords": list(item.keywords),
+                "events": [
+                    [event.source, event.target, int(event.activated)]
+                    for event in item.events
+                ],
+            }
+            handle.write(json.dumps(record) + "\n")
+    if dataset.true_edge_weights is not None:
+        np.save(
+            os.path.join(directory, "edge_weights.npy"),
+            dataset.true_edge_weights.weights,
+        )
+    if dataset.true_topic_model is not None:
+        np.save(
+            os.path.join(directory, "word_topic.npy"),
+            dataset.true_topic_model.word_given_topic,
+        )
+        np.save(
+            os.path.join(directory, "topic_prior.npy"),
+            dataset.true_topic_model.topic_prior,
+        )
+    if dataset.node_affinities is not None:
+        np.save(
+            os.path.join(directory, "affinities.npy"), dataset.node_affinities
+        )
+
+
+def load_dataset(directory: PathLike) -> SocialDataset:
+    """Load a dataset previously written by :func:`save_dataset`."""
+    manifest_path = os.path.join(directory, "dataset.json")
+    if not os.path.exists(manifest_path):
+        raise ValidationError(f"{manifest_path} does not exist")
+    with open(manifest_path, "r", encoding="utf-8") as handle:
+        manifest = json.load(handle)
+    graph = read_edge_list(os.path.join(directory, "graph.tsv"))
+    vocabulary = Vocabulary()
+    for word, count in zip(manifest["vocabulary"], manifest["vocabulary_counts"]):
+        vocabulary.add(word, count)
+    vocabulary.freeze()
+    items: List[ItemObservation] = []
+    with open(
+        os.path.join(directory, "items.jsonl"), "r", encoding="utf-8"
+    ) as handle:
+        for line in handle:
+            if not line.strip():
+                continue
+            record = json.loads(line)
+            events = [
+                PropagationEvent(source, target, bool(activated))
+                for source, target, activated in record["events"]
+            ]
+            items.append(ItemObservation.create(record["keywords"], events))
+    user_keywords = {
+        int(user): [int(w) for w in words]
+        for user, words in manifest["user_keywords"].items()
+    }
+
+    true_edge_weights: Optional[TopicEdgeWeights] = None
+    weights_path = os.path.join(directory, "edge_weights.npy")
+    if os.path.exists(weights_path):
+        true_edge_weights = TopicEdgeWeights(graph, np.load(weights_path))
+    true_topic_model: Optional[TopicModel] = None
+    word_topic_path = os.path.join(directory, "word_topic.npy")
+    if os.path.exists(word_topic_path):
+        prior_path = os.path.join(directory, "topic_prior.npy")
+        prior = np.load(prior_path) if os.path.exists(prior_path) else None
+        true_topic_model = TopicModel(
+            vocabulary, np.load(word_topic_path), topic_prior=prior
+        )
+    affinities = None
+    affinity_path = os.path.join(directory, "affinities.npy")
+    if os.path.exists(affinity_path):
+        affinities = np.load(affinity_path)
+
+    return SocialDataset(
+        name=manifest["name"],
+        graph=graph,
+        vocabulary=vocabulary,
+        items=items,
+        user_keywords=user_keywords,
+        topic_names=manifest["topic_names"],
+        true_topic_model=true_topic_model,
+        true_edge_weights=true_edge_weights,
+        node_affinities=affinities,
+        metadata=manifest.get("metadata", {}),
+    )

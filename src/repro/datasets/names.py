@@ -1,0 +1,58 @@
+"""Synthetic user-name generation for the dataset labels.
+
+The demo's auto-completion and label-based lookups need realistic,
+unique names; we combine fixed first/last pools deterministically and add a
+middle initial once the plain combinations run out.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+__all__ = ["generate_names"]
+
+_FIRST = [
+    "Ada", "Alan", "Alice", "Andrew", "Anna", "Barbara", "Ben", "Carol",
+    "Chen", "Claire", "Daniel", "David", "Diana", "Edgar", "Elena", "Eric",
+    "Fatima", "Feng", "Grace", "Haruki", "Helen", "Ivan", "James", "Jia",
+    "John", "Judy", "Kenji", "Laura", "Lei", "Linda", "Maria", "Mark",
+    "Mei", "Michael", "Nina", "Omar", "Pedro", "Priya", "Rahul", "Rosa",
+    "Samuel", "Sofia", "Tanvi", "Thomas", "Uma", "Victor", "Wei", "Xin",
+    "Yuki", "Zhang",
+]
+
+_LAST = [
+    "Abadi", "Agarwal", "Bailis", "Bernstein", "Brin", "Chaudhuri", "Chen",
+    "Codd", "Dean", "Dewitt", "Dijkstra", "Du", "Fagin", "Fan", "Garcia",
+    "Gray", "Guo", "Han", "Hellerstein", "Hinton", "Hopper", "Huang",
+    "Ioannidis", "Jagadish", "Jordan", "Karp", "Kleinberg", "Knuth",
+    "Kossmann", "Lamport", "Lee", "Leskovec", "Li", "Liu", "Madden",
+    "Mendelzon", "Naughton", "Ooi", "Page", "Papadimitriou", "Ramakrishnan",
+    "Silberschatz", "Stonebraker", "Tan", "Tarjan", "Ullman", "Valiant",
+    "Vardi", "Wang", "Widom", "Wu", "Xu", "Yang", "Zhang", "Zhou", "Zhu",
+]
+
+
+def generate_names(count: int) -> List[str]:
+    """Return *count* distinct person names, deterministically.
+
+    Cycles through first×last combinations; once exhausted, disambiguates
+    with middle initials (``"Ada B. Chen"``) and then numeric suffixes.
+    """
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    names: List[str] = []
+    plain = len(_FIRST) * len(_LAST)
+    for index in range(count):
+        first = _FIRST[index % len(_FIRST)]
+        last = _LAST[(index // len(_FIRST)) % len(_LAST)]
+        if index < plain:
+            names.append(f"{first} {last}")
+            continue
+        generation = index // plain
+        if generation <= 26:
+            middle = chr(ord("A") + (generation - 1) % 26)
+            names.append(f"{first} {middle}. {last}")
+        else:
+            names.append(f"{first} {last} {generation}")
+    return names

@@ -1,0 +1,205 @@
+"""Synthetic friendship/e-commerce network — the Tencent QQ substitute.
+
+Mirrors the paper's second deployment: "The social graph consists of QQ
+users and their friendship.  We focus on the users' actions related to
+e-commerce products.  For example, user u posts an URL of iPhone X, and her
+friend v forwards this URL."
+
+The product vocabulary deliberately contains the demo's examples ("game",
+"gum", "strawberry", "xylitol") so the QQ scenarios run verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.datasets.actions import SocialDataset
+from repro.datasets.citation import build_topic_model
+from repro.datasets.names import generate_names
+from repro.graph.digraph import SocialGraph
+from repro.graph.generators import small_world_digraph
+from repro.topics.edges import TopicEdgeWeights
+from repro.topics.em import ItemObservation, PropagationEvent
+from repro.topics.model import TopicModel
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_in_range, check_positive
+
+__all__ = ["PRODUCT_TOPICS", "SocialNetworkGenerator"]
+
+# Eight e-commerce categories with product keywords.
+PRODUCT_TOPICS: List[Tuple[str, List[str]]] = [
+    (
+        "game",
+        [
+            "game", "console", "controller", "esports", "mmorpg",
+            "strategy game", "mobile game", "gaming laptop", "headset",
+            "graphics card", "keyboard", "stream", "tournament", "arcade",
+        ],
+    ),
+    (
+        "food",
+        [
+            "gum", "strawberry", "xylitol", "chocolate", "snack",
+            "coffee", "milk tea", "instant noodles", "candy", "biscuit",
+            "honey", "juice", "yogurt", "hotpot",
+        ],
+    ),
+    (
+        "fashion",
+        [
+            "sneakers", "handbag", "dress", "jacket", "jeans",
+            "sunglasses", "scarf", "watch", "perfume", "lipstick",
+            "backpack", "boots", "hoodie", "bracelet",
+        ],
+    ),
+    (
+        "electronics",
+        [
+            "iphone x", "smartphone", "tablet", "laptop", "camera",
+            "earbuds", "charger", "power bank", "smartwatch", "drone",
+            "television", "router", "speaker", "monitor",
+        ],
+    ),
+    (
+        "sports",
+        [
+            "basketball", "football", "running shoes", "yoga mat",
+            "dumbbell", "bicycle", "swimming goggles", "tennis racket",
+            "treadmill", "jersey", "fitness tracker", "skateboard",
+            "badminton", "climbing gear",
+        ],
+    ),
+    (
+        "travel",
+        [
+            "flight ticket", "hotel", "luggage", "passport holder",
+            "beach resort", "camping tent", "travel pillow", "city tour",
+            "theme park", "cruise", "ski pass", "road trip",
+            "guidebook", "travel insurance",
+        ],
+    ),
+    (
+        "beauty",
+        [
+            "face mask", "moisturizer", "sunscreen", "shampoo",
+            "essence", "foundation", "eye cream", "cleanser",
+            "hair dryer", "nail polish", "serum", "toner",
+            "makeup brush", "body lotion",
+        ],
+    ),
+    (
+        "home",
+        [
+            "air purifier", "rice cooker", "vacuum robot", "sofa",
+            "desk lamp", "mattress", "curtain", "cookware",
+            "humidifier", "bookshelf", "storage box", "kettle",
+            "wall art", "plant pot",
+        ],
+    ),
+]
+
+
+class SocialNetworkGenerator:
+    """Generates QQ-like friendship datasets with product-share actions."""
+
+    def __init__(
+        self,
+        num_users: int = 1000,
+        friends_per_user: int = 6,
+        posts_per_user: int = 3,
+        *,
+        rewire_probability: float = 0.1,
+        reciprocity: float = 0.7,
+        keywords_per_post: Tuple[int, int] = (2, 5),
+        base_probability: float = 0.35,
+        affinity_concentration: float = 0.3,
+        exposure_rate: float = 0.85,
+        seed: SeedLike = None,
+    ) -> None:
+        check_positive(num_users, "num_users")
+        check_positive(friends_per_user, "friends_per_user")
+        check_positive(posts_per_user, "posts_per_user")
+        check_in_range(base_probability, 0.0, 1.0, "base_probability")
+        check_in_range(exposure_rate, 0.0, 1.0, "exposure_rate")
+        if keywords_per_post[0] < 1 or keywords_per_post[1] < keywords_per_post[0]:
+            raise ValueError(f"invalid keywords_per_post range {keywords_per_post}")
+        self.num_users = num_users
+        self.friends_per_user = friends_per_user
+        self.posts_per_user = posts_per_user
+        self.rewire_probability = rewire_probability
+        self.reciprocity = reciprocity
+        self.keywords_per_post = keywords_per_post
+        self.base_probability = base_probability
+        self.affinity_concentration = affinity_concentration
+        self.exposure_rate = exposure_rate
+        self.seed = seed
+
+    def generate(self) -> SocialDataset:
+        """Build the dataset (deterministic for a fixed seed)."""
+        rng = as_generator(self.seed)
+        num_topics = len(PRODUCT_TOPICS)
+        vocabulary, topic_model = build_topic_model(PRODUCT_TOPICS)
+
+        structure = small_world_digraph(
+            self.num_users,
+            self.friends_per_user,
+            self.rewire_probability,
+            self.reciprocity,
+            seed=rng,
+        )
+        labels = generate_names(self.num_users)
+        graph = SocialGraph.from_edges(
+            structure.num_nodes,
+            [(u, v) for _e, u, v in structure.edges()],
+            labels,
+        )
+
+        affinities = rng.dirichlet(
+            np.full(num_topics, self.affinity_concentration), size=self.num_users
+        )
+        edge_weights = TopicEdgeWeights.from_node_affinities(
+            graph, affinities, self.base_probability, seed=rng
+        )
+
+        items: List[ItemObservation] = []
+        user_keywords: Dict[int, List[int]] = {}
+        vocab_size = len(vocabulary)
+        word_given_topic = topic_model.word_given_topic
+        low, high = self.keywords_per_post
+        for user in range(graph.num_nodes):
+            out_start = graph.out_offsets[user]
+            out_stop = graph.out_offsets[user + 1]
+            for _post in range(self.posts_per_user):
+                topic = int(rng.choice(num_topics, p=affinities[user]))
+                length = int(rng.integers(low, high + 1))
+                words = rng.choice(
+                    vocab_size, size=length, p=word_given_topic[:, topic]
+                )
+                keywords = [int(w) for w in words]
+                user_keywords.setdefault(user, []).extend(keywords)
+                events = []
+                for edge_id in range(out_start, out_stop):
+                    if rng.random() >= self.exposure_rate:
+                        continue
+                    friend = int(graph.out_targets[edge_id])
+                    probability = float(edge_weights.weights[edge_id, topic])
+                    forwarded = bool(rng.random() < probability)
+                    events.append(PropagationEvent(user, friend, forwarded))
+                items.append(ItemObservation.create(keywords, events))
+        return SocialDataset(
+            name="qq-synthetic",
+            graph=graph,
+            vocabulary=vocabulary,
+            items=items,
+            user_keywords=user_keywords,
+            topic_names=[name for name, _words in PRODUCT_TOPICS],
+            true_topic_model=topic_model,
+            true_edge_weights=edge_weights,
+            node_affinities=affinities,
+            metadata={
+                "base_probability": self.base_probability,
+                "exposure_rate": self.exposure_rate,
+            },
+        )

@@ -1,0 +1,16 @@
+"""Online-serving utilities: workload generation and latency reporting.
+
+The demo's third feature is "online influence analysis, which gratifies the
+users with instant results"; this package provides the machinery to put a
+built system under a realistic mixed query workload and report the latency
+percentiles that claim rests on.
+"""
+
+from repro.engine.workload import (
+    LatencyReport,
+    QueryWorkload,
+    WorkloadConfig,
+    run_workload,
+)
+
+__all__ = ["QueryWorkload", "WorkloadConfig", "LatencyReport", "run_workload"]

@@ -1,0 +1,210 @@
+"""Mixed query workloads and latency-percentile reporting.
+
+Generates a realistic stream of OCTOPUS queries (keyword IM, keyword
+suggestion, path exploration, auto-completion) with a configurable mix and
+skew — end users repeat popular queries, which is what makes the result
+cache matter — runs it against a built system, and reports per-service
+latency percentiles.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.octopus import Octopus
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import ValidationError, check_positive
+
+__all__ = ["WorkloadConfig", "QueryWorkload", "LatencyReport", "run_workload"]
+
+
+@dataclass
+class WorkloadConfig:
+    """Shape of a generated workload.
+
+    ``mix`` maps service name (``influencers`` / ``suggest`` / ``paths`` /
+    ``complete``) to its relative frequency.  ``zipf_s`` controls query
+    popularity skew (higher = more repetition, default mild skew); ``k``
+    is the seed-set size of influencer queries.
+    """
+
+    num_queries: int = 100
+    mix: Dict[str, float] = field(
+        default_factory=lambda: {
+            "influencers": 0.4,
+            "suggest": 0.25,
+            "paths": 0.25,
+            "complete": 0.1,
+        }
+    )
+    zipf_s: float = 1.2
+    k: int = 5
+    path_threshold: float = 0.02
+    seed: SeedLike = None
+
+    def __post_init__(self) -> None:
+        check_positive(self.num_queries, "num_queries")
+        check_positive(self.k, "k")
+        if not self.mix:
+            raise ValidationError("mix must not be empty")
+        unknown = set(self.mix) - {"influencers", "suggest", "paths", "complete"}
+        if unknown:
+            raise ValidationError(f"unknown services in mix: {sorted(unknown)}")
+        if any(value < 0 for value in self.mix.values()):
+            raise ValidationError("mix frequencies must be non-negative")
+        if sum(self.mix.values()) <= 0:
+            raise ValidationError("mix must have positive total weight")
+
+
+@dataclass
+class QueryWorkload:
+    """A concrete query stream: ``(service, argument)`` pairs."""
+
+    queries: List[Tuple[str, object]]
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    @classmethod
+    def generate(
+        cls, system: Octopus, config: Optional[WorkloadConfig] = None
+    ) -> "QueryWorkload":
+        """Draw a workload against *system*'s vocabulary and users.
+
+        Keyword pools come from the system's vocabulary, user pools from
+        users that actually have recorded keywords (so suggestion queries
+        are answerable); both are sampled with Zipf-like skew.
+        """
+        config = config or WorkloadConfig()
+        rng = as_generator(config.seed)
+        vocabulary = system.topic_model.vocabulary
+        keywords = vocabulary.words()
+        users = sorted(system.user_keywords)
+        if not keywords or not users:
+            raise ValidationError("system has no keywords or no active users")
+
+        def zipf_choice(pool: Sequence, size: int) -> List:
+            ranks = np.arange(1, len(pool) + 1, dtype=np.float64)
+            probabilities = ranks ** (-config.zipf_s)
+            probabilities /= probabilities.sum()
+            indices = rng.choice(len(pool), size=size, p=probabilities)
+            return [pool[int(index)] for index in indices]
+
+        services = list(config.mix)
+        weights = np.array([config.mix[s] for s in services], dtype=np.float64)
+        weights /= weights.sum()
+        drawn_services = rng.choice(
+            len(services), size=config.num_queries, p=weights
+        )
+
+        keyword_draws = zipf_choice(keywords, config.num_queries)
+        user_draws = zipf_choice(users, config.num_queries)
+        queries: List[Tuple[str, object]] = []
+        for position, service_index in enumerate(drawn_services):
+            service = services[int(service_index)]
+            if service == "influencers":
+                queries.append((service, keyword_draws[position]))
+            elif service == "suggest":
+                queries.append((service, user_draws[position]))
+            elif service == "paths":
+                queries.append((service, user_draws[position]))
+            else:  # complete
+                prefix = keyword_draws[position][:2]
+                queries.append((service, prefix))
+        return cls(queries)
+
+
+@dataclass
+class LatencyReport:
+    """Latency percentiles per service, in milliseconds."""
+
+    per_service: Dict[str, Dict[str, float]]
+    total_queries: int
+    cache_hit_rate: float
+    wall_seconds: float
+
+    def lines(self) -> List[str]:
+        """Human-readable report."""
+        rows = [
+            f"{'service':<14s}{'count':>7s}{'p50':>9s}{'p95':>9s}"
+            f"{'p99':>9s}{'max':>9s}"
+        ]
+        for service, stats in sorted(self.per_service.items()):
+            rows.append(
+                f"{service:<14s}{stats['count']:>7.0f}"
+                f"{stats['p50_ms']:>9.2f}{stats['p95_ms']:>9.2f}"
+                f"{stats['p99_ms']:>9.2f}{stats['max_ms']:>9.2f}"
+            )
+        rows.append(
+            f"total {self.total_queries} queries in "
+            f"{self.wall_seconds:.2f}s; cache hit rate "
+            f"{100 * self.cache_hit_rate:.0f}%"
+        )
+        return rows
+
+
+def run_workload(
+    system: Octopus, workload: QueryWorkload
+) -> LatencyReport:
+    """Execute *workload* against *system* and collect latency percentiles.
+
+    Individual query failures (e.g. a drawn user without enough keywords)
+    are counted under ``errors`` rather than aborting the run — a serving
+    system keeps going.
+    """
+    if len(workload) == 0:
+        raise ValidationError("workload is empty")
+    latencies: Dict[str, List[float]] = {}
+    errors = 0
+    started = time.perf_counter()
+    for service, argument in workload.queries:
+        began = time.perf_counter()
+        try:
+            if service == "influencers":
+                system.find_influencers(argument, k=5)
+            elif service == "suggest":
+                system.suggest_keywords(argument, k=3)
+            elif service == "paths":
+                system.explore_paths(argument, threshold=0.02)
+            elif service == "complete":
+                system.autocomplete_keywords(argument, limit=10)
+            else:
+                raise ValidationError(f"unknown service {service!r}")
+        except ValidationError:
+            errors += 1
+            continue
+        latencies.setdefault(service, []).append(
+            (time.perf_counter() - began) * 1e3
+        )
+    wall = time.perf_counter() - started
+
+    per_service: Dict[str, Dict[str, float]] = {}
+    for service, values in latencies.items():
+        array = np.asarray(values)
+        per_service[service] = {
+            "count": float(len(array)),
+            "p50_ms": float(np.percentile(array, 50)),
+            "p95_ms": float(np.percentile(array, 95)),
+            "p99_ms": float(np.percentile(array, 99)),
+            "max_ms": float(array.max()),
+            "mean_ms": float(array.mean()),
+        }
+    if errors:
+        per_service["errors"] = {
+            "count": float(errors),
+            "p50_ms": 0.0,
+            "p95_ms": 0.0,
+            "p99_ms": 0.0,
+            "max_ms": 0.0,
+            "mean_ms": 0.0,
+        }
+    return LatencyReport(
+        per_service=per_service,
+        total_queries=len(workload),
+        cache_hit_rate=system._result_cache.hit_rate,
+        wall_seconds=wall,
+    )

@@ -1,0 +1,360 @@
+"""Compressed-sparse-row directed social graph.
+
+The graph is immutable once built.  Nodes are dense integers ``0..n-1`` with
+optional string labels (user names).  Edges carry dense integer identifiers
+``0..m-1`` defined by their position in the out-CSR; per-edge attributes such
+as the topic-dependent activation probabilities (:mod:`repro.topics.edges`)
+are stored as arrays indexed by edge id, which keeps query-time probability
+evaluation a single vectorised operation.
+
+Both the out-adjacency (for forward propagation) and the in-adjacency (for
+reverse-reachable sampling and influencer indexes) are materialised.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.validation import ValidationError, check_node_id
+
+__all__ = ["GraphBuilder", "SocialGraph"]
+
+
+class SocialGraph:
+    """Immutable directed graph in CSR form.
+
+    Create instances via :meth:`from_edges` or :class:`GraphBuilder`.
+
+    Attributes
+    ----------
+    num_nodes:
+        Number of nodes ``n``.
+    num_edges:
+        Number of directed edges ``m``.
+    out_offsets, out_targets:
+        CSR arrays: targets of node ``u`` are
+        ``out_targets[out_offsets[u]:out_offsets[u+1]]``; edge id equals the
+        position in ``out_targets``.
+    in_offsets, in_sources, in_edge_ids:
+        CSC-style reverse adjacency; ``in_edge_ids`` maps each reverse slot to
+        the corresponding out-CSR edge id so per-edge attributes can be read
+        during reverse traversals.
+    """
+
+    def __init__(
+        self,
+        out_offsets: np.ndarray,
+        out_targets: np.ndarray,
+        in_offsets: np.ndarray,
+        in_sources: np.ndarray,
+        in_edge_ids: np.ndarray,
+        labels: Optional[List[str]] = None,
+    ) -> None:
+        self.out_offsets = out_offsets
+        self.out_targets = out_targets
+        self.in_offsets = in_offsets
+        self.in_sources = in_sources
+        self.in_edge_ids = in_edge_ids
+        self.num_nodes = len(out_offsets) - 1
+        self.num_edges = len(out_targets)
+        self._labels: Optional[List[str]] = labels
+        self._label_index: Optional[Dict[str, int]] = None
+        for array in (out_offsets, out_targets, in_offsets, in_sources, in_edge_ids):
+            array.setflags(write=False)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_edges(
+        cls,
+        num_nodes: int,
+        edges: Sequence[Tuple[int, int]],
+        labels: Optional[Sequence[str]] = None,
+        *,
+        allow_duplicates: bool = False,
+    ) -> "SocialGraph":
+        """Build a graph from ``(source, target)`` pairs.
+
+        Edge ids follow the order of *edges* grouped by source: the CSR sort
+        is stable, so ``graph.edge_permutation`` is not needed — callers that
+        must align per-edge attributes should use :class:`GraphBuilder`,
+        which reports the final edge id for every insertion.
+
+        Raises
+        ------
+        ValidationError
+            On out-of-range endpoints, self-loops, or (unless
+            *allow_duplicates*) duplicate edges.
+        """
+        if num_nodes < 0:
+            raise ValidationError(f"num_nodes must be >= 0, got {num_nodes}")
+        if labels is not None and len(labels) != num_nodes:
+            raise ValidationError(
+                f"labels has {len(labels)} entries for {num_nodes} nodes"
+            )
+        sources = np.empty(len(edges), dtype=np.int64)
+        targets = np.empty(len(edges), dtype=np.int64)
+        for index, (u, v) in enumerate(edges):
+            sources[index] = u
+            targets[index] = v
+        if len(edges) > 0:
+            if sources.min(initial=0) < 0 or targets.min(initial=0) < 0:
+                raise ValidationError("edge endpoints must be non-negative")
+            if max(sources.max(initial=-1), targets.max(initial=-1)) >= num_nodes:
+                raise ValidationError(
+                    "edge endpoint exceeds num_nodes; did you forget a node?"
+                )
+            if np.any(sources == targets):
+                bad = int(np.flatnonzero(sources == targets)[0])
+                raise ValidationError(
+                    f"self-loop at edge {bad}: ({sources[bad]}, {targets[bad]})"
+                )
+        order = np.argsort(sources, kind="stable")
+        sources = sources[order]
+        targets = targets[order]
+        if not allow_duplicates and len(edges) > 1:
+            # Within each source block, duplicate targets mean duplicate edges.
+            keys = sources * np.int64(num_nodes) + targets
+            unique = np.unique(keys)
+            if len(unique) != len(keys):
+                raise ValidationError("duplicate edges are not allowed")
+        out_offsets = np.zeros(num_nodes + 1, dtype=np.int64)
+        np.add.at(out_offsets, sources + 1, 1)
+        np.cumsum(out_offsets, out=out_offsets)
+
+        in_offsets = np.zeros(num_nodes + 1, dtype=np.int64)
+        np.add.at(in_offsets, targets + 1, 1)
+        np.cumsum(in_offsets, out=in_offsets)
+        reverse_order = np.argsort(targets, kind="stable")
+        in_sources = sources[reverse_order]
+        in_edge_ids = reverse_order.astype(np.int64)
+
+        label_list = list(labels) if labels is not None else None
+        return cls(
+            out_offsets=out_offsets,
+            out_targets=targets,
+            in_offsets=in_offsets,
+            in_sources=in_sources,
+            in_edge_ids=in_edge_ids,
+            labels=label_list,
+        )
+
+    # ------------------------------------------------------------------
+    # Topology accessors
+    # ------------------------------------------------------------------
+
+    def out_neighbors(self, node: int) -> np.ndarray:
+        """Targets of *node*'s out-edges (read-only view)."""
+        return self.out_targets[self.out_offsets[node]:self.out_offsets[node + 1]]
+
+    def out_edge_ids(self, node: int) -> np.ndarray:
+        """Edge ids of *node*'s out-edges."""
+        return np.arange(
+            self.out_offsets[node], self.out_offsets[node + 1], dtype=np.int64
+        )
+
+    def in_neighbors(self, node: int) -> np.ndarray:
+        """Sources of *node*'s in-edges (read-only view)."""
+        return self.in_sources[self.in_offsets[node]:self.in_offsets[node + 1]]
+
+    def in_edge_ids_of(self, node: int) -> np.ndarray:
+        """Out-CSR edge ids of *node*'s in-edges."""
+        return self.in_edge_ids[self.in_offsets[node]:self.in_offsets[node + 1]]
+
+    def out_degree(self, node: Optional[int] = None):
+        """Out-degree of *node*, or the full out-degree array."""
+        degrees = np.diff(self.out_offsets)
+        if node is None:
+            return degrees
+        return int(degrees[node])
+
+    def in_degree(self, node: Optional[int] = None):
+        """In-degree of *node*, or the full in-degree array."""
+        degrees = np.diff(self.in_offsets)
+        if node is None:
+            return degrees
+        return int(degrees[node])
+
+    def edge_endpoints(self, edge_id: int) -> Tuple[int, int]:
+        """Return ``(source, target)`` of *edge_id*."""
+        if not 0 <= edge_id < self.num_edges:
+            raise ValidationError(
+                f"edge_id must be in [0, {self.num_edges}), got {edge_id}"
+            )
+        source = int(np.searchsorted(self.out_offsets, edge_id, side="right") - 1)
+        return source, int(self.out_targets[edge_id])
+
+    def edge_sources(self) -> np.ndarray:
+        """Source node of every edge, indexed by edge id."""
+        sources = np.empty(self.num_edges, dtype=np.int64)
+        for node in range(self.num_nodes):
+            sources[self.out_offsets[node]:self.out_offsets[node + 1]] = node
+        return sources
+
+    def edge_id(self, source: int, target: int) -> int:
+        """Edge id of ``(source, target)``.
+
+        Raises :class:`ValidationError` if the edge does not exist.  With
+        duplicate edges, returns the first matching id.
+        """
+        check_node_id(source, self.num_nodes, "source")
+        check_node_id(target, self.num_nodes, "target")
+        start, stop = self.out_offsets[source], self.out_offsets[source + 1]
+        block = self.out_targets[start:stop]
+        hits = np.flatnonzero(block == target)
+        if len(hits) == 0:
+            raise ValidationError(f"edge ({source}, {target}) does not exist")
+        return int(start + hits[0])
+
+    def has_edge(self, source: int, target: int) -> bool:
+        """Whether the directed edge ``(source, target)`` exists."""
+        if not (0 <= source < self.num_nodes and 0 <= target < self.num_nodes):
+            return False
+        start, stop = self.out_offsets[source], self.out_offsets[source + 1]
+        return bool(np.any(self.out_targets[start:stop] == target))
+
+    def edges(self) -> Iterator[Tuple[int, int, int]]:
+        """Iterate ``(edge_id, source, target)`` in edge-id order."""
+        for node in range(self.num_nodes):
+            start, stop = self.out_offsets[node], self.out_offsets[node + 1]
+            for edge_id in range(start, stop):
+                yield edge_id, node, int(self.out_targets[edge_id])
+
+    # ------------------------------------------------------------------
+    # Labels
+    # ------------------------------------------------------------------
+
+    @property
+    def labels(self) -> Optional[List[str]]:
+        """Node labels, or ``None`` when the graph is unlabelled."""
+        return self._labels
+
+    def label_of(self, node: int) -> str:
+        """Label of *node*; falls back to ``"node-<id>"`` when unlabelled."""
+        check_node_id(node, self.num_nodes)
+        if self._labels is None:
+            return f"node-{node}"
+        return self._labels[node]
+
+    def node_by_label(self, label: str) -> int:
+        """Node id carrying *label* (labels must be unique to use this)."""
+        if self._labels is None:
+            raise ValidationError("graph has no labels")
+        if self._label_index is None:
+            index: Dict[str, int] = {}
+            for node, name in enumerate(self._labels):
+                if name in index:
+                    raise ValidationError(
+                        f"label {name!r} is not unique; lookup unsupported"
+                    )
+                index[name] = node
+            self._label_index = index
+        if label not in self._label_index:
+            raise ValidationError(f"unknown label {label!r}")
+        return self._label_index[label]
+
+    # ------------------------------------------------------------------
+    # Derived graphs
+    # ------------------------------------------------------------------
+
+    def reversed(self) -> "SocialGraph":
+        """Return the graph with all edges reversed.
+
+        Edge ids in the reversed graph do *not* correspond to edge ids in the
+        original; use ``in_edge_ids_of`` for attribute-preserving reverse
+        traversal instead when that matters.
+        """
+        edges = [(v, u) for _eid, u, v in self.edges()]
+        return SocialGraph.from_edges(
+            self.num_nodes, edges, labels=self._labels, allow_duplicates=True
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"SocialGraph(num_nodes={self.num_nodes}, "
+            f"num_edges={self.num_edges}, "
+            f"labelled={self._labels is not None})"
+        )
+
+
+class GraphBuilder:
+    """Incremental constructor for :class:`SocialGraph`.
+
+    Tracks insertion order and reports, after :meth:`build`, the CSR edge id
+    assigned to each inserted edge (:attr:`edge_ids`), so per-edge attribute
+    arrays created during construction can be permuted to edge-id order.
+    """
+
+    def __init__(self) -> None:
+        self._labels: List[Optional[str]] = []
+        self._edges: List[Tuple[int, int]] = []
+        self._edge_set: set = set()
+        self.edge_ids: Optional[np.ndarray] = None
+
+    @property
+    def num_nodes(self) -> int:
+        """Nodes added so far."""
+        return len(self._labels)
+
+    @property
+    def num_edges(self) -> int:
+        """Edges added so far."""
+        return len(self._edges)
+
+    def add_node(self, label: Optional[str] = None) -> int:
+        """Add a node, returning its id."""
+        self._labels.append(label)
+        return len(self._labels) - 1
+
+    def add_nodes(self, count: int) -> List[int]:
+        """Add *count* unlabelled nodes, returning their ids."""
+        start = len(self._labels)
+        self._labels.extend([None] * count)
+        return list(range(start, start + count))
+
+    def add_edge(self, source: int, target: int) -> int:
+        """Add edge ``(source, target)``; returns its insertion index.
+
+        Duplicate edges and self-loops raise :class:`ValidationError`.
+        """
+        if source == target:
+            raise ValidationError(f"self-loop ({source}, {target}) not allowed")
+        for endpoint, name in ((source, "source"), (target, "target")):
+            if not 0 <= endpoint < len(self._labels):
+                raise ValidationError(
+                    f"{name} {endpoint} is not a known node; add_node first"
+                )
+        if (source, target) in self._edge_set:
+            raise ValidationError(f"duplicate edge ({source}, {target})")
+        self._edge_set.add((source, target))
+        self._edges.append((source, target))
+        return len(self._edges) - 1
+
+    def has_edge(self, source: int, target: int) -> bool:
+        """Whether the edge was already inserted."""
+        return (source, target) in self._edge_set
+
+    def build(self) -> SocialGraph:
+        """Freeze into a :class:`SocialGraph`.
+
+        After the call, :attr:`edge_ids` maps insertion index to CSR edge id.
+        """
+        labelled = any(label is not None for label in self._labels)
+        labels: Optional[List[str]] = None
+        if labelled:
+            labels = [
+                label if label is not None else f"node-{node}"
+                for node, label in enumerate(self._labels)
+            ]
+        graph = SocialGraph.from_edges(len(self._labels), self._edges, labels)
+        # Recover the stable-sort permutation the CSR construction applied.
+        sources = np.array([u for u, _v in self._edges], dtype=np.int64)
+        order = np.argsort(sources, kind="stable")
+        edge_ids = np.empty(len(self._edges), dtype=np.int64)
+        edge_ids[order] = np.arange(len(self._edges), dtype=np.int64)
+        self.edge_ids = edge_ids
+        return graph

@@ -1,0 +1,173 @@
+"""Random social-graph generators.
+
+These provide the structural substrates for the two demo networks:
+
+* :func:`citation_dag` — time-ordered preferential-attachment DAG standing in
+  for the ACMCite citation network (new papers cite earlier, popular papers).
+* :func:`small_world_digraph` — Watts–Strogatz-style friendship graph for the
+  QQ-like network (directed, reciprocal with given probability).
+* :func:`preferential_attachment_digraph` / :func:`erdos_renyi_digraph` —
+  generic power-law and uniform substrates for benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.graph.digraph import SocialGraph
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import ValidationError, check_in_range, check_positive
+
+__all__ = [
+    "erdos_renyi_digraph",
+    "preferential_attachment_digraph",
+    "small_world_digraph",
+    "citation_dag",
+]
+
+
+def erdos_renyi_digraph(
+    num_nodes: int,
+    edge_probability: float,
+    seed: SeedLike = None,
+) -> SocialGraph:
+    """G(n, p) digraph without self-loops.
+
+    Sampled by drawing, for each source, a binomial number of distinct
+    targets — O(expected edges) rather than O(n²) bookkeeping per node pair
+    for sparse graphs.
+    """
+    check_positive(num_nodes, "num_nodes")
+    check_in_range(edge_probability, 0.0, 1.0, "edge_probability")
+    rng = as_generator(seed)
+    edges: List[Tuple[int, int]] = []
+    if num_nodes > 1 and edge_probability > 0.0:
+        for source in range(num_nodes):
+            count = rng.binomial(num_nodes - 1, edge_probability)
+            if count == 0:
+                continue
+            others = rng.choice(num_nodes - 1, size=count, replace=False)
+            for offset in others:
+                target = int(offset) if offset < source else int(offset) + 1
+                edges.append((source, target))
+    return SocialGraph.from_edges(num_nodes, edges)
+
+
+def preferential_attachment_digraph(
+    num_nodes: int,
+    out_degree: int,
+    seed: SeedLike = None,
+) -> SocialGraph:
+    """Directed Barabási–Albert graph: power-law in-degrees.
+
+    Each new node adds edges to ``min(out_degree, t)`` distinct earlier nodes
+    chosen with probability proportional to ``in_degree + 1``.
+    """
+    check_positive(num_nodes, "num_nodes")
+    check_positive(out_degree, "out_degree")
+    rng = as_generator(seed)
+    edges: List[Tuple[int, int]] = []
+    # attachment pool holds one entry per (in-degree + 1) unit.
+    pool: List[int] = [0]
+    for node in range(1, num_nodes):
+        wanted = min(out_degree, node)
+        chosen: set = set()
+        attempts = 0
+        while len(chosen) < wanted and attempts < 50 * wanted:
+            target = pool[int(rng.integers(0, len(pool)))]
+            chosen.add(target)
+            attempts += 1
+        # Fill any shortfall (possible on tiny pools) uniformly.
+        while len(chosen) < wanted:
+            chosen.add(int(rng.integers(0, node)))
+        for target in chosen:
+            edges.append((node, target))
+            pool.append(target)
+        pool.append(node)
+    return SocialGraph.from_edges(num_nodes, edges)
+
+
+def small_world_digraph(
+    num_nodes: int,
+    neighbors: int,
+    rewire_probability: float,
+    reciprocity: float = 0.6,
+    seed: SeedLike = None,
+) -> SocialGraph:
+    """Watts–Strogatz-style friendship digraph.
+
+    Starts from a ring lattice where each node points at its *neighbors*
+    clockwise successors, rewires each edge's target with probability
+    *rewire_probability*, then adds the reverse of each edge with probability
+    *reciprocity* (friendship in QQ-like networks is mostly mutual).
+    """
+    check_positive(num_nodes, "num_nodes")
+    check_positive(neighbors, "neighbors")
+    check_in_range(rewire_probability, 0.0, 1.0, "rewire_probability")
+    check_in_range(reciprocity, 0.0, 1.0, "reciprocity")
+    if neighbors >= num_nodes:
+        raise ValidationError(
+            f"neighbors ({neighbors}) must be < num_nodes ({num_nodes})"
+        )
+    rng = as_generator(seed)
+    edge_set = set()
+    for source in range(num_nodes):
+        for hop in range(1, neighbors + 1):
+            target = (source + hop) % num_nodes
+            if rng.random() < rewire_probability:
+                for _ in range(10):
+                    candidate = int(rng.integers(0, num_nodes))
+                    if candidate != source and (source, candidate) not in edge_set:
+                        target = candidate
+                        break
+            if target != source and (source, target) not in edge_set:
+                edge_set.add((source, target))
+    for source, target in list(edge_set):
+        if (target, source) not in edge_set and rng.random() < reciprocity:
+            edge_set.add((target, source))
+    return SocialGraph.from_edges(num_nodes, sorted(edge_set))
+
+
+def citation_dag(
+    num_nodes: int,
+    citations_per_node: int,
+    recency_bias: float = 0.3,
+    seed: SeedLike = None,
+) -> SocialGraph:
+    """Time-ordered citation DAG with preferential attachment and recency.
+
+    Node ids are publication order.  Node ``t`` cites up to
+    *citations_per_node* earlier nodes; each citation picks, with probability
+    *recency_bias*, a recent node (uniform over the latest ``sqrt(t)+1``) and
+    otherwise a popular node (proportional to citations received + 1).  Edges
+    point from the *cited* (earlier, influencing) node to the *citing* node,
+    matching the influence direction used by OCTOPUS: influence flows from
+    the cited author to the citing author.
+    """
+    check_positive(num_nodes, "num_nodes")
+    check_positive(citations_per_node, "citations_per_node")
+    check_in_range(recency_bias, 0.0, 1.0, "recency_bias")
+    rng = as_generator(seed)
+    edges: List[Tuple[int, int]] = []
+    pool: List[int] = [0]
+    for node in range(1, num_nodes):
+        wanted = min(citations_per_node, node)
+        cited: set = set()
+        window = int(np.sqrt(node)) + 1
+        attempts = 0
+        while len(cited) < wanted and attempts < 50 * wanted:
+            if rng.random() < recency_bias:
+                candidate = int(rng.integers(max(0, node - window), node))
+            else:
+                candidate = pool[int(rng.integers(0, len(pool)))]
+            cited.add(candidate)
+            attempts += 1
+        while len(cited) < wanted:
+            cited.add(int(rng.integers(0, node)))
+        for earlier in cited:
+            edges.append((earlier, node))
+            pool.append(earlier)
+        pool.append(node)
+    return SocialGraph.from_edges(num_nodes, edges)

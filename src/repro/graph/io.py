@@ -1,0 +1,73 @@
+"""Edge-list serialization for :class:`~repro.graph.digraph.SocialGraph`.
+
+The format is a plain TSV: a header line ``# nodes <n>``, optional label
+lines ``L <node> <label>``, then one ``<source>\\t<target>`` line per edge.
+It round-trips node labels and edge-id order.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional, Tuple, Union
+
+from repro.graph.digraph import SocialGraph
+from repro.utils.validation import ValidationError
+
+__all__ = ["write_edge_list", "read_edge_list"]
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+def write_edge_list(graph: SocialGraph, path: PathLike) -> None:
+    """Write *graph* to *path* in the library's TSV edge-list format."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(f"# nodes {graph.num_nodes}\n")
+        if graph.labels is not None:
+            for node, label in enumerate(graph.labels):
+                if "\t" in label or "\n" in label:
+                    raise ValidationError(
+                        f"label {label!r} contains tab/newline; cannot serialise"
+                    )
+                handle.write(f"L\t{node}\t{label}\n")
+        for _edge_id, source, target in graph.edges():
+            handle.write(f"{source}\t{target}\n")
+
+
+def read_edge_list(path: PathLike) -> SocialGraph:
+    """Read a graph previously written by :func:`write_edge_list`."""
+    num_nodes: Optional[int] = None
+    labels: List[str] = []
+    edges: List[Tuple[int, int]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, raw in enumerate(handle, start=1):
+            line = raw.rstrip("\n")
+            if not line:
+                continue
+            if line.startswith("#"):
+                parts = line.split()
+                if len(parts) == 3 and parts[1] == "nodes":
+                    num_nodes = int(parts[2])
+                continue
+            if line.startswith("L\t"):
+                _tag, node_text, label = line.split("\t", 2)
+                node = int(node_text)
+                while len(labels) <= node:
+                    labels.append("")
+                labels[node] = label
+                continue
+            parts = line.split("\t")
+            if len(parts) != 2:
+                raise ValidationError(
+                    f"{path}:{line_number}: expected 'source\\ttarget', got {line!r}"
+                )
+            edges.append((int(parts[0]), int(parts[1])))
+    if num_nodes is None:
+        raise ValidationError(f"{path}: missing '# nodes <n>' header")
+    label_list: Optional[List[str]] = None
+    if labels:
+        while len(labels) < num_nodes:
+            labels.append("")
+        label_list = [
+            label if label else f"node-{node}" for node, label in enumerate(labels)
+        ]
+    return SocialGraph.from_edges(num_nodes, edges, label_list)

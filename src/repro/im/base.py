@@ -1,0 +1,51 @@
+"""Common result type for influence-maximization algorithms."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+__all__ = ["IMResult"]
+
+
+@dataclass
+class IMResult:
+    """Outcome of a seed-selection run.
+
+    Attributes
+    ----------
+    seeds:
+        Selected seed nodes in selection order.
+    spread:
+        Estimated expected spread of the full seed set.
+    marginal_gains:
+        Estimated marginal gain recorded when each seed was selected
+        (aligned with *seeds*).
+    evaluations:
+        Number of spread-oracle calls — the work measure benchmark E2 uses
+        to compare pruning strategies.
+    statistics:
+        Free-form algorithm-specific counters (e.g. RR sets used, nodes
+        pruned by bounds).
+    """
+
+    seeds: List[int]
+    spread: float
+    marginal_gains: List[float] = field(default_factory=list)
+    evaluations: int = 0
+    statistics: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if len(set(self.seeds)) != len(self.seeds):
+            raise ValueError(f"duplicate seeds in result: {self.seeds}")
+
+    @property
+    def k(self) -> int:
+        """Number of selected seeds."""
+        return len(self.seeds)
+
+    def __repr__(self) -> str:
+        return (
+            f"IMResult(k={self.k}, spread={self.spread:.2f}, "
+            f"evaluations={self.evaluations})"
+        )

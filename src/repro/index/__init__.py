@@ -1,0 +1,13 @@
+"""Auxiliary indexes of the online query engine.
+
+* :class:`~repro.index.trie.Trie` — prefix auto-completion for user names
+  and keywords (the demo's auto-completion tool in Scenario 2).
+* :class:`~repro.index.inverted.InvertedIndex` — keyword → users postings.
+* :class:`~repro.index.cache.LRUCache` — query-result cache.
+"""
+
+from repro.index.cache import LRUCache
+from repro.index.inverted import InvertedIndex
+from repro.index.trie import Trie
+
+__all__ = ["Trie", "InvertedIndex", "LRUCache"]

@@ -1,0 +1,61 @@
+"""LRU cache for query results.
+
+Online systems answer repeated queries; OCTOPUS caches the three services'
+results keyed by their normalised query.  Hit/miss counters feed the system
+statistics panel.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Hashable, Optional
+
+from repro.utils.validation import check_positive
+
+__all__ = ["LRUCache"]
+
+
+class LRUCache:
+    """Bounded least-recently-used mapping."""
+
+    def __init__(self, capacity: int = 256) -> None:
+        check_positive(capacity, "capacity")
+        self.capacity = capacity
+        self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._data
+
+    def get(self, key: Hashable) -> Optional[Any]:
+        """Return the cached value or ``None``; refreshes recency on hit."""
+        if key in self._data:
+            self._data.move_to_end(key)
+            self.hits += 1
+            return self._data[key]
+        self.misses += 1
+        return None
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert or refresh *key*, evicting the least recent on overflow."""
+        if key in self._data:
+            self._data.move_to_end(key)
+        self._data[key] = value
+        while len(self._data) > self.capacity:
+            self._data.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop all entries and reset counters."""
+        self._data.clear()
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0 when unused)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -1,0 +1,66 @@
+"""Keyword → users inverted index.
+
+Maps each vocabulary word to the users whose actions used it, with term
+frequencies.  The Octopus facade uses it for candidate generation (which
+users are even relevant to a keyword) and for the keyword statistics shown
+in the UI.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from repro.utils.validation import ValidationError, check_positive
+
+__all__ = ["InvertedIndex"]
+
+
+class InvertedIndex:
+    """Postings lists of (user, frequency) per word id."""
+
+    def __init__(self) -> None:
+        self._postings: Dict[int, Dict[int, int]] = {}
+        self._user_totals: Dict[int, int] = {}
+
+    def add(self, word_id: int, user: int, count: int = 1) -> None:
+        """Record *count* uses of *word_id* by *user*."""
+        if count <= 0:
+            raise ValidationError(f"count must be positive, got {count}")
+        postings = self._postings.setdefault(int(word_id), {})
+        postings[int(user)] = postings.get(int(user), 0) + count
+        self._user_totals[int(user)] = self._user_totals.get(int(user), 0) + count
+
+    def add_document(self, user: int, word_ids: Iterable[int]) -> None:
+        """Record one document's words for *user*."""
+        for word_id in word_ids:
+            self.add(word_id, user)
+
+    def users_of(self, word_id: int, limit: int = 0) -> List[Tuple[int, int]]:
+        """Users having used *word_id*, most frequent first.
+
+        ``limit=0`` returns all.
+        """
+        postings = self._postings.get(int(word_id), {})
+        ranked = sorted(postings.items(), key=lambda kv: (-kv[1], kv[0]))
+        if limit > 0:
+            ranked = ranked[:limit]
+        return ranked
+
+    def document_frequency(self, word_id: int) -> int:
+        """Number of distinct users having used *word_id*."""
+        return len(self._postings.get(int(word_id), {}))
+
+    def frequency(self, word_id: int, user: int) -> int:
+        """Uses of *word_id* by *user*."""
+        return self._postings.get(int(word_id), {}).get(int(user), 0)
+
+    def user_activity(self, user: int) -> int:
+        """Total word occurrences attributed to *user*."""
+        return self._user_totals.get(int(user), 0)
+
+    def vocabulary_ids(self) -> List[int]:
+        """All word ids with at least one posting."""
+        return sorted(self._postings)
+
+    def __len__(self) -> int:
+        return len(self._postings)

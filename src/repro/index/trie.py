@@ -1,0 +1,76 @@
+"""Prefix trie for auto-completion of user names and keywords.
+
+Scenario 2: "She can simply type in the name in OCTOPUS, while assisted by an
+auto-completion tool."  Entries carry a payload (node id / word id) and a
+weight (e.g. occurrence count) so completions are ranked.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.utils.validation import ValidationError, check_positive
+
+__all__ = ["Trie"]
+
+
+class _TrieNode:
+    __slots__ = ("children", "entries")
+
+    def __init__(self) -> None:
+        self.children: Dict[str, "_TrieNode"] = {}
+        # (key, payload, weight) tuples terminating at this node.
+        self.entries: List[Tuple[str, Any, float]] = []
+
+
+class Trie:
+    """Case-insensitive prefix index with weighted completions."""
+
+    def __init__(self) -> None:
+        self._root = _TrieNode()
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def insert(self, key: str, payload: Any = None, weight: float = 1.0) -> None:
+        """Insert *key* with an optional payload and ranking weight."""
+        if not isinstance(key, str) or not key.strip():
+            raise ValidationError(f"trie key must be a non-empty string, got {key!r}")
+        normalized = key.strip().lower()
+        node = self._root
+        for character in normalized:
+            node = node.children.setdefault(character, _TrieNode())
+        node.entries.append((key.strip(), payload, float(weight)))
+        self._size += 1
+
+    def complete(self, prefix: str, limit: int = 10) -> List[Tuple[str, Any]]:
+        """Completions of *prefix*, heaviest first, as (key, payload).
+
+        An empty prefix returns the globally heaviest entries.
+        """
+        check_positive(limit, "limit")
+        if not isinstance(prefix, str):
+            raise ValidationError(f"prefix must be a string, got {prefix!r}")
+        node = self._root
+        for character in prefix.strip().lower():
+            if character not in node.children:
+                return []
+            node = node.children[character]
+        matches: List[Tuple[str, Any, float]] = []
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            matches.extend(current.entries)
+            stack.extend(current.children.values())
+        matches.sort(key=lambda entry: (-entry[2], entry[0]))
+        return [(key, payload) for key, payload, _weight in matches[:limit]]
+
+    def contains(self, key: str) -> bool:
+        """Whether an exact *key* was inserted."""
+        node = self._root
+        for character in key.strip().lower():
+            if character not in node.children:
+                return False
+            node = node.children[character]
+        return bool(node.entries)

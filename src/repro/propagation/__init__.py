@@ -1,0 +1,27 @@
+"""Influence propagation under the (topic-aware) independent cascade model.
+
+Provides forward Monte-Carlo simulation, fixed live-edge possible worlds
+(shared-threshold coupling across topic distributions), reverse-reachable-set
+sampling [8], and the spread estimators built on them.
+"""
+
+from repro.propagation.estimators import (
+    MonteCarloSpreadEstimator,
+    RRSetSpreadEstimator,
+    SpreadEstimator,
+)
+from repro.propagation.ic import IndependentCascade, simulate_cascade
+from repro.propagation.rrsets import RRSetCollection, generate_rr_set
+from repro.propagation.worlds import LiveEdgeWorld, WorldEnsemble
+
+__all__ = [
+    "IndependentCascade",
+    "simulate_cascade",
+    "LiveEdgeWorld",
+    "WorldEnsemble",
+    "RRSetCollection",
+    "generate_rr_set",
+    "SpreadEstimator",
+    "MonteCarloSpreadEstimator",
+    "RRSetSpreadEstimator",
+]

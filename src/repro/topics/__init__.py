@@ -1,0 +1,26 @@
+"""Topic-aware influence modelling (paper Section II-B).
+
+Contains the keyword vocabulary, the word-topic model ``p(w|z)`` with the
+Bayesian keyword-to-topic-distribution inference, the per-edge topic
+activation probabilities ``pp^z_{u,v}``, and the EM learner that fits both
+from action logs (the TIC model of Barbieri et al., reference [2]).
+"""
+
+from repro.topics.edges import TopicEdgeWeights
+from repro.topics.em import EMConfig, ItemObservation, PropagationEvent, TICLearner
+from repro.topics.model import TopicModel
+from repro.topics.priors import l1_distance, sample_topic_distributions, uniform_distribution
+from repro.topics.vocabulary import Vocabulary
+
+__all__ = [
+    "TopicEdgeWeights",
+    "EMConfig",
+    "ItemObservation",
+    "PropagationEvent",
+    "TICLearner",
+    "TopicModel",
+    "Vocabulary",
+    "sample_topic_distributions",
+    "uniform_distribution",
+    "l1_distance",
+]

@@ -1,0 +1,165 @@
+"""Word-topic model and keyword→topic-distribution inference.
+
+Implements the usability layer of Section II-B: topics are latent, users type
+keywords.  The model stores ``p(w|z)`` per topic plus a topic prior ``p(z)``
+and derives, for a keyword set ``W``, the topic distribution
+
+    γ_z = p(z | W) ∝ p(z) · Π_{w ∈ W} p(w|z)
+
+(the "Bayesian formula" of [6]), computed in log space with additive
+smoothing so unseen word-topic pairs never zero out a topic.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.topics.vocabulary import Vocabulary
+from repro.utils.validation import (
+    ValidationError,
+    check_array_shape,
+    check_positive,
+    check_simplex,
+)
+
+__all__ = ["TopicModel"]
+
+
+class TopicModel:
+    """Keyword–topic model: ``p(w|z)`` columns plus a topic prior ``p(z)``.
+
+    Parameters
+    ----------
+    vocabulary:
+        The keyword vocabulary; ids index the rows of *word_given_topic*.
+    word_given_topic:
+        Array of shape ``(V, Z)``; column ``z`` is the distribution
+        ``p(w|z)`` and must sum to 1.
+    topic_prior:
+        Distribution ``p(z)`` of shape ``(Z,)``; defaults to uniform.
+    smoothing:
+        Additive smoothing mass applied during posterior inference so that a
+        keyword with zero probability under some topic still leaves that
+        topic a tiny posterior mass.
+    """
+
+    def __init__(
+        self,
+        vocabulary: Vocabulary,
+        word_given_topic: np.ndarray,
+        topic_prior: Optional[np.ndarray] = None,
+        smoothing: float = 1e-9,
+    ) -> None:
+        self.vocabulary = vocabulary
+        matrix = np.asarray(word_given_topic, dtype=np.float64)
+        check_array_shape(matrix, (len(vocabulary), None), "word_given_topic")
+        if matrix.shape[1] < 1:
+            raise ValidationError("word_given_topic must have >= 1 topic column")
+        if np.any(matrix < 0):
+            raise ValidationError("word_given_topic must be non-negative")
+        column_sums = matrix.sum(axis=0)
+        if len(vocabulary) > 0 and not np.allclose(column_sums, 1.0, atol=1e-6):
+            raise ValidationError(
+                "each p(w|z) column must sum to 1; got sums "
+                f"{np.round(column_sums, 4)}"
+            )
+        self.word_given_topic = matrix
+        self.num_topics = matrix.shape[1]
+        if topic_prior is None:
+            topic_prior = np.full(self.num_topics, 1.0 / self.num_topics)
+        self.topic_prior = check_simplex(topic_prior, "topic_prior")
+        if self.topic_prior.size != self.num_topics:
+            raise ValidationError(
+                f"topic_prior has {self.topic_prior.size} entries for "
+                f"{self.num_topics} topics"
+            )
+        check_positive(smoothing, "smoothing")
+        self.smoothing = float(smoothing)
+
+    # ------------------------------------------------------------------
+    # Inference
+    # ------------------------------------------------------------------
+
+    def keyword_topic_posterior(
+        self, keywords: Sequence[Union[str, int]]
+    ) -> np.ndarray:
+        """Topic distribution γ captured by a keyword set.
+
+        Accepts keyword strings or word ids.  Unknown keywords raise
+        :class:`ValidationError` (callers wanting lenient behaviour should
+        filter via :meth:`Vocabulary.known_ids_of` first).
+        """
+        word_ids = self._resolve_ids(keywords)
+        if not word_ids:
+            raise ValidationError("keyword set must contain at least one keyword")
+        log_posterior = np.log(self.topic_prior + self.smoothing)
+        for word_id in word_ids:
+            log_posterior = log_posterior + np.log(
+                self.word_given_topic[word_id] + self.smoothing
+            )
+        log_posterior -= log_posterior.max()
+        gamma = np.exp(log_posterior)
+        return gamma / gamma.sum()
+
+    def topic_profile_of_word(self, keyword: Union[str, int]) -> np.ndarray:
+        """``p(z|w)`` for a single keyword — the radar-diagram series."""
+        return self.keyword_topic_posterior([keyword])
+
+    def word_likelihood(self, keywords: Sequence[Union[str, int]]) -> float:
+        """Marginal likelihood ``p(W) = Σ_z p(z) Π_w p(w|z)`` of a keyword set."""
+        word_ids = self._resolve_ids(keywords)
+        per_topic = self.topic_prior.copy()
+        for word_id in word_ids:
+            per_topic = per_topic * (self.word_given_topic[word_id] + self.smoothing)
+        return float(per_topic.sum())
+
+    def _resolve_ids(self, keywords: Sequence[Union[str, int]]) -> List[int]:
+        word_ids: List[int] = []
+        for keyword in keywords:
+            if isinstance(keyword, str):
+                word_ids.append(self.vocabulary.id_of(keyword))
+            elif isinstance(keyword, (int, np.integer)) and not isinstance(
+                keyword, bool
+            ):
+                word_id = int(keyword)
+                if not 0 <= word_id < len(self.vocabulary):
+                    raise ValidationError(
+                        f"word id {word_id} out of range [0, {len(self.vocabulary)})"
+                    )
+                word_ids.append(word_id)
+            else:
+                raise ValidationError(
+                    f"keyword must be a string or word id, got {keyword!r}"
+                )
+        return word_ids
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def top_words(self, topic: int, k: int = 10) -> List[Tuple[str, float]]:
+        """The *k* highest-probability keywords of *topic*."""
+        if not 0 <= topic < self.num_topics:
+            raise ValidationError(
+                f"topic must be in [0, {self.num_topics}), got {topic}"
+            )
+        check_positive(k, "k")
+        column = self.word_given_topic[:, topic]
+        k = min(k, len(self.vocabulary))
+        order = np.argsort(-column, kind="stable")[:k]
+        return [
+            (self.vocabulary.word_of(int(word_id)), float(column[word_id]))
+            for word_id in order
+        ]
+
+    def dominant_topic(self, keywords: Sequence[Union[str, int]]) -> int:
+        """The most likely topic of a keyword set."""
+        return int(np.argmax(self.keyword_topic_posterior(keywords)))
+
+    def __repr__(self) -> str:
+        return (
+            f"TopicModel(vocabulary_size={len(self.vocabulary)}, "
+            f"num_topics={self.num_topics})"
+        )

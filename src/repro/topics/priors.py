@@ -1,0 +1,90 @@
+"""Topic-distribution priors and geometry helpers.
+
+The topic-sample index (Section II-C) precomputes seed sets for
+"offline-sampled topic distributions"; :func:`sample_topic_distributions`
+draws those samples from a Dirichlet prior, and :func:`l1_distance` provides
+the metric used to relate an online query's distribution to the samples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_positive, check_simplex
+
+__all__ = [
+    "uniform_distribution",
+    "one_hot_distribution",
+    "sample_topic_distributions",
+    "l1_distance",
+    "normalize_distribution",
+]
+
+
+def uniform_distribution(num_topics: int) -> np.ndarray:
+    """The uniform distribution over *num_topics* topics."""
+    check_positive(num_topics, "num_topics")
+    return np.full(num_topics, 1.0 / num_topics, dtype=np.float64)
+
+
+def one_hot_distribution(num_topics: int, topic: int) -> np.ndarray:
+    """Distribution concentrated on a single *topic*."""
+    check_positive(num_topics, "num_topics")
+    if not 0 <= topic < num_topics:
+        raise ValueError(f"topic must be in [0, {num_topics}), got {topic}")
+    gamma = np.zeros(num_topics, dtype=np.float64)
+    gamma[topic] = 1.0
+    return gamma
+
+
+def sample_topic_distributions(
+    num_topics: int,
+    count: int,
+    concentration: float = 0.3,
+    seed: SeedLike = None,
+) -> np.ndarray:
+    """Draw *count* topic distributions from ``Dirichlet(concentration)``.
+
+    A concentration below 1 yields sparse distributions, matching real
+    keyword queries which load on one or two topics.  Returns an array of
+    shape ``(count, num_topics)``; every row lies on the simplex.
+    """
+    check_positive(num_topics, "num_topics")
+    check_positive(count, "count")
+    check_positive(concentration, "concentration")
+    rng = as_generator(seed)
+    samples = rng.dirichlet(np.full(num_topics, concentration), size=count)
+    # Guard against exact zero rows caused by underflow for tiny alphas.
+    samples = np.maximum(samples, 1e-12)
+    return samples / samples.sum(axis=1, keepdims=True)
+
+
+def l1_distance(gamma_a: np.ndarray, gamma_b: np.ndarray) -> float:
+    """L1 distance between two topic distributions.
+
+    This is the metric behind the topic-sample bounds: influence spread is
+    Lipschitz in the L1 distance between distributions (the per-edge
+    probability changes by at most ``max_z pp^z`` times half this distance).
+    """
+    a = check_simplex(gamma_a, "gamma_a")
+    b = check_simplex(gamma_b, "gamma_b")
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    return float(np.abs(a - b).sum())
+
+
+def normalize_distribution(weights: np.ndarray) -> np.ndarray:
+    """Normalise non-negative *weights* onto the simplex.
+
+    An all-zero vector normalises to the uniform distribution.
+    """
+    array = np.asarray(weights, dtype=np.float64)
+    if array.ndim != 1:
+        raise ValueError(f"weights must be 1-d, got shape {array.shape}")
+    if np.any(array < 0):
+        raise ValueError("weights must be non-negative")
+    total = array.sum()
+    if total <= 0.0:
+        return uniform_distribution(array.size)
+    return array / total

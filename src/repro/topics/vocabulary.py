@@ -1,0 +1,132 @@
+"""Keyword vocabulary: the bridge between end-user queries and topics.
+
+OCTOPUS's usability claim rests on users typing keywords rather than latent
+topic vectors; the vocabulary maps keyword strings to dense integer ids used
+throughout the topic model, the inverted index, and the auto-completion trie.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+
+from repro.utils.validation import ValidationError
+
+__all__ = ["Vocabulary"]
+
+
+class Vocabulary:
+    """Bidirectional keyword ↔ id mapping with occurrence counts.
+
+    Words are normalised to lower-case, stripped form; empty strings are
+    rejected.  Ids are dense and assigned in first-seen order, so a frozen
+    vocabulary is fully reproducible from the same corpus.
+    """
+
+    def __init__(self, words: Optional[Iterable[str]] = None) -> None:
+        self._words: List[str] = []
+        self._ids: Dict[str, int] = {}
+        self._counts: List[int] = []
+        self._frozen = False
+        if words is not None:
+            for word in words:
+                self.add(word)
+
+    @staticmethod
+    def normalize(word: str) -> str:
+        """Canonical form of *word* (lower-case, surrounding space removed)."""
+        if not isinstance(word, str):
+            raise ValidationError(f"keyword must be a string, got {word!r}")
+        normalized = word.strip().lower()
+        if not normalized:
+            raise ValidationError(f"keyword {word!r} is empty after normalisation")
+        return normalized
+
+    def __len__(self) -> int:
+        return len(self._words)
+
+    def __contains__(self, word: str) -> bool:
+        try:
+            return self.normalize(word) in self._ids
+        except ValidationError:
+            return False
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._words)
+
+    def freeze(self) -> "Vocabulary":
+        """Disallow further additions; lookups of unknown words then raise."""
+        self._frozen = True
+        return self
+
+    @property
+    def frozen(self) -> bool:
+        """Whether the vocabulary rejects new words."""
+        return self._frozen
+
+    def add(self, word: str, count: int = 1) -> int:
+        """Register an occurrence of *word* and return its id."""
+        normalized = self.normalize(word)
+        if normalized in self._ids:
+            word_id = self._ids[normalized]
+            self._counts[word_id] += count
+            return word_id
+        if self._frozen:
+            raise ValidationError(
+                f"vocabulary is frozen; unknown keyword {normalized!r}"
+            )
+        word_id = len(self._words)
+        self._ids[normalized] = word_id
+        self._words.append(normalized)
+        self._counts.append(count)
+        return word_id
+
+    def add_document(self, words: Sequence[str]) -> List[int]:
+        """Register every word of a document, returning their ids in order."""
+        return [self.add(word) for word in words]
+
+    def id_of(self, word: str) -> int:
+        """Id of *word*; raises :class:`ValidationError` when unknown."""
+        normalized = self.normalize(word)
+        if normalized not in self._ids:
+            raise ValidationError(f"unknown keyword {normalized!r}")
+        return self._ids[normalized]
+
+    def word_of(self, word_id: int) -> str:
+        """Word carrying *word_id*."""
+        if not 0 <= word_id < len(self._words):
+            raise ValidationError(
+                f"word id must be in [0, {len(self._words)}), got {word_id}"
+            )
+        return self._words[word_id]
+
+    def count_of(self, word: str) -> int:
+        """Total registered occurrences of *word* (0 when unknown)."""
+        try:
+            return self._counts[self.id_of(word)]
+        except ValidationError:
+            return 0
+
+    def ids_of(self, words: Sequence[str]) -> List[int]:
+        """Ids of known *words*; unknown words raise."""
+        return [self.id_of(word) for word in words]
+
+    def known_ids_of(self, words: Sequence[str]) -> List[int]:
+        """Ids of the subset of *words* present in the vocabulary."""
+        ids = []
+        for word in words:
+            try:
+                ids.append(self.id_of(word))
+            except ValidationError:
+                continue
+        return ids
+
+    def words(self) -> List[str]:
+        """All words in id order (copy)."""
+        return list(self._words)
+
+    def counts(self) -> List[int]:
+        """Occurrence count per word id (copy)."""
+        return list(self._counts)
+
+    def __repr__(self) -> str:
+        return f"Vocabulary(size={len(self)}, frozen={self._frozen})"

@@ -1,0 +1,42 @@
+"""Library logging configuration.
+
+The library logs under the ``repro`` namespace and never configures the root
+logger; applications opt in via :func:`enable_console_logging`.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Optional
+
+__all__ = ["get_logger", "enable_console_logging"]
+
+_BASE = "repro"
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """Return a logger in the library namespace.
+
+    ``get_logger("topics.em")`` returns the ``repro.topics.em`` logger.
+    """
+    if name is None:
+        return logging.getLogger(_BASE)
+    return logging.getLogger(f"{_BASE}.{name}")
+
+
+def enable_console_logging(level: int = logging.INFO) -> logging.Handler:
+    """Attach a stderr handler to the library logger and return it.
+
+    Calling it twice replaces the previous handler instead of duplicating
+    output.
+    """
+    logger = logging.getLogger(_BASE)
+    for handler in list(logger.handlers):
+        logger.removeHandler(handler)
+    handler = logging.StreamHandler()
+    handler.setFormatter(
+        logging.Formatter("%(asctime)s %(name)s %(levelname)s: %(message)s")
+    )
+    logger.addHandler(handler)
+    logger.setLevel(level)
+    return handler

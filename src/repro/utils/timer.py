@@ -1,0 +1,88 @@
+"""Timing helpers used by the benchmark harnesses and the query engine."""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+__all__ = ["Timer", "Stopwatch"]
+
+
+class Timer:
+    """Context manager measuring wall-clock time in seconds.
+
+    >>> with Timer() as t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._start: Optional[float] = None
+        self.elapsed: float = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        if self._start is not None:
+            self.elapsed = time.perf_counter() - self._start
+            self._start = None
+
+
+class Stopwatch:
+    """Accumulates named time splits; used for per-phase query statistics.
+
+    >>> watch = Stopwatch()
+    >>> with watch.phase("bounds"):
+    ...     pass
+    >>> "bounds" in watch.totals()
+    True
+    """
+
+    def __init__(self) -> None:
+        self._totals: Dict[str, float] = {}
+        self._counts: Dict[str, int] = {}
+
+    class _Phase:
+        def __init__(self, watch: "Stopwatch", name: str) -> None:
+            self._watch = watch
+            self._name = name
+            self._start = 0.0
+
+        def __enter__(self) -> "Stopwatch._Phase":
+            self._start = time.perf_counter()
+            return self
+
+        def __exit__(self, *exc_info: object) -> None:
+            elapsed = time.perf_counter() - self._start
+            totals = self._watch._totals
+            counts = self._watch._counts
+            totals[self._name] = totals.get(self._name, 0.0) + elapsed
+            counts[self._name] = counts.get(self._name, 0) + 1
+
+    def phase(self, name: str) -> "Stopwatch._Phase":
+        """Return a context manager accumulating into split *name*."""
+        return Stopwatch._Phase(self, name)
+
+    def totals(self) -> Dict[str, float]:
+        """Total seconds per split name."""
+        return dict(self._totals)
+
+    def counts(self) -> Dict[str, int]:
+        """Number of times each split was entered."""
+        return dict(self._counts)
+
+    def reset(self) -> None:
+        """Clear all accumulated splits."""
+        self._totals.clear()
+        self._counts.clear()
+
+    def report(self) -> List[str]:
+        """Human-readable lines, longest total first."""
+        lines = []
+        for name, total in sorted(self._totals.items(), key=lambda kv: -kv[1]):
+            count = self._counts[name]
+            lines.append(f"{name:<24s} {total * 1e3:9.2f} ms  ({count} calls)")
+        return lines

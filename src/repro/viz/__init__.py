@@ -1,0 +1,19 @@
+"""Visualisation payloads (the demo UI's data layer).
+
+OCTOPUS "utilizes d3js to visualize the paths and interact with the
+end-users"; this package produces exactly the JSON payloads such a front end
+consumes (force-graph nodes/links, hierarchy trees, radar-diagram series)
+plus an ASCII renderer for terminal examples.
+"""
+
+from repro.viz.d3 import path_tree_to_d3_force, path_tree_to_d3_hierarchy
+from repro.viz.radar import radar_chart_data
+from repro.viz.text import render_path_tree, render_radar
+
+__all__ = [
+    "path_tree_to_d3_force",
+    "path_tree_to_d3_hierarchy",
+    "radar_chart_data",
+    "render_path_tree",
+    "render_radar",
+]

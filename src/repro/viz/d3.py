@@ -1,0 +1,86 @@
+"""d3js-compatible exports of influence path trees (§II-E).
+
+Two payload shapes are provided, matching the two standard d3 idioms:
+
+* :func:`path_tree_to_d3_force` — flat ``{"nodes": [...], "links": [...]}``
+  for force-directed layouts; node ``size`` encodes the influence effect
+  ("the size of each node represents the effect of the user on influence")
+  and ``cluster`` the root-subtree membership of Scenario 3.
+* :func:`path_tree_to_d3_hierarchy` — nested children dicts for
+  ``d3.hierarchy`` / tree layouts.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.core.paths import PathTree
+
+__all__ = ["path_tree_to_d3_force", "path_tree_to_d3_hierarchy"]
+
+
+def path_tree_to_d3_force(
+    tree: PathTree, *, size_scale: float = 30.0, min_size: float = 4.0
+) -> Dict[str, List[Dict[str, Any]]]:
+    """Force-layout payload: nodes sized by influence effect.
+
+    The root is flagged ``root: true`` (the "big yellow node"); every other
+    node's ``size`` scales with its best-path activation probability and
+    ``cluster`` identifies which of the root's subtrees it belongs to.
+    """
+    clusters = tree.clusters()
+    cluster_of: Dict[int, int] = {}
+    for cluster_index, members in enumerate(clusters):
+        for member in members:
+            cluster_of[member] = cluster_index
+    nodes = []
+    for node in sorted(tree.parents):
+        probability = tree.probabilities[node]
+        nodes.append(
+            {
+                "id": node,
+                "label": tree.label_of(node),
+                "probability": probability,
+                "size": max(min_size, probability * size_scale),
+                "root": node == tree.root,
+                "cluster": cluster_of.get(node, -1),
+                "depth": tree.depth_of(node),
+            }
+        )
+    links = []
+    for node, parent in sorted(tree.parents.items()):
+        if node == tree.root:
+            continue
+        # Render edges along the influence direction regardless of how the
+        # arborescence was built.
+        if tree.direction == "influences":
+            source, target = parent, node
+        else:
+            source, target = node, parent
+        links.append(
+            {
+                "source": source,
+                "target": target,
+                "probability": tree.probabilities[node],
+            }
+        )
+    return {"nodes": nodes, "links": links}
+
+
+def path_tree_to_d3_hierarchy(tree: PathTree) -> Dict[str, Any]:
+    """Nested payload for ``d3.hierarchy``."""
+    children = tree.children()
+
+    def build(node: int) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "id": node,
+            "name": tree.label_of(node),
+            "probability": tree.probabilities[node],
+            "subtree_size": tree.subtree_size(node),
+        }
+        child_nodes = children[node]
+        if child_nodes:
+            payload["children"] = [build(child) for child in child_nodes]
+        return payload
+
+    return build(tree.root)

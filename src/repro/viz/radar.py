@@ -1,0 +1,46 @@
+"""Radar-diagram data for keyword topic interpretation (Scenario 2).
+
+"A radar diagram on the left bottom of OCTOPUS interface shows the
+distribution over topics.  For example, 'EM algorithm' is very related to AI
+and machine learning, while also relevant to multimedia and HCI."
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Union
+
+from repro.topics.model import TopicModel
+from repro.utils.validation import ValidationError
+
+__all__ = ["radar_chart_data"]
+
+
+def radar_chart_data(
+    topic_model: TopicModel,
+    keywords: Sequence[Union[str, int]],
+    topic_names: Sequence[str],
+) -> Dict[str, object]:
+    """Radar payload: one axis per topic, one series for the keyword set.
+
+    Returns ``{"axes": [...names...], "values": [...γ...], "dominant":
+    name, "keywords": [...]}`` — the exact series a d3 radar chart binds.
+    """
+    if len(topic_names) != topic_model.num_topics:
+        raise ValidationError(
+            f"{len(topic_names)} topic names given for "
+            f"{topic_model.num_topics} topics"
+        )
+    gamma = topic_model.keyword_topic_posterior(list(keywords))
+    dominant = int(gamma.argmax())
+    rendered_keywords = [
+        keyword
+        if isinstance(keyword, str)
+        else topic_model.vocabulary.word_of(int(keyword))
+        for keyword in keywords
+    ]
+    return {
+        "axes": list(topic_names),
+        "values": [float(value) for value in gamma],
+        "dominant": topic_names[dominant],
+        "keywords": rendered_keywords,
+    }

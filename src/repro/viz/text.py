@@ -1,0 +1,59 @@
+"""ASCII rendering of path trees and radar data for terminal examples."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.paths import PathTree
+
+__all__ = ["render_path_tree", "render_radar"]
+
+
+def render_path_tree(
+    tree: PathTree, *, max_depth: int = 4, max_children: int = 4
+) -> str:
+    """Indented text rendering of *tree*, best paths first.
+
+    Children beyond *max_children* per node are summarised with an ellipsis
+    line; depth is capped at *max_depth*.
+    """
+    children = tree.children()
+    lines: List[str] = []
+    arrow = "→" if tree.direction == "influences" else "←"
+    lines.append(
+        f"{tree.label_of(tree.root)} "
+        f"[{tree.direction}, θ={tree.threshold:g}, {tree.size} nodes]"
+    )
+
+    def walk(node: int, depth: int) -> None:
+        if depth > max_depth:
+            return
+        shown = children[node][:max_children]
+        hidden = len(children[node]) - len(shown)
+        for child in shown:
+            probability = tree.probabilities[child]
+            lines.append(
+                f"{'  ' * depth}{arrow} {tree.label_of(child)} "
+                f"(p={probability:.3f})"
+            )
+            walk(child, depth + 1)
+        if hidden > 0:
+            lines.append(f"{'  ' * depth}… {hidden} more")
+
+    walk(tree.root, 1)
+    return "\n".join(lines)
+
+
+def render_radar(radar: Dict[str, object], *, width: int = 40) -> str:
+    """Horizontal-bar rendering of a radar payload."""
+    axes = radar["axes"]
+    values = radar["values"]
+    assert isinstance(axes, list) and isinstance(values, list)
+    peak = max(values) if values else 1.0
+    label_width = max(len(str(axis)) for axis in axes) if axes else 0
+    lines = [f"keywords: {', '.join(map(str, radar.get('keywords', [])))}"]
+    for axis, value in zip(axes, values):
+        bar = "#" * int(round(width * (value / peak))) if peak > 0 else ""
+        lines.append(f"{str(axis):<{label_width}} |{bar:<{width}}| {value:.3f}")
+    lines.append(f"dominant topic: {radar.get('dominant')}")
+    return "\n".join(lines)

@@ -1,0 +1,84 @@
+"""Shared fixtures: small deterministic graphs, weights and datasets.
+
+Expensive fixtures are session-scoped; tests must not mutate them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.citation import CitationNetworkGenerator
+from repro.datasets.social import SocialNetworkGenerator
+from repro.graph.digraph import SocialGraph
+from repro.graph.generators import preferential_attachment_digraph
+from repro.topics.edges import TopicEdgeWeights
+
+
+@pytest.fixture
+def line_graph() -> SocialGraph:
+    """0 → 1 → 2 → 3 (a path)."""
+    return SocialGraph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+
+
+@pytest.fixture
+def diamond_graph() -> SocialGraph:
+    """0 → {1, 2} → 3 (two parallel two-hop paths)."""
+    return SocialGraph.from_edges(4, [(0, 1), (0, 2), (1, 3), (2, 3)])
+
+
+@pytest.fixture
+def star_graph() -> SocialGraph:
+    """0 → 1..5 (hub and spokes)."""
+    return SocialGraph.from_edges(6, [(0, i) for i in range(1, 6)])
+
+
+@pytest.fixture
+def labelled_graph() -> SocialGraph:
+    """Small labelled triangle-ish graph."""
+    return SocialGraph.from_edges(
+        3, [(0, 1), (1, 2), (0, 2)], labels=["alice", "bob", "carol"]
+    )
+
+
+@pytest.fixture(scope="session")
+def medium_graph() -> SocialGraph:
+    """A 200-node power-law digraph used across algorithm tests."""
+    return preferential_attachment_digraph(200, 3, seed=42)
+
+
+@pytest.fixture(scope="session")
+def medium_weights(medium_graph: SocialGraph) -> TopicEdgeWeights:
+    """4-topic weighted-cascade weights on the medium graph."""
+    return TopicEdgeWeights.weighted_cascade(medium_graph, 4, seed=43)
+
+
+@pytest.fixture(scope="session")
+def medium_probabilities(
+    medium_graph: SocialGraph, medium_weights: TopicEdgeWeights
+) -> np.ndarray:
+    """Collapsed edge probabilities for a fixed topic distribution."""
+    gamma = np.array([0.55, 0.25, 0.15, 0.05])
+    return medium_weights.edge_probabilities(gamma)
+
+
+@pytest.fixture(scope="session")
+def citation_dataset():
+    """A small ACMCite-like dataset (session-scoped; do not mutate)."""
+    return CitationNetworkGenerator(
+        num_researchers=250,
+        citations_per_paper=4,
+        papers_per_author=3,
+        seed=1234,
+    ).generate()
+
+
+@pytest.fixture(scope="session")
+def qq_dataset():
+    """A small QQ-like dataset (session-scoped; do not mutate)."""
+    return SocialNetworkGenerator(
+        num_users=200,
+        friends_per_user=5,
+        posts_per_user=3,
+        seed=4321,
+    ).generate()

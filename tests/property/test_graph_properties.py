@@ -1,0 +1,93 @@
+"""Property-based tests for the CSR digraph invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.digraph import SocialGraph
+
+
+@st.composite
+def edge_lists(draw, max_nodes=12):
+    num_nodes = draw(st.integers(min_value=1, max_value=max_nodes))
+    possible = [
+        (u, v)
+        for u in range(num_nodes)
+        for v in range(num_nodes)
+        if u != v
+    ]
+    edges = draw(
+        st.lists(st.sampled_from(possible), unique=True, max_size=len(possible))
+        if possible
+        else st.just([])
+    )
+    return num_nodes, edges
+
+
+@given(edge_lists())
+@settings(max_examples=150, deadline=None)
+def test_csr_offsets_are_monotone_and_complete(case):
+    num_nodes, edges = case
+    graph = SocialGraph.from_edges(num_nodes, edges)
+    assert graph.out_offsets[0] == 0
+    assert graph.out_offsets[-1] == len(edges)
+    assert np.all(np.diff(graph.out_offsets) >= 0)
+    assert graph.in_offsets[-1] == len(edges)
+    assert np.all(np.diff(graph.in_offsets) >= 0)
+
+
+@given(edge_lists())
+@settings(max_examples=150, deadline=None)
+def test_every_input_edge_is_represented_exactly_once(case):
+    num_nodes, edges = case
+    graph = SocialGraph.from_edges(num_nodes, edges)
+    listed = [(u, v) for _e, u, v in graph.edges()]
+    assert sorted(listed) == sorted(edges)
+
+
+@given(edge_lists())
+@settings(max_examples=150, deadline=None)
+def test_in_adjacency_mirrors_out_adjacency(case):
+    num_nodes, edges = case
+    graph = SocialGraph.from_edges(num_nodes, edges)
+    out_pairs = {
+        (u, int(v))
+        for u in range(num_nodes)
+        for v in graph.out_neighbors(u)
+    }
+    in_pairs = {
+        (int(u), v)
+        for v in range(num_nodes)
+        for u in graph.in_neighbors(v)
+    }
+    assert out_pairs == in_pairs == set(edges)
+
+
+@given(edge_lists())
+@settings(max_examples=150, deadline=None)
+def test_in_edge_ids_round_trip(case):
+    num_nodes, edges = case
+    graph = SocialGraph.from_edges(num_nodes, edges)
+    for node in range(num_nodes):
+        for source, edge_id in zip(
+            graph.in_neighbors(node), graph.in_edge_ids_of(node)
+        ):
+            assert graph.edge_endpoints(int(edge_id)) == (int(source), node)
+
+
+@given(edge_lists())
+@settings(max_examples=100, deadline=None)
+def test_degree_sums_equal_edge_count(case):
+    num_nodes, edges = case
+    graph = SocialGraph.from_edges(num_nodes, edges)
+    assert graph.out_degree().sum() == len(edges)
+    assert graph.in_degree().sum() == len(edges)
+
+
+@given(edge_lists())
+@settings(max_examples=100, deadline=None)
+def test_double_reverse_is_identity(case):
+    num_nodes, edges = case
+    graph = SocialGraph.from_edges(num_nodes, edges)
+    double = graph.reversed().reversed()
+    assert sorted((u, v) for _e, u, v in double.edges()) == sorted(edges)

@@ -1,0 +1,95 @@
+"""Property-based tests for the influencer index and RR-set machinery."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.influencer_index import InfluencerIndex
+from repro.graph.digraph import SocialGraph
+from repro.topics.edges import TopicEdgeWeights
+
+
+@st.composite
+def indexed_worlds(draw, max_nodes=7):
+    num_nodes = draw(st.integers(2, max_nodes))
+    possible = [
+        (u, v) for u in range(num_nodes) for v in range(num_nodes) if u != v
+    ]
+    edges = draw(
+        st.lists(st.sampled_from(possible), unique=True, min_size=1, max_size=12)
+    )
+    graph = SocialGraph.from_edges(num_nodes, edges)
+    num_topics = draw(st.integers(1, 3))
+    raw = draw(
+        st.lists(
+            st.lists(st.floats(0.0, 1.0), min_size=num_topics, max_size=num_topics),
+            min_size=graph.num_edges,
+            max_size=graph.num_edges,
+        )
+    )
+    weights = TopicEdgeWeights(graph, np.asarray(raw, dtype=np.float64))
+    seed = draw(st.integers(0, 2**16))
+    return weights, seed
+
+
+def _gamma(num_topics: int, hot: int) -> np.ndarray:
+    gamma = np.zeros(num_topics)
+    gamma[hot % num_topics] = 1.0
+    return gamma
+
+
+@given(indexed_worlds(), st.integers(0, 2))
+@settings(max_examples=60, deadline=None)
+def test_estimates_bounded_by_node_count(case, hot):
+    weights, seed = case
+    index = InfluencerIndex(weights, num_sketches=40, seed=seed)
+    gamma = _gamma(weights.num_topics, hot)
+    n = weights.graph.num_nodes
+    for user in range(n):
+        estimate = index.estimate_user_spread(user, gamma)
+        assert 0.0 <= estimate <= n + 1e-9
+
+
+@given(indexed_worlds(), st.integers(0, 2))
+@settings(max_examples=60, deadline=None)
+def test_seed_set_estimate_monotone(case, hot):
+    weights, seed = case
+    index = InfluencerIndex(weights, num_sketches=40, seed=seed)
+    gamma = _gamma(weights.num_topics, hot)
+    n = weights.graph.num_nodes
+    single = index.estimate_seed_set_spread([0], gamma)
+    everyone = index.estimate_seed_set_spread(list(range(n)), gamma)
+    assert everyone >= single - 1e-9
+    # Seeding every node covers every sketch root: exactly n.
+    assert everyone == pytest.approx(n)
+
+
+@given(indexed_worlds(), st.integers(0, 2))
+@settings(max_examples=50, deadline=None)
+def test_many_gamma_batch_matches_single_queries(case, hot):
+    weights, seed = case
+    index = InfluencerIndex(weights, num_sketches=30, seed=seed)
+    num_topics = weights.num_topics
+    gammas = np.stack(
+        [_gamma(num_topics, hot), np.full(num_topics, 1.0 / num_topics)]
+    )
+    for user in range(weights.graph.num_nodes):
+        batch = index.estimate_user_spread_many(user, gammas)
+        for query_index in range(gammas.shape[0]):
+            single = index.estimate_user_spread(user, gammas[query_index])
+            assert batch[query_index] == pytest.approx(single)
+
+
+@given(indexed_worlds())
+@settings(max_examples=50, deadline=None)
+def test_chunked_equals_eager(case):
+    """Delayed materialization must not change any estimate."""
+    weights, seed = case
+    eager = InfluencerIndex(weights, num_sketches=25, seed=seed)
+    lazy = InfluencerIndex(weights, num_sketches=25, chunk_size=1, seed=seed)
+    gamma = np.full(weights.num_topics, 1.0 / weights.num_topics)
+    for user in range(weights.graph.num_nodes):
+        assert lazy.estimate_user_spread(user, gamma) == pytest.approx(
+            eager.estimate_user_spread(user, gamma)
+        )

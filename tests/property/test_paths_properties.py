@@ -1,0 +1,116 @@
+"""Property-based tests for influence path trees (§II-E)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.paths import InfluencePathExplorer
+from repro.graph.digraph import SocialGraph
+from repro.topics.edges import TopicEdgeWeights
+
+
+@st.composite
+def weighted_worlds(draw, max_nodes=8):
+    num_nodes = draw(st.integers(2, max_nodes))
+    possible = [
+        (u, v) for u in range(num_nodes) for v in range(num_nodes) if u != v
+    ]
+    edges = draw(
+        st.lists(st.sampled_from(possible), unique=True, min_size=1, max_size=14)
+    )
+    graph = SocialGraph.from_edges(num_nodes, edges)
+    raw = draw(
+        st.lists(
+            st.floats(0.05, 1.0),
+            min_size=graph.num_edges,
+            max_size=graph.num_edges,
+        )
+    )
+    weights = TopicEdgeWeights(
+        graph, np.asarray(raw, dtype=np.float64)[:, None]
+    )
+    root = draw(st.integers(0, num_nodes - 1))
+    threshold = draw(st.sampled_from([0.0, 0.01, 0.1, 0.5]))
+    return weights, root, threshold
+
+
+@given(weighted_worlds())
+@settings(max_examples=120, deadline=None)
+def test_tree_is_well_formed(case):
+    weights, root, threshold = case
+    explorer = InfluencePathExplorer(weights)
+    tree = explorer.explore(root, threshold=threshold)
+    # Root present, parents point inside the tree, probabilities in (0, 1].
+    assert tree.root in tree.parents
+    assert tree.parents[root] == root
+    for node, parent in tree.parents.items():
+        assert parent in tree.parents
+        assert 0.0 < tree.probabilities[node] <= 1.0 + 1e-12
+        if node != root:
+            assert tree.probabilities[node] >= threshold - 1e-12
+
+
+@given(weighted_worlds())
+@settings(max_examples=120, deadline=None)
+def test_path_probability_is_product_along_path(case):
+    weights, root, threshold = case
+    explorer = InfluencePathExplorer(weights)
+    tree = explorer.explore(root, threshold=threshold)
+    probabilities = weights.edge_probabilities(np.array([1.0]))
+    graph = weights.graph
+    for node in tree.parents:
+        path = tree.path_to(node)
+        product = 1.0
+        for source, target in zip(path, path[1:]):
+            product *= probabilities[graph.edge_id(source, target)]
+        assert tree.probabilities[node] == pytest.approx(product, rel=1e-9)
+
+
+@given(weighted_worlds())
+@settings(max_examples=100, deadline=None)
+def test_parent_probability_dominates_child(case):
+    """Along any root-to-node path the probability is non-increasing."""
+    weights, root, threshold = case
+    tree = InfluencePathExplorer(weights).explore(root, threshold=threshold)
+    for node, parent in tree.parents.items():
+        if node == root:
+            continue
+        assert tree.probabilities[parent] >= tree.probabilities[node] - 1e-12
+
+
+@given(weighted_worlds())
+@settings(max_examples=100, deadline=None)
+def test_threshold_monotone_in_tree_size(case):
+    weights, root, _threshold = case
+    explorer = InfluencePathExplorer(weights)
+    loose = explorer.explore(root, threshold=0.01)
+    tight = explorer.explore(root, threshold=0.3)
+    assert set(tight.parents) <= set(loose.parents)
+
+
+@given(weighted_worlds())
+@settings(max_examples=100, deadline=None)
+def test_clusters_partition_non_root_nodes(case):
+    weights, root, threshold = case
+    tree = InfluencePathExplorer(weights).explore(root, threshold=threshold)
+    clusters = tree.clusters()
+    seen = set()
+    for cluster in clusters:
+        for node in cluster:
+            assert node not in seen
+            seen.add(node)
+    assert seen == set(tree.parents) - {root}
+
+
+@given(weighted_worlds())
+@settings(max_examples=80, deadline=None)
+def test_subtree_sizes_sum_correctly(case):
+    weights, root, threshold = case
+    tree = InfluencePathExplorer(weights).explore(root, threshold=threshold)
+    children = tree.children()
+    for node in tree.parents:
+        assert tree.subtree_size(node) == 1 + sum(
+            tree.subtree_size(child) for child in children[node]
+        )
+    assert tree.subtree_size(root) == tree.size

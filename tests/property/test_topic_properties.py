@@ -1,0 +1,85 @@
+"""Property-based tests for the topic model and keyword posterior."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.topics.model import TopicModel
+from repro.topics.priors import normalize_distribution
+from repro.topics.vocabulary import Vocabulary
+
+
+@st.composite
+def topic_models(draw, max_words=8, max_topics=5):
+    num_words = draw(st.integers(2, max_words))
+    num_topics = draw(st.integers(2, max_topics))
+    raw = draw(
+        hnp.arrays(
+            dtype=np.float64,
+            shape=(num_words, num_topics),
+            elements=st.floats(0.01, 10.0),
+        )
+    )
+    matrix = raw / raw.sum(axis=0, keepdims=True)
+    vocab = Vocabulary([f"word{i}" for i in range(num_words)])
+    return TopicModel(vocab, matrix)
+
+
+@given(topic_models(), st.data())
+@settings(max_examples=150, deadline=None)
+def test_posterior_is_on_simplex(model, data):
+    words = data.draw(
+        st.lists(
+            st.integers(0, len(model.vocabulary) - 1), min_size=1, max_size=6
+        )
+    )
+    gamma = model.keyword_topic_posterior(words)
+    assert gamma.shape == (model.num_topics,)
+    assert np.all(gamma >= 0)
+    assert gamma.sum() == pytest.approx(1.0)
+
+
+@given(topic_models(), st.data())
+@settings(max_examples=150, deadline=None)
+def test_posterior_invariant_to_keyword_order(model, data):
+    words = data.draw(
+        st.lists(
+            st.integers(0, len(model.vocabulary) - 1), min_size=2, max_size=6
+        )
+    )
+    forward = model.keyword_topic_posterior(words)
+    backward = model.keyword_topic_posterior(list(reversed(words)))
+    np.testing.assert_allclose(forward, backward, atol=1e-12)
+
+
+@given(topic_models(), st.data())
+@settings(max_examples=100, deadline=None)
+def test_repeating_a_keyword_sharpens_its_dominant_topic(model, data):
+    word = data.draw(st.integers(0, len(model.vocabulary) - 1))
+    single = model.keyword_topic_posterior([word])
+    triple = model.keyword_topic_posterior([word, word, word])
+    dominant = int(single.argmax())
+    assert triple[dominant] >= single[dominant] - 1e-12
+
+
+@given(topic_models())
+@settings(max_examples=100, deadline=None)
+def test_top_words_sorted_descending(model):
+    for topic in range(model.num_topics):
+        top = model.top_words(topic, k=len(model.vocabulary))
+        probabilities = [p for _w, p in top]
+        assert probabilities == sorted(probabilities, reverse=True)
+
+
+@given(
+    hnp.arrays(
+        dtype=np.float64, shape=st.integers(1, 10), elements=st.floats(0, 100)
+    )
+)
+@settings(max_examples=200, deadline=None)
+def test_normalize_distribution_always_simplex(weights):
+    gamma = normalize_distribution(weights)
+    assert gamma.sum() == pytest.approx(1.0)
+    assert np.all(gamma >= 0)

@@ -1,0 +1,60 @@
+"""Property-based tests for the auto-completion trie and the vocabulary."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index.trie import Trie
+from repro.topics.vocabulary import Vocabulary
+
+keys = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd")),
+    min_size=1,
+    max_size=10,
+)
+
+
+@given(st.lists(st.tuples(keys, st.floats(0, 100)), max_size=40), st.data())
+@settings(max_examples=150, deadline=None)
+def test_complete_returns_exactly_prefix_matches(entries, data):
+    trie = Trie()
+    for key, weight in entries:
+        trie.insert(key, weight=weight)
+    prefix = data.draw(keys | st.just(""))
+    results = trie.complete(prefix.strip().lower(), limit=1000)
+    expected = [
+        key.strip()
+        for key, _w in entries
+        if key.strip().lower().startswith(prefix.strip().lower())
+    ]
+    assert sorted(key for key, _p in results) == sorted(expected)
+
+
+@given(st.lists(st.tuples(keys, st.floats(0, 100)), max_size=40))
+@settings(max_examples=150, deadline=None)
+def test_completions_sorted_by_weight(entries):
+    trie = Trie()
+    for key, weight in entries:
+        trie.insert(key, payload=weight, weight=weight)
+    weights = [payload for _key, payload in trie.complete("", limit=1000)]
+    assert all(a >= b for a, b in zip(weights, weights[1:]))
+    assert len(weights) == len(entries)
+
+
+@given(st.lists(keys, min_size=1, max_size=30))
+@settings(max_examples=200, deadline=None)
+def test_vocabulary_round_trip(words):
+    vocab = Vocabulary()
+    ids = [vocab.add(word) for word in words]
+    for word, word_id in zip(words, ids):
+        assert vocab.id_of(word) == word_id
+        assert vocab.word_of(word_id) == Vocabulary.normalize(word)
+    assert len(vocab) == len({Vocabulary.normalize(w) for w in words})
+
+
+@given(st.lists(keys, min_size=1, max_size=30))
+@settings(max_examples=150, deadline=None)
+def test_vocabulary_counts_sum_to_additions(words):
+    vocab = Vocabulary()
+    for word in words:
+        vocab.add(word)
+    assert sum(vocab.counts()) == len(words)

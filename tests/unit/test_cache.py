@@ -1,0 +1,76 @@
+"""Unit tests for repro.index.cache."""
+
+import pytest
+
+from repro.index.cache import LRUCache
+from repro.utils.validation import ValidationError
+
+
+class TestLRUCache:
+    def test_put_get(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+
+    def test_miss_returns_none(self):
+        cache = LRUCache(2)
+        assert cache.get("missing") is None
+
+    def test_eviction_order(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)
+        assert cache.get("a") is None
+        assert cache.get("b") == 2
+        assert cache.get("c") == 3
+
+    def test_get_refreshes_recency(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")
+        cache.put("c", 3)  # evicts b, not a
+        assert cache.get("a") == 1
+        assert cache.get("b") is None
+
+    def test_put_refreshes_recency(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)
+        cache.put("c", 3)
+        assert cache.get("a") == 10
+        assert cache.get("b") is None
+
+    def test_hit_rate(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("zz")
+        assert cache.hits == 1
+        assert cache.misses == 1
+        assert cache.hit_rate == pytest.approx(0.5)
+
+    def test_hit_rate_unused(self):
+        assert LRUCache(1).hit_rate == 0.0
+
+    def test_clear(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.hits == 0
+        assert cache.get("a") is None
+
+    def test_contains_and_len(self):
+        cache = LRUCache(3)
+        cache.put("a", 1)
+        assert "a" in cache
+        assert "b" not in cache
+        assert len(cache) == 1
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValidationError):
+            LRUCache(0)

@@ -1,0 +1,136 @@
+"""Unit tests for the octopus CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture(scope="module")
+def dataset_dir(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("cli") / "dataset"
+    code = main(
+        [
+            "generate",
+            "--kind",
+            "citation",
+            "--out",
+            str(directory),
+            "--size",
+            "120",
+            "--seed",
+            "3",
+        ]
+    )
+    assert code == 0
+    return str(directory)
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_args(self):
+        arguments = build_parser().parse_args(
+            ["generate", "--out", "x", "--kind", "social"]
+        )
+        assert arguments.kind == "social"
+
+    def test_complete_requires_mode(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["complete", "dir"])
+
+
+class TestGenerate:
+    def test_generate_social(self, tmp_path, capsys):
+        out = tmp_path / "qq"
+        code = main(
+            ["generate", "--kind", "social", "--out", str(out), "--size", "60"]
+        )
+        assert code == 0
+        assert (out / "dataset.json").exists()
+        assert "qq-synthetic" in capsys.readouterr().out
+
+
+class TestCommands:
+    def test_influencers(self, dataset_dir, capsys):
+        code = main(
+            ["influencers", dataset_dir, "data mining", "-k", "3", "--fast"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "spread" in output
+        assert "  1. " in output or "1. " in output
+
+    def test_suggest_by_id(self, dataset_dir, capsys):
+        code = main(["suggest", dataset_dir, "0", "-k", "2", "--fast"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "keywords :" in output
+        assert "dominant topic" in output
+
+    def test_paths_with_json_export(self, dataset_dir, tmp_path, capsys):
+        payload_path = tmp_path / "tree.json"
+        code = main(
+            [
+                "paths",
+                dataset_dir,
+                "0",
+                "--threshold",
+                "0.05",
+                "--json",
+                str(payload_path),
+                "--fast",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(payload_path.read_text())
+        assert "nodes" in payload and "links" in payload
+
+    def test_paths_reverse(self, dataset_dir, capsys):
+        code = main(
+            ["paths", dataset_dir, "50", "--reverse", "--fast"]
+        )
+        assert code == 0
+        assert "influenced_by" in capsys.readouterr().out
+
+    def test_radar(self, dataset_dir, capsys):
+        code = main(["radar", dataset_dir, "em algorithm", "--fast"])
+        assert code == 0
+        assert "machine learning" in capsys.readouterr().out
+
+    def test_complete_keywords(self, dataset_dir, capsys):
+        code = main(
+            ["complete", dataset_dir, "--keywords", "data", "--fast"]
+        )
+        assert code == 0
+        assert "data mining" in capsys.readouterr().out
+
+    def test_complete_users(self, dataset_dir, capsys):
+        code = main(["complete", dataset_dir, "--users", "a", "--fast"])
+        assert code == 0
+        assert capsys.readouterr().out.strip()
+
+    def test_stats(self, dataset_dir, capsys):
+        code = main(["stats", dataset_dir, "--fast"])
+        assert code == 0
+        assert "graph.num_nodes" in capsys.readouterr().out
+
+
+class TestErrors:
+    def test_unknown_keyword_exit_code(self, dataset_dir, capsys):
+        code = main(
+            ["influencers", dataset_dir, "definitely not a keyword", "--fast"]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_user_exit_code(self, dataset_dir, capsys):
+        code = main(["suggest", dataset_dir, "Nobody Nowhere", "--fast"])
+        assert code == 2
+
+    def test_missing_dataset(self, tmp_path, capsys):
+        code = main(["stats", str(tmp_path / "nope"), "--fast"])
+        assert code == 2

@@ -1,0 +1,119 @@
+"""Unit tests for repro.datasets.citation."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.citation import (
+    RESEARCH_TOPICS,
+    CitationNetworkGenerator,
+    build_topic_model,
+)
+
+
+class TestBuildTopicModel:
+    def test_columns_normalised(self):
+        _vocab, model = build_topic_model(RESEARCH_TOPICS)
+        np.testing.assert_allclose(
+            model.word_given_topic.sum(axis=0), 1.0, atol=1e-9
+        )
+
+    def test_own_keywords_dominate(self):
+        vocab, model = build_topic_model(RESEARCH_TOPICS)
+        for topic, (_name, words) in enumerate(RESEARCH_TOPICS):
+            for word in words[:3]:
+                assert model.topic_profile_of_word(word).argmax() == topic
+
+    def test_vocabulary_frozen(self):
+        vocab, _model = build_topic_model(RESEARCH_TOPICS)
+        assert vocab.frozen
+
+    def test_all_words_have_positive_probability(self):
+        _vocab, model = build_topic_model(RESEARCH_TOPICS)
+        assert np.all(model.word_given_topic > 0)
+
+
+class TestGenerator:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return CitationNetworkGenerator(
+            num_researchers=150,
+            citations_per_paper=3,
+            papers_per_author=2,
+            seed=10,
+        ).generate()
+
+    def test_sizes(self, dataset):
+        assert dataset.graph.num_nodes == 150
+        assert len(dataset.items) == 150 * 2
+        assert dataset.num_topics == len(RESEARCH_TOPICS)
+
+    def test_graph_labelled_with_names(self, dataset):
+        assert dataset.graph.labels is not None
+        assert len(set(dataset.graph.labels)) == 150
+
+    def test_ground_truth_present(self, dataset):
+        assert dataset.true_topic_model is not None
+        assert dataset.true_edge_weights is not None
+        assert dataset.node_affinities.shape == (150, len(RESEARCH_TOPICS))
+
+    def test_items_reference_real_edges(self, dataset):
+        for item in dataset.items[:100]:
+            for event in item.events:
+                assert dataset.graph.has_edge(event.source, event.target)
+
+    def test_item_keywords_within_vocabulary(self, dataset):
+        vocab_size = len(dataset.vocabulary)
+        for item in dataset.items:
+            assert all(0 <= w < vocab_size for w in item.keywords)
+
+    def test_user_keywords_match_items(self, dataset):
+        assert set(dataset.user_keywords) <= set(range(150))
+        assert all(words for words in dataset.user_keywords.values())
+
+    def test_activation_rate_consistent_with_model(self, dataset):
+        """Observed activation frequency should match the planted
+        probabilities in aggregate (law of large numbers)."""
+        total_expected = 0.0
+        total_observed = 0
+        total_events = 0
+        weights = dataset.true_edge_weights.weights
+        graph = dataset.graph
+        for item in dataset.items:
+            if not item.events:
+                continue
+            # infer the item's planted topic as its keyword majority topic
+            gamma = dataset.true_topic_model.keyword_topic_posterior(
+                list(item.keywords)
+            )
+            topic = int(gamma.argmax())
+            for event in item.events:
+                edge = graph.edge_id(event.source, event.target)
+                total_expected += weights[edge, topic]
+                total_observed += int(event.activated)
+                total_events += 1
+        assert total_events > 0
+        expected_rate = total_expected / total_events
+        observed_rate = total_observed / total_events
+        assert observed_rate == pytest.approx(expected_rate, abs=0.05)
+
+    def test_deterministic(self):
+        make = lambda: CitationNetworkGenerator(
+            num_researchers=60, seed=5
+        ).generate()
+        a, b = make(), make()
+        assert list(a.graph.edges()) == list(b.graph.edges())
+        np.testing.assert_array_equal(
+            a.true_edge_weights.weights, b.true_edge_weights.weights
+        )
+        assert a.items[0].keywords == b.items[0].keywords
+
+    def test_summary_keys(self, dataset):
+        summary = dataset.summary()
+        assert summary["num_users"] == 150.0
+        assert summary["num_activations"] <= summary["num_exposures"]
+
+    def test_invalid_parameters(self):
+        with pytest.raises(Exception):
+            CitationNetworkGenerator(num_researchers=0)
+        with pytest.raises(Exception):
+            CitationNetworkGenerator(title_length=(5, 2))

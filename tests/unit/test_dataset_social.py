@@ -1,0 +1,63 @@
+"""Unit tests for repro.datasets.social."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.social import PRODUCT_TOPICS, SocialNetworkGenerator
+
+
+class TestGenerator:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return SocialNetworkGenerator(
+            num_users=120, friends_per_user=4, posts_per_user=2, seed=20
+        ).generate()
+
+    def test_sizes(self, dataset):
+        assert dataset.graph.num_nodes == 120
+        assert len(dataset.items) == 240
+        assert dataset.num_topics == len(PRODUCT_TOPICS)
+
+    def test_demo_keywords_present(self, dataset):
+        """The paper's QQ examples must be in the vocabulary."""
+        for keyword in ("game", "gum", "strawberry", "xylitol", "iphone x"):
+            assert keyword in dataset.vocabulary
+
+    def test_food_keywords_share_topic(self, dataset):
+        model = dataset.true_topic_model
+        topics = {
+            model.topic_profile_of_word(word).argmax()
+            for word in ("gum", "strawberry", "xylitol")
+        }
+        assert len(topics) == 1
+
+    def test_friendship_reciprocity(self, dataset):
+        reciprocal = 0
+        for _e, u, v in dataset.graph.edges():
+            if dataset.graph.has_edge(v, u):
+                reciprocal += 1
+        assert reciprocal / dataset.graph.num_edges > 0.4
+
+    def test_events_reference_real_edges(self, dataset):
+        for item in dataset.items[:80]:
+            for event in item.events:
+                assert dataset.graph.has_edge(event.source, event.target)
+
+    def test_ground_truth_shapes(self, dataset):
+        assert dataset.node_affinities.shape == (120, len(PRODUCT_TOPICS))
+        assert dataset.true_edge_weights.weights.shape == (
+            dataset.graph.num_edges,
+            len(PRODUCT_TOPICS),
+        )
+
+    def test_deterministic(self):
+        make = lambda: SocialNetworkGenerator(num_users=50, seed=3).generate()
+        a, b = make(), make()
+        assert list(a.graph.edges()) == list(b.graph.edges())
+        assert a.items[5].keywords == b.items[5].keywords
+
+    def test_invalid_parameters(self):
+        with pytest.raises(Exception):
+            SocialNetworkGenerator(num_users=0)
+        with pytest.raises(Exception):
+            SocialNetworkGenerator(keywords_per_post=(3, 1))

@@ -1,0 +1,199 @@
+"""Unit tests for repro.graph.digraph."""
+
+import numpy as np
+import pytest
+
+from repro.graph.digraph import GraphBuilder, SocialGraph
+from repro.utils.validation import ValidationError
+
+
+class TestFromEdges:
+    def test_basic_counts(self, diamond_graph):
+        assert diamond_graph.num_nodes == 4
+        assert diamond_graph.num_edges == 4
+
+    def test_empty_graph(self):
+        graph = SocialGraph.from_edges(3, [])
+        assert graph.num_nodes == 3
+        assert graph.num_edges == 0
+        assert list(graph.out_neighbors(0)) == []
+
+    def test_zero_nodes(self):
+        graph = SocialGraph.from_edges(0, [])
+        assert graph.num_nodes == 0
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValidationError, match="self-loop"):
+            SocialGraph.from_edges(2, [(0, 0)])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValidationError):
+            SocialGraph.from_edges(2, [(0, 2)])
+        with pytest.raises(ValidationError, match="non-negative"):
+            SocialGraph.from_edges(2, [(-1, 0)])
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValidationError, match="duplicate"):
+            SocialGraph.from_edges(2, [(0, 1), (0, 1)])
+
+    def test_allow_duplicates_flag(self):
+        graph = SocialGraph.from_edges(2, [(0, 1), (0, 1)], allow_duplicates=True)
+        assert graph.num_edges == 2
+
+    def test_rejects_label_mismatch(self):
+        with pytest.raises(ValidationError, match="labels"):
+            SocialGraph.from_edges(2, [], labels=["a"])
+
+
+class TestAdjacency:
+    def test_out_neighbors(self, diamond_graph):
+        assert sorted(diamond_graph.out_neighbors(0)) == [1, 2]
+        assert list(diamond_graph.out_neighbors(3)) == []
+
+    def test_in_neighbors(self, diamond_graph):
+        assert sorted(diamond_graph.in_neighbors(3)) == [1, 2]
+        assert list(diamond_graph.in_neighbors(0)) == []
+
+    def test_degrees(self, diamond_graph):
+        assert diamond_graph.out_degree(0) == 2
+        assert diamond_graph.in_degree(3) == 2
+        np.testing.assert_array_equal(diamond_graph.out_degree(), [2, 1, 1, 0])
+        np.testing.assert_array_equal(diamond_graph.in_degree(), [0, 1, 1, 2])
+
+    def test_edge_ids_are_csr_positions(self, diamond_graph):
+        for edge_id, source, target in diamond_graph.edges():
+            assert diamond_graph.edge_id(source, target) == edge_id
+            assert diamond_graph.edge_endpoints(edge_id) == (source, target)
+
+    def test_in_edge_ids_point_to_out_csr(self, diamond_graph):
+        for node in range(diamond_graph.num_nodes):
+            sources = diamond_graph.in_neighbors(node)
+            edge_ids = diamond_graph.in_edge_ids_of(node)
+            for source, edge_id in zip(sources, edge_ids):
+                assert diamond_graph.edge_endpoints(int(edge_id)) == (
+                    int(source),
+                    node,
+                )
+
+    def test_has_edge(self, line_graph):
+        assert line_graph.has_edge(0, 1)
+        assert not line_graph.has_edge(1, 0)
+        assert not line_graph.has_edge(0, 99)
+
+    def test_edge_id_missing_raises(self, line_graph):
+        with pytest.raises(ValidationError, match="does not exist"):
+            line_graph.edge_id(0, 3)
+
+    def test_edge_endpoints_out_of_range(self, line_graph):
+        with pytest.raises(ValidationError):
+            line_graph.edge_endpoints(99)
+
+    def test_edge_sources(self, diamond_graph):
+        sources = diamond_graph.edge_sources()
+        expected = [diamond_graph.edge_endpoints(e)[0] for e in range(4)]
+        np.testing.assert_array_equal(sources, expected)
+
+    def test_edges_iteration_order(self, line_graph):
+        listed = list(line_graph.edges())
+        assert listed == [(0, 0, 1), (1, 1, 2), (2, 2, 3)]
+
+    def test_arrays_are_read_only(self, line_graph):
+        with pytest.raises(ValueError):
+            line_graph.out_targets[0] = 5
+
+
+class TestLabels:
+    def test_label_roundtrip(self, labelled_graph):
+        assert labelled_graph.label_of(0) == "alice"
+        assert labelled_graph.node_by_label("bob") == 1
+
+    def test_unlabelled_fallback(self, line_graph):
+        assert line_graph.labels is None
+        assert line_graph.label_of(2) == "node-2"
+
+    def test_node_by_label_unlabelled_raises(self, line_graph):
+        with pytest.raises(ValidationError, match="no labels"):
+            line_graph.node_by_label("x")
+
+    def test_unknown_label_raises(self, labelled_graph):
+        with pytest.raises(ValidationError, match="unknown label"):
+            labelled_graph.node_by_label("zoe")
+
+    def test_duplicate_labels_rejected_on_lookup(self):
+        graph = SocialGraph.from_edges(2, [(0, 1)], labels=["same", "same"])
+        with pytest.raises(ValidationError, match="not unique"):
+            graph.node_by_label("same")
+
+
+class TestReversed:
+    def test_reversed_topology(self, diamond_graph):
+        reverse = diamond_graph.reversed()
+        assert reverse.has_edge(1, 0)
+        assert reverse.has_edge(3, 1)
+        assert not reverse.has_edge(0, 1)
+        assert reverse.num_edges == diamond_graph.num_edges
+
+    def test_reversed_preserves_labels(self, labelled_graph):
+        assert labelled_graph.reversed().label_of(0) == "alice"
+
+
+class TestGraphBuilder:
+    def test_incremental_build(self):
+        builder = GraphBuilder()
+        a = builder.add_node("a")
+        b = builder.add_node("b")
+        builder.add_edge(a, b)
+        graph = builder.build()
+        assert graph.num_nodes == 2
+        assert graph.has_edge(a, b)
+        assert graph.label_of(a) == "a"
+
+    def test_add_nodes_bulk(self):
+        builder = GraphBuilder()
+        ids = builder.add_nodes(5)
+        assert ids == [0, 1, 2, 3, 4]
+        assert builder.num_nodes == 5
+
+    def test_rejects_unknown_endpoint(self):
+        builder = GraphBuilder()
+        builder.add_node()
+        with pytest.raises(ValidationError, match="not a known node"):
+            builder.add_edge(0, 1)
+
+    def test_rejects_duplicate_edge(self):
+        builder = GraphBuilder()
+        builder.add_nodes(2)
+        builder.add_edge(0, 1)
+        with pytest.raises(ValidationError, match="duplicate"):
+            builder.add_edge(0, 1)
+
+    def test_rejects_self_loop(self):
+        builder = GraphBuilder()
+        builder.add_node()
+        with pytest.raises(ValidationError, match="self-loop"):
+            builder.add_edge(0, 0)
+
+    def test_edge_ids_map_insertion_to_csr(self):
+        builder = GraphBuilder()
+        builder.add_nodes(3)
+        first = builder.add_edge(2, 0)  # will sort after source-0 edges
+        second = builder.add_edge(0, 1)
+        graph = builder.build()
+        assert builder.edge_ids is not None
+        assert graph.edge_endpoints(int(builder.edge_ids[first])) == (2, 0)
+        assert graph.edge_endpoints(int(builder.edge_ids[second])) == (0, 1)
+
+    def test_partial_labels_filled(self):
+        builder = GraphBuilder()
+        builder.add_node("named")
+        builder.add_node()
+        graph = builder.build()
+        assert graph.label_of(0) == "named"
+        assert graph.label_of(1) == "node-1"
+
+    def test_has_edge_before_build(self):
+        builder = GraphBuilder()
+        builder.add_nodes(2)
+        builder.add_edge(0, 1)
+        assert builder.has_edge(0, 1)
+        assert not builder.has_edge(1, 0)

@@ -1,0 +1,130 @@
+"""Unit tests for repro.core.dynamic (model refresh under streaming)."""
+
+import numpy as np
+import pytest
+
+from repro.core.dynamic import DynamicInfluenceEngine
+from repro.topics.edges import TopicEdgeWeights
+from repro.utils.validation import ValidationError
+
+
+@pytest.fixture(scope="module")
+def world():
+    from repro.graph.generators import preferential_attachment_digraph
+
+    graph = preferential_attachment_digraph(100, 3, seed=61)
+    weights = TopicEdgeWeights.weighted_cascade(graph, 4, seed=62)
+    return graph, weights
+
+
+GAMMA = np.array([0.4, 0.3, 0.2, 0.1])
+
+
+class TestRefresh:
+    def test_lower_weights_absorbed_in_place(self, world):
+        graph, weights = world
+        engine = DynamicInfluenceEngine(weights, num_sketches=120, seed=63)
+        index_before = engine.index
+        lowered = TopicEdgeWeights(graph, weights.weights * 0.5)
+        assert engine.refresh(lowered) is True
+        assert engine.index is index_before  # sketches reused
+        assert engine.refreshes_absorbed == 1
+        assert engine.refreshes_rebuilt == 0
+
+    def test_absorbed_refresh_equals_fresh_build_estimates(self, world):
+        """The absorbed index must answer exactly like an index that was
+        built against the new weights with the *old* weights' envelope —
+        i.e. the coupling argument, tested behaviourally: estimates under
+        the halved model must be ≤ estimates under the original (shared
+        thresholds) and match MC within noise."""
+        graph, weights = world
+        engine = DynamicInfluenceEngine(weights, num_sketches=400, seed=64)
+        before = [
+            engine.estimate_user_spread(user, GAMMA) for user in range(0, 100, 11)
+        ]
+        lowered = TopicEdgeWeights(graph, weights.weights * 0.5)
+        engine.refresh(lowered)
+        after = [
+            engine.estimate_user_spread(user, GAMMA) for user in range(0, 100, 11)
+        ]
+        assert all(b >= a - 1e-9 for b, a in zip(before, after))
+
+        from repro.propagation.ic import IndependentCascade
+
+        probabilities = lowered.edge_probabilities(GAMMA)
+        cascade = IndependentCascade(graph, probabilities)
+        user = int(np.argmax(graph.out_degree()))
+        reference = cascade.estimate_spread([user], num_samples=1200, seed=0)
+        estimate = engine.estimate_user_spread(user, GAMMA)
+        assert estimate == pytest.approx(reference, rel=0.35, abs=2.0)
+
+    def test_raised_weights_force_rebuild(self, world):
+        graph, weights = world
+        engine = DynamicInfluenceEngine(weights, num_sketches=120, seed=65)
+        index_before = engine.index
+        raised = TopicEdgeWeights(graph, np.clip(weights.weights * 1.5, 0, 1))
+        assert engine.refresh(raised) is False
+        assert engine.index is not index_before
+        assert engine.refreshes_rebuilt == 1
+
+    def test_rebuild_updates_pruning_envelope(self, world):
+        graph, weights = world
+        engine = DynamicInfluenceEngine(weights, num_sketches=120, seed=66)
+        raised = TopicEdgeWeights(graph, np.clip(weights.weights * 1.5, 0, 1))
+        engine.refresh(raised)
+        # A subsequent lower refresh is absorbed against the *new* envelope.
+        assert engine.refresh(weights) is True
+
+    def test_foreign_graph_rejected(self, world):
+        _graph, weights = world
+        from repro.graph.digraph import SocialGraph
+
+        other = SocialGraph.from_edges(2, [(0, 1)])
+        foreign = TopicEdgeWeights(other, np.full((1, 4), 0.1))
+        engine = DynamicInfluenceEngine(weights, num_sketches=50, seed=67)
+        with pytest.raises(ValidationError, match="same graph"):
+            engine.refresh(foreign)
+
+    def test_topic_count_change_rejected(self, world):
+        graph, weights = world
+        engine = DynamicInfluenceEngine(weights, num_sketches=50, seed=68)
+        different = TopicEdgeWeights(
+            graph, np.full((graph.num_edges, 2), 0.05)
+        )
+        with pytest.raises(ValidationError, match="topic count"):
+            engine.refresh(different)
+
+    def test_statistics(self, world):
+        graph, weights = world
+        engine = DynamicInfluenceEngine(weights, num_sketches=50, seed=69)
+        engine.refresh(TopicEdgeWeights(graph, weights.weights * 0.9))
+        stats = engine.statistics()
+        assert stats["version"] == 1.0
+        assert stats["refreshes_absorbed"] == 1.0
+        assert "index.num_sketches" in stats
+
+
+class TestStreamingScenario:
+    def test_em_refit_stream(self, citation_dataset):
+        """Simulate periodic EM re-fits feeding the engine: each refit's
+        weights refresh the engine; spreads stay finite and queries keep
+        answering."""
+        from repro.topics.em import EMConfig, TICLearner
+
+        engine = DynamicInfluenceEngine(
+            citation_dataset.true_edge_weights, num_sketches=80, seed=70
+        )
+        gamma = np.full(8, 1.0 / 8)
+        chunks = np.array_split(np.arange(len(citation_dataset.items)), 2)
+        for chunk in chunks:
+            items = [citation_dataset.items[i] for i in chunk]
+            learner = TICLearner(
+                citation_dataset.graph,
+                citation_dataset.vocabulary,
+                EMConfig(num_topics=8, max_iterations=3, seed=0),
+            )
+            fitted = learner.fit(items)
+            engine.refresh(fitted.edge_weights)
+            spread = engine.estimate_user_spread(0, gamma)
+            assert 0.0 <= spread <= citation_dataset.graph.num_nodes
+        assert engine.version == 2

@@ -1,0 +1,124 @@
+"""Unit tests for repro.topics.edges."""
+
+import numpy as np
+import pytest
+
+from repro.topics.edges import TopicEdgeWeights
+from repro.utils.validation import ValidationError
+
+
+class TestConstruction:
+    def test_shape_validation(self, diamond_graph):
+        with pytest.raises(ValidationError):
+            TopicEdgeWeights(diamond_graph, np.zeros((3, 2)))
+
+    def test_range_validation(self, diamond_graph):
+        weights = np.zeros((4, 2))
+        weights[0, 0] = 1.5
+        with pytest.raises(ValidationError, match="\\[0, 1\\]"):
+            TopicEdgeWeights(diamond_graph, weights)
+
+    def test_weights_read_only(self, diamond_graph):
+        weights = TopicEdgeWeights(diamond_graph, np.full((4, 2), 0.5))
+        with pytest.raises(ValueError):
+            weights.weights[0, 0] = 0.9
+
+
+class TestCollapse:
+    def test_edge_probabilities_matvec(self, diamond_graph):
+        matrix = np.array(
+            [[0.2, 0.8], [0.4, 0.0], [0.0, 0.6], [1.0, 1.0]]
+        )
+        weights = TopicEdgeWeights(diamond_graph, matrix)
+        gamma = np.array([0.25, 0.75])
+        np.testing.assert_allclose(
+            weights.edge_probabilities(gamma), matrix @ gamma
+        )
+
+    def test_single_edge_probability(self, diamond_graph):
+        matrix = np.array([[0.2, 0.8], [0.4, 0.0], [0.0, 0.6], [1.0, 1.0]])
+        weights = TopicEdgeWeights(diamond_graph, matrix)
+        gamma = np.array([0.5, 0.5])
+        assert weights.edge_probability(0, gamma) == pytest.approx(0.5)
+
+    def test_gamma_dimension_checked(self, diamond_graph):
+        weights = TopicEdgeWeights(diamond_graph, np.full((4, 2), 0.1))
+        with pytest.raises(ValidationError):
+            weights.edge_probabilities(np.array([1.0]))
+
+    def test_gamma_simplex_checked(self, diamond_graph):
+        weights = TopicEdgeWeights(diamond_graph, np.full((4, 2), 0.1))
+        with pytest.raises(ValidationError):
+            weights.edge_probabilities(np.array([0.9, 0.9]))
+
+    def test_one_hot_selects_column(self, diamond_graph):
+        matrix = np.array([[0.2, 0.8], [0.4, 0.0], [0.0, 0.6], [1.0, 1.0]])
+        weights = TopicEdgeWeights(diamond_graph, matrix)
+        np.testing.assert_allclose(
+            weights.edge_probabilities(np.array([1.0, 0.0])), matrix[:, 0]
+        )
+
+    def test_topic_column(self, diamond_graph):
+        matrix = np.array([[0.2, 0.8], [0.4, 0.0], [0.0, 0.6], [1.0, 1.0]])
+        weights = TopicEdgeWeights(diamond_graph, matrix)
+        np.testing.assert_allclose(weights.topic_column(1), matrix[:, 1])
+        with pytest.raises(ValidationError):
+            weights.topic_column(5)
+
+    def test_max_over_topics_dominates_all_gammas(self, diamond_graph):
+        matrix = np.array([[0.2, 0.8], [0.4, 0.0], [0.0, 0.6], [1.0, 1.0]])
+        weights = TopicEdgeWeights(diamond_graph, matrix)
+        envelope = weights.max_over_topics()
+        for gamma in ([1.0, 0.0], [0.0, 1.0], [0.3, 0.7]):
+            assert np.all(
+                weights.edge_probabilities(np.array(gamma)) <= envelope + 1e-12
+            )
+
+
+class TestConstructors:
+    def test_random_trivalency_values(self, medium_graph):
+        weights = TopicEdgeWeights.random_trivalency(medium_graph, 3, seed=0)
+        allowed = {0.1, 0.01, 0.001}
+        assert set(np.unique(weights.weights).tolist()) <= allowed
+        assert weights.num_topics == 3
+
+    def test_weighted_cascade_mean_preserved(self, medium_graph):
+        weights = TopicEdgeWeights.weighted_cascade(medium_graph, 4, seed=1)
+        # Average across topics should approximate the 1/in_degree base.
+        in_degree = medium_graph.in_degree().astype(float)
+        base = np.array(
+            [
+                1.0 / max(in_degree[v], 1.0)
+                for _e, _u, v in medium_graph.edges()
+            ]
+        )
+        mean_across_topics = weights.weights.mean(axis=1)
+        # Clipping at 1 only reduces values; allow generous tolerance.
+        assert mean_across_topics.mean() == pytest.approx(base.mean(), rel=0.2)
+
+    def test_from_node_affinities_requires_shared_interest(self, line_graph):
+        affinities = np.array(
+            [
+                [1.0, 0.0],
+                [1.0, 0.0],
+                [0.0, 1.0],
+                [0.0, 1.0],
+            ]
+        )
+        weights = TopicEdgeWeights.from_node_affinities(
+            line_graph, affinities, base_probability=0.5, noise=0.0
+        )
+        # edge 0: both endpoints topic-0 → positive on topic 0 only
+        assert weights.weights[0, 0] == pytest.approx(0.5)
+        assert weights.weights[0, 1] == 0.0
+        # edge 1: endpoints disagree → zero on both topics
+        np.testing.assert_allclose(weights.weights[1], [0.0, 0.0])
+
+    def test_from_node_affinities_shape_checked(self, line_graph):
+        with pytest.raises(ValidationError):
+            TopicEdgeWeights.from_node_affinities(line_graph, np.ones((2, 2)))
+
+    def test_deterministic_given_seed(self, medium_graph):
+        a = TopicEdgeWeights.weighted_cascade(medium_graph, 3, seed=7)
+        b = TopicEdgeWeights.weighted_cascade(medium_graph, 3, seed=7)
+        np.testing.assert_array_equal(a.weights, b.weights)

@@ -1,0 +1,145 @@
+"""Unit tests for repro.topics.em (the TIC EM learner)."""
+
+import numpy as np
+import pytest
+
+from repro.graph.digraph import SocialGraph
+from repro.topics.em import EMConfig, ItemObservation, PropagationEvent, TICLearner
+from repro.topics.vocabulary import Vocabulary
+from repro.utils.validation import ValidationError
+
+
+def _make_corpus(seed: int = 0, num_items: int = 120):
+    """Two-topic planted corpus on a 4-node graph.
+
+    Topic 0 uses words {0,1} and fires edge (0,1) strongly;
+    topic 1 uses words {2,3} and fires edge (2,3) strongly.
+    """
+    rng = np.random.default_rng(seed)
+    graph = SocialGraph.from_edges(4, [(0, 1), (2, 3)])
+    vocab = Vocabulary(["w0", "w1", "w2", "w3"])
+    items = []
+    for index in range(num_items):
+        topic = index % 2
+        words = rng.choice([0, 1] if topic == 0 else [2, 3], size=4)
+        if topic == 0:
+            strong, weak = (0, 1), (2, 3)
+        else:
+            strong, weak = (2, 3), (0, 1)
+        events = [
+            PropagationEvent(*strong, bool(rng.random() < 0.8)),
+            PropagationEvent(*weak, bool(rng.random() < 0.05)),
+        ]
+        items.append(ItemObservation.create(list(words), events))
+    return graph, vocab, items
+
+
+class TestEMConfig:
+    def test_defaults_valid(self):
+        EMConfig()
+
+    def test_invalid_values(self):
+        with pytest.raises(ValidationError):
+            EMConfig(num_topics=0)
+        with pytest.raises(ValidationError):
+            EMConfig(max_iterations=0)
+
+
+class TestFitting:
+    def test_log_likelihood_non_decreasing(self):
+        graph, vocab, items = _make_corpus()
+        learner = TICLearner(graph, vocab, EMConfig(num_topics=2, seed=0))
+        result = learner.fit(items)
+        lls = result.log_likelihoods
+        assert len(lls) >= 2
+        for earlier, later in zip(lls, lls[1:]):
+            assert later >= earlier - 1e-6
+
+    def test_recovers_word_topic_structure(self):
+        graph, vocab, items = _make_corpus()
+        learner = TICLearner(graph, vocab, EMConfig(num_topics=2, seed=0))
+        result = learner.fit(items)
+        matrix = result.topic_model.word_given_topic
+        # Words 0,1 should share a dominant topic; words 2,3 the other.
+        topic_a = matrix[0].argmax()
+        topic_b = matrix[2].argmax()
+        assert topic_a != topic_b
+        assert matrix[1].argmax() == topic_a
+        assert matrix[3].argmax() == topic_b
+
+    def test_recovers_edge_probabilities(self):
+        graph, vocab, items = _make_corpus(num_items=300)
+        learner = TICLearner(graph, vocab, EMConfig(num_topics=2, seed=0))
+        result = learner.fit(items)
+        weights = result.edge_weights.weights
+        matrix = result.topic_model.word_given_topic
+        topic_of_w0 = int(matrix[0].argmax())
+        topic_of_w2 = 1 - topic_of_w0
+        edge_01 = graph.edge_id(0, 1)
+        edge_23 = graph.edge_id(2, 3)
+        assert weights[edge_01, topic_of_w0] == pytest.approx(0.8, abs=0.15)
+        assert weights[edge_23, topic_of_w2] == pytest.approx(0.8, abs=0.15)
+        # The "wrong" topics should have learned much weaker probabilities.
+        assert weights[edge_01, topic_of_w2] < 0.3
+        assert weights[edge_23, topic_of_w0] < 0.3
+
+    def test_responsibilities_separate_items(self):
+        graph, vocab, items = _make_corpus()
+        learner = TICLearner(graph, vocab, EMConfig(num_topics=2, seed=0))
+        result = learner.fit(items)
+        assert result.responsibilities is not None
+        even = result.responsibilities[0].argmax()
+        odd = result.responsibilities[1].argmax()
+        assert even != odd
+        # all even-index items agree, all odd-index items agree
+        assert all(r.argmax() == even for r in result.responsibilities[::2])
+        assert all(r.argmax() == odd for r in result.responsibilities[1::2])
+
+    def test_unseen_edges_get_prior(self):
+        graph = SocialGraph.from_edges(3, [(0, 1), (1, 2)])
+        vocab = Vocabulary(["a"])
+        items = [
+            ItemObservation.create([0], [PropagationEvent(0, 1, True)])
+            for _ in range(10)
+        ]
+        config = EMConfig(num_topics=2, edge_prior=0.07, seed=0)
+        result = TICLearner(graph, vocab, config).fit(items)
+        unseen = graph.edge_id(1, 2)
+        np.testing.assert_allclose(result.edge_weights.weights[unseen], 0.07)
+
+    def test_deterministic_given_seed(self):
+        graph, vocab, items = _make_corpus()
+        fit = lambda: TICLearner(
+            graph, vocab, EMConfig(num_topics=2, seed=5)
+        ).fit(items)
+        a, b = fit(), fit()
+        np.testing.assert_array_equal(
+            a.topic_model.word_given_topic, b.topic_model.word_given_topic
+        )
+
+
+class TestValidation:
+    def test_empty_corpus_rejected(self):
+        graph, vocab, _items = _make_corpus()
+        with pytest.raises(ValidationError, match="empty"):
+            TICLearner(graph, vocab, EMConfig(num_topics=2)).fit([])
+
+    def test_item_without_keywords_rejected(self):
+        graph, vocab, _items = _make_corpus()
+        bad = [ItemObservation.create([], [])]
+        with pytest.raises(ValidationError, match="no keywords"):
+            TICLearner(graph, vocab, EMConfig(num_topics=2)).fit(bad)
+
+    def test_event_on_missing_edge_rejected(self):
+        graph, vocab, _items = _make_corpus()
+        bad = [
+            ItemObservation.create([0], [PropagationEvent(1, 0, True)])
+        ]
+        with pytest.raises(ValidationError, match="event"):
+            TICLearner(graph, vocab, EMConfig(num_topics=2)).fit(bad)
+
+    def test_word_id_out_of_vocabulary_rejected(self):
+        graph, vocab, _items = _make_corpus()
+        bad = [ItemObservation.create([99], [])]
+        with pytest.raises(ValidationError, match="vocabulary"):
+            TICLearner(graph, vocab, EMConfig(num_topics=2)).fit(bad)

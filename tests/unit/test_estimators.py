@@ -1,0 +1,55 @@
+"""Unit tests for repro.propagation.estimators."""
+
+import numpy as np
+import pytest
+
+from repro.propagation.estimators import (
+    MonteCarloSpreadEstimator,
+    RRSetSpreadEstimator,
+)
+from repro.propagation.rrsets import RRSetCollection
+
+
+class TestMonteCarloEstimator:
+    def test_matches_closed_form(self, line_graph):
+        p = 0.5
+        estimator = MonteCarloSpreadEstimator(
+            line_graph, np.full(3, p), num_samples=4000, seed=0
+        )
+        exact = 1 + p + p**2 + p**3
+        assert estimator.spread([0]) == pytest.approx(exact, rel=0.05)
+
+    def test_invalid_samples(self, line_graph):
+        with pytest.raises(Exception):
+            MonteCarloSpreadEstimator(line_graph, np.ones(3), num_samples=0)
+
+
+class TestRRSetEstimator:
+    def test_deterministic_repeated_evaluation(
+        self, medium_graph, medium_probabilities
+    ):
+        estimator = RRSetSpreadEstimator(
+            medium_graph, medium_probabilities, num_sets=500, seed=0
+        )
+        assert estimator.spread([0, 1]) == estimator.spread([0, 1])
+
+    def test_accepts_existing_collection(self, line_graph):
+        collection = RRSetCollection(line_graph, [{0}, {1}])
+        estimator = RRSetSpreadEstimator(
+            line_graph, np.ones(3), collection=collection
+        )
+        assert estimator.spread([0]) == pytest.approx(2.0)
+
+    def test_agreement_between_estimators(
+        self, medium_graph, medium_probabilities
+    ):
+        mc = MonteCarloSpreadEstimator(
+            medium_graph, medium_probabilities, num_samples=1500, seed=1
+        )
+        ris = RRSetSpreadEstimator(
+            medium_graph, medium_probabilities, num_sets=6000, seed=2
+        )
+        seeds = [0, 3, 7]
+        assert mc.spread(seeds) == pytest.approx(
+            ris.spread(seeds), rel=0.15, abs=1.5
+        )

@@ -1,0 +1,111 @@
+"""Unit tests for repro.graph.generators."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import (
+    citation_dag,
+    erdos_renyi_digraph,
+    preferential_attachment_digraph,
+    small_world_digraph,
+)
+from repro.utils.validation import ValidationError
+
+
+class TestErdosRenyi:
+    def test_edge_count_near_expectation(self):
+        graph = erdos_renyi_digraph(200, 0.05, seed=0)
+        expected = 200 * 199 * 0.05
+        assert 0.6 * expected < graph.num_edges < 1.4 * expected
+
+    def test_no_self_loops(self):
+        graph = erdos_renyi_digraph(50, 0.2, seed=1)
+        for _eid, u, v in graph.edges():
+            assert u != v
+
+    def test_zero_probability(self):
+        assert erdos_renyi_digraph(20, 0.0, seed=2).num_edges == 0
+
+    def test_deterministic(self):
+        a = erdos_renyi_digraph(30, 0.1, seed=3)
+        b = erdos_renyi_digraph(30, 0.1, seed=3)
+        assert list(a.edges()) == list(b.edges())
+
+    def test_single_node(self):
+        graph = erdos_renyi_digraph(1, 0.5, seed=4)
+        assert graph.num_edges == 0
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValidationError):
+            erdos_renyi_digraph(10, 1.5)
+
+
+class TestPreferentialAttachment:
+    def test_edge_count(self):
+        graph = preferential_attachment_digraph(100, 3, seed=0)
+        # node t adds min(3, t) edges
+        assert graph.num_edges == 1 + 2 + 3 * 97
+
+    def test_power_law_ish_in_degrees(self):
+        graph = preferential_attachment_digraph(500, 3, seed=1)
+        degrees = np.sort(graph.in_degree())[::-1]
+        # hubs exist: the max in-degree far exceeds the mean.
+        assert degrees[0] > 5 * degrees.mean()
+
+    def test_edges_point_backwards(self):
+        graph = preferential_attachment_digraph(50, 2, seed=2)
+        for _eid, u, v in graph.edges():
+            assert v < u
+
+    def test_deterministic(self):
+        a = preferential_attachment_digraph(40, 2, seed=9)
+        b = preferential_attachment_digraph(40, 2, seed=9)
+        assert list(a.edges()) == list(b.edges())
+
+
+class TestSmallWorld:
+    def test_reciprocity_increases_edges(self):
+        low = small_world_digraph(100, 4, 0.1, reciprocity=0.0, seed=0)
+        high = small_world_digraph(100, 4, 0.1, reciprocity=1.0, seed=0)
+        assert high.num_edges > low.num_edges
+
+    def test_full_reciprocity_symmetric(self):
+        graph = small_world_digraph(60, 3, 0.05, reciprocity=1.0, seed=1)
+        for _eid, u, v in graph.edges():
+            assert graph.has_edge(v, u)
+
+    def test_rejects_neighbors_too_large(self):
+        with pytest.raises(ValidationError):
+            small_world_digraph(5, 5, 0.1)
+
+    def test_no_rewire_is_ring(self):
+        graph = small_world_digraph(10, 1, 0.0, reciprocity=0.0, seed=2)
+        for node in range(10):
+            assert graph.has_edge(node, (node + 1) % 10)
+
+
+class TestCitationDag:
+    def test_is_dag_by_construction(self):
+        graph = citation_dag(80, 4, seed=0)
+        for _eid, u, v in graph.edges():
+            assert u < v  # influence flows from earlier to later papers
+
+    def test_early_nodes_accumulate_influence(self):
+        graph = citation_dag(400, 5, seed=1)
+        out_degrees = graph.out_degree()
+        early = out_degrees[:40].mean()
+        late = out_degrees[-40:].mean()
+        assert early > late
+
+    def test_edge_count(self):
+        graph = citation_dag(100, 3, seed=2)
+        assert graph.num_edges == 1 + 2 + 3 * 97
+
+    def test_deterministic(self):
+        a = citation_dag(30, 3, seed=5)
+        b = citation_dag(30, 3, seed=5)
+        assert list(a.edges()) == list(b.edges())
+
+    def test_invalid_recency(self):
+        with pytest.raises(ValidationError):
+            citation_dag(10, 2, recency_bias=2.0)

@@ -1,0 +1,61 @@
+"""Unit tests for repro.graph.io."""
+
+import pytest
+
+from repro.graph.digraph import SocialGraph
+from repro.graph.io import read_edge_list, write_edge_list
+from repro.utils.validation import ValidationError
+
+
+class TestRoundTrip:
+    def test_unlabelled(self, tmp_path, diamond_graph):
+        path = tmp_path / "g.tsv"
+        write_edge_list(diamond_graph, path)
+        loaded = read_edge_list(path)
+        assert loaded.num_nodes == diamond_graph.num_nodes
+        assert list(loaded.edges()) == list(diamond_graph.edges())
+        assert loaded.labels is None
+
+    def test_labelled(self, tmp_path, labelled_graph):
+        path = tmp_path / "g.tsv"
+        write_edge_list(labelled_graph, path)
+        loaded = read_edge_list(path)
+        assert loaded.labels == labelled_graph.labels
+
+    def test_isolated_nodes_preserved(self, tmp_path):
+        graph = SocialGraph.from_edges(5, [(0, 1)])
+        path = tmp_path / "g.tsv"
+        write_edge_list(graph, path)
+        assert read_edge_list(path).num_nodes == 5
+
+    def test_empty_graph(self, tmp_path):
+        graph = SocialGraph.from_edges(2, [])
+        path = tmp_path / "g.tsv"
+        write_edge_list(graph, path)
+        loaded = read_edge_list(path)
+        assert loaded.num_nodes == 2
+        assert loaded.num_edges == 0
+
+
+class TestErrors:
+    def test_missing_header(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("0\t1\n")
+        with pytest.raises(ValidationError, match="nodes"):
+            read_edge_list(path)
+
+    def test_malformed_line(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("# nodes 2\n0 1 2\n")
+        with pytest.raises(ValidationError, match="expected"):
+            read_edge_list(path)
+
+    def test_label_with_tab_rejected_on_write(self, tmp_path):
+        graph = SocialGraph.from_edges(2, [(0, 1)], labels=["a\tb", "c"])
+        with pytest.raises(ValidationError, match="tab"):
+            write_edge_list(graph, tmp_path / "g.tsv")
+
+    def test_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "g.tsv"
+        path.write_text("# nodes 2\n\n0\t1\n\n")
+        assert read_edge_list(path).num_edges == 1

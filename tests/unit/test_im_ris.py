@@ -1,0 +1,67 @@
+"""Unit tests for repro.im.ris."""
+
+import numpy as np
+import pytest
+
+from repro.im.ris import recommended_num_sets, ris_im
+from repro.propagation.rrsets import RRSetCollection
+from repro.utils.validation import ValidationError
+
+
+class TestRecommendedNumSets:
+    def test_positive(self):
+        assert recommended_num_sets(1000, 10) > 0
+
+    def test_grows_with_n(self):
+        assert recommended_num_sets(10_000, 10) > recommended_num_sets(100, 10)
+
+    def test_shrinks_with_epsilon(self):
+        tight = recommended_num_sets(1000, 10, epsilon=0.1, max_sets=10**9)
+        loose = recommended_num_sets(1000, 10, epsilon=0.5, max_sets=10**9)
+        assert tight > loose
+
+    def test_cap_applies(self):
+        assert recommended_num_sets(10**6, 50, epsilon=0.05, max_sets=1234) == 1234
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValidationError):
+            recommended_num_sets(100, 5, epsilon=0.0)
+
+    def test_invalid_delta(self):
+        with pytest.raises(ValidationError):
+            recommended_num_sets(100, 5, delta=1.0)
+
+
+class TestRisIM:
+    def test_hub_selected(self, star_graph):
+        result = ris_im(star_graph, np.ones(5), 1, num_sets=200, seed=0)
+        assert result.seeds == [0]
+
+    def test_spread_reasonable(self, medium_graph, medium_probabilities):
+        result = ris_im(
+            medium_graph, medium_probabilities, 5, num_sets=4000, seed=1
+        )
+        assert 5 <= result.spread <= medium_graph.num_nodes
+
+    def test_reuses_collection(self, star_graph):
+        collection = RRSetCollection.sample(star_graph, np.ones(5), 50, seed=0)
+        result = ris_im(star_graph, np.ones(5), 1, collection=collection)
+        assert result.evaluations == 50
+        assert result.seeds == [0]
+
+    def test_statistics_populated(self, star_graph):
+        result = ris_im(star_graph, np.ones(5), 2, num_sets=100, seed=0)
+        assert result.statistics["num_rr_sets"] == 100.0
+
+    def test_deterministic_given_seed(self, medium_graph, medium_probabilities):
+        a = ris_im(medium_graph, medium_probabilities, 3, num_sets=800, seed=5)
+        b = ris_im(medium_graph, medium_probabilities, 3, num_sets=800, seed=5)
+        assert a.seeds == b.seeds
+
+    def test_invalid_k(self, star_graph):
+        with pytest.raises(ValidationError):
+            ris_im(star_graph, np.ones(5), 0, num_sets=10)
+
+    def test_default_num_sets_uses_recommendation(self, line_graph):
+        result = ris_im(line_graph, np.ones(3), 1, seed=0, epsilon=0.5)
+        assert result.statistics["num_rr_sets"] > 0

@@ -1,0 +1,147 @@
+"""Unit tests for repro.core.influencer_index."""
+
+import numpy as np
+import pytest
+
+from repro.core.influencer_index import InfluencerIndex
+from repro.propagation.ic import IndependentCascade
+from repro.topics.edges import TopicEdgeWeights
+from repro.utils.validation import ValidationError
+
+
+@pytest.fixture(scope="module")
+def setup():
+    from repro.graph.generators import preferential_attachment_digraph
+
+    graph = preferential_attachment_digraph(120, 3, seed=31)
+    weights = TopicEdgeWeights.weighted_cascade(graph, 4, seed=32)
+    index = InfluencerIndex(weights, num_sketches=400, seed=33)
+    return graph, weights, index
+
+
+GAMMA = np.array([0.5, 0.3, 0.1, 0.1])
+
+
+class TestConstruction:
+    def test_sketch_count(self, setup):
+        _graph, _weights, index = setup
+        assert len(index.sketches) == 400
+
+    def test_sketches_complete_with_large_chunk(self, setup):
+        _graph, _weights, index = setup
+        assert all(sketch.complete for sketch in index.sketches)
+
+    def test_lazy_pruning_drops_impossible_edges(self, setup):
+        _graph, weights, index = setup
+        stats = index.statistics()
+        assert stats["edges_pruned_permanently"] > 0
+
+    def test_edges_within_envelope(self, setup):
+        _graph, weights, index = setup
+        envelope = weights.max_over_topics()
+        for sketch in index.sketches[:20]:
+            for edge_id, theta in zip(sketch.edge_ids, sketch.edge_thresholds):
+                assert theta <= envelope[edge_id]
+
+    def test_membership_index_consistent(self, setup):
+        _graph, _weights, index = setup
+        for sketch_index, sketch in enumerate(index.sketches[:50]):
+            for node in sketch.nodes:
+                assert sketch_index in index.sketches_containing(node)
+
+    def test_invalid_sketch_count(self, setup):
+        _graph, weights, _index = setup
+        with pytest.raises(ValidationError):
+            InfluencerIndex(weights, num_sketches=0)
+
+
+class TestEstimates:
+    def test_matches_monte_carlo_single_user(self, setup):
+        graph, weights, index = setup
+        probabilities = weights.edge_probabilities(GAMMA)
+        cascade = IndependentCascade(graph, probabilities)
+        # Pick a high-influence user for good signal-to-noise.
+        user = int(np.argmax(graph.out_degree()))
+        mc = cascade.estimate_spread([user], num_samples=1500, seed=0)
+        indexed = index.estimate_user_spread(user, GAMMA)
+        assert indexed == pytest.approx(mc, rel=0.3, abs=2.5)
+
+    def test_seed_set_estimate_at_least_single(self, setup):
+        _graph, _weights, index = setup
+        single = index.estimate_user_spread(0, GAMMA)
+        multiple = index.estimate_seed_set_spread([0, 1, 2], GAMMA)
+        assert multiple >= single - 1e-9
+
+    def test_many_gammas_consistent_with_single(self, setup):
+        _graph, _weights, index = setup
+        gammas = np.stack([GAMMA, np.array([0.1, 0.1, 0.4, 0.4])])
+        many = index.estimate_user_spread_many(5, gammas)
+        assert many[0] == pytest.approx(index.estimate_user_spread(5, GAMMA))
+
+    def test_monotone_coupling_across_gammas(self):
+        """Within one index the thresholds are shared across queries, so a
+        topic whose edge probabilities dominate another's elementwise must
+        yield pointwise-larger estimates (exact coupling, no noise)."""
+        from repro.graph.generators import preferential_attachment_digraph
+        from repro.utils.rng import as_generator
+
+        graph = preferential_attachment_digraph(100, 3, seed=55)
+        rng = as_generator(56)
+        strong = rng.random(graph.num_edges) * 0.5 + 0.2
+        weak = strong * 0.4  # dominated elementwise
+        weights = TopicEdgeWeights(graph, np.column_stack([strong, weak]))
+        index = InfluencerIndex(weights, num_sketches=150, seed=57)
+        strong_gamma = np.array([1.0, 0.0])
+        weak_gamma = np.array([0.0, 1.0])
+        for user in range(0, 100, 9):
+            assert index.estimate_user_spread(
+                user, weak_gamma
+            ) <= index.estimate_user_spread(user, strong_gamma) + 1e-9
+
+    def test_empty_seed_set(self, setup):
+        _graph, _weights, index = setup
+        assert index.estimate_seed_set_spread([], GAMMA) == 0.0
+
+    def test_invalid_user(self, setup):
+        _graph, _weights, index = setup
+        with pytest.raises(ValidationError):
+            index.estimate_user_spread(9999, GAMMA)
+
+    def test_invalid_gamma_size(self, setup):
+        _graph, _weights, index = setup
+        with pytest.raises(ValidationError):
+            index.estimate_user_spread(0, np.array([0.5, 0.5]))
+
+
+class TestDelayedMaterialization:
+    def test_chunked_index_expands_on_demand(self):
+        from repro.graph.generators import preferential_attachment_digraph
+
+        graph = preferential_attachment_digraph(120, 3, seed=41)
+        weights = TopicEdgeWeights.weighted_cascade(graph, 4, seed=42)
+        eager = InfluencerIndex(weights, num_sketches=100, seed=43)
+        lazy = InfluencerIndex(
+            weights, num_sketches=100, chunk_size=1, seed=43
+        )
+        incomplete_before = sum(
+            1 for sketch in lazy.sketches if not sketch.complete
+        )
+        # With chunk_size=1 most sketches should still have a frontier.
+        assert incomplete_before > 0
+        # Estimates must agree exactly: same seeds → same thresholds, and
+        # expansion is deterministic.
+        for user in (0, 3, 10):
+            assert lazy.estimate_user_spread(user, GAMMA) == pytest.approx(
+                eager.estimate_user_spread(user, GAMMA)
+            )
+
+    def test_statistics_keys(self, setup):
+        _graph, _weights, index = setup
+        stats = index.statistics()
+        assert {
+            "num_sketches",
+            "total_edges",
+            "total_nodes",
+            "edges_pruned_permanently",
+            "complete_sketches",
+        } <= set(stats)

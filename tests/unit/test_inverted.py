@@ -1,0 +1,57 @@
+"""Unit tests for repro.index.inverted."""
+
+import pytest
+
+from repro.index.inverted import InvertedIndex
+from repro.utils.validation import ValidationError
+
+
+class TestAdd:
+    def test_frequencies_accumulate(self):
+        index = InvertedIndex()
+        index.add(1, 10)
+        index.add(1, 10, count=2)
+        assert index.frequency(1, 10) == 3
+
+    def test_rejects_nonpositive_count(self):
+        with pytest.raises(ValidationError):
+            InvertedIndex().add(1, 10, count=0)
+
+    def test_add_document(self):
+        index = InvertedIndex()
+        index.add_document(5, [1, 2, 1])
+        assert index.frequency(1, 5) == 2
+        assert index.frequency(2, 5) == 1
+
+
+class TestQueries:
+    def _index(self):
+        index = InvertedIndex()
+        index.add_document(1, [7, 7, 8])
+        index.add_document(2, [7])
+        index.add_document(3, [8, 8, 8])
+        return index
+
+    def test_users_of_ranked_by_frequency(self):
+        assert self._index().users_of(7) == [(1, 2), (2, 1)]
+        assert self._index().users_of(8) == [(3, 3), (1, 1)]
+
+    def test_users_of_limit(self):
+        assert self._index().users_of(8, limit=1) == [(3, 3)]
+
+    def test_users_of_unknown_word(self):
+        assert self._index().users_of(99) == []
+
+    def test_document_frequency(self):
+        assert self._index().document_frequency(7) == 2
+        assert self._index().document_frequency(99) == 0
+
+    def test_user_activity(self):
+        assert self._index().user_activity(1) == 3
+        assert self._index().user_activity(99) == 0
+
+    def test_vocabulary_ids(self):
+        assert self._index().vocabulary_ids() == [7, 8]
+
+    def test_len(self):
+        assert len(self._index()) == 2

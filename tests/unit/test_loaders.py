@@ -1,0 +1,65 @@
+"""Unit tests for repro.datasets.loaders (persistence round-trips)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.citation import CitationNetworkGenerator
+from repro.datasets.loaders import load_dataset, save_dataset
+from repro.utils.validation import ValidationError
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return CitationNetworkGenerator(
+        num_researchers=60, citations_per_paper=3, papers_per_author=2, seed=2
+    ).generate()
+
+
+class TestRoundTrip:
+    def test_full_round_trip(self, dataset, tmp_path):
+        directory = tmp_path / "bundle"
+        save_dataset(dataset, directory)
+        loaded = load_dataset(directory)
+
+        assert loaded.name == dataset.name
+        assert loaded.topic_names == dataset.topic_names
+        assert loaded.graph.num_nodes == dataset.graph.num_nodes
+        assert list(loaded.graph.edges()) == list(dataset.graph.edges())
+        assert loaded.graph.labels == dataset.graph.labels
+        assert loaded.vocabulary.words() == dataset.vocabulary.words()
+        assert len(loaded.items) == len(dataset.items)
+        assert loaded.items[0].keywords == dataset.items[0].keywords
+        assert loaded.items[0].events == dataset.items[0].events
+        assert loaded.user_keywords == dataset.user_keywords
+
+    def test_ground_truth_round_trip(self, dataset, tmp_path):
+        directory = tmp_path / "bundle"
+        save_dataset(dataset, directory)
+        loaded = load_dataset(directory)
+        np.testing.assert_array_equal(
+            loaded.true_edge_weights.weights,
+            dataset.true_edge_weights.weights,
+        )
+        np.testing.assert_array_equal(
+            loaded.true_topic_model.word_given_topic,
+            dataset.true_topic_model.word_given_topic,
+        )
+        np.testing.assert_array_equal(
+            loaded.node_affinities, dataset.node_affinities
+        )
+
+    def test_metadata_round_trip(self, dataset, tmp_path):
+        directory = tmp_path / "bundle"
+        save_dataset(dataset, directory)
+        assert load_dataset(directory).metadata == dataset.metadata
+
+    def test_load_missing_directory(self, tmp_path):
+        with pytest.raises(ValidationError, match="does not exist"):
+            load_dataset(tmp_path / "nope")
+
+    def test_save_creates_directory(self, dataset, tmp_path):
+        directory = tmp_path / "deep" / "bundle"
+        save_dataset(dataset, directory)
+        assert (directory / "dataset.json").exists()
+        assert (directory / "graph.tsv").exists()
+        assert (directory / "items.jsonl").exists()

@@ -1,0 +1,34 @@
+"""Unit tests for repro.datasets.names."""
+
+import pytest
+
+from repro.datasets.names import generate_names
+
+
+class TestGenerateNames:
+    def test_count(self):
+        assert len(generate_names(100)) == 100
+
+    def test_empty(self):
+        assert generate_names(0) == []
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            generate_names(-1)
+
+    def test_unique_small(self):
+        names = generate_names(500)
+        assert len(set(names)) == 500
+
+    def test_unique_beyond_plain_combinations(self):
+        names = generate_names(6000)
+        assert len(set(names)) == 6000
+
+    def test_deterministic(self):
+        assert generate_names(50) == generate_names(50)
+
+    def test_format(self):
+        for name in generate_names(20):
+            parts = name.split()
+            assert len(parts) >= 2
+            assert all(part[0].isupper() for part in parts)

@@ -1,0 +1,131 @@
+"""Unit tests for repro.core.paths."""
+
+import numpy as np
+import pytest
+
+from repro.core.paths import InfluencePathExplorer, PathTree
+from repro.topics.edges import TopicEdgeWeights
+from repro.utils.validation import ValidationError
+
+
+@pytest.fixture
+def explorer(diamond_graph):
+    weights = TopicEdgeWeights(
+        diamond_graph,
+        np.array(
+            [
+                [0.9, 0.1],  # 0→1
+                [0.5, 0.5],  # 0→2
+                [0.8, 0.2],  # 1→3
+                [0.1, 0.9],  # 2→3
+            ]
+        ),
+    )
+    return InfluencePathExplorer(weights)
+
+
+@pytest.fixture
+def tree(explorer):
+    return explorer.explore(0, gamma=np.array([1.0, 0.0]), threshold=0.05)
+
+
+class TestExplore:
+    def test_tree_contains_reachable_nodes(self, tree):
+        assert set(tree.parents) == {0, 1, 2, 3}
+        assert tree.root == 0
+        assert tree.size == 4
+
+    def test_best_path_selected(self, tree):
+        # Under topic 0: path 0→1→3 has 0.72 vs 0→2→3 with 0.05.
+        assert tree.parents[3] == 1
+        assert tree.probabilities[3] == pytest.approx(0.72)
+
+    def test_threshold_prunes(self, explorer):
+        tree = explorer.explore(0, gamma=np.array([0.0, 1.0]), threshold=0.5)
+        # Topic 1: 0→2 (0.5) survives; 0→1 (0.1) pruned; 3 via 2 = 0.45 < 0.5.
+        assert set(tree.parents) == {0, 2}
+
+    def test_reverse_direction(self, explorer):
+        tree = explorer.explore(
+            3, gamma=np.array([1.0, 0.0]), direction="influenced_by", threshold=0.0
+        )
+        assert tree.direction == "influenced_by"
+        assert 0 in tree.parents
+        assert tree.probabilities[0] == pytest.approx(0.72)
+
+    def test_default_gamma_uniform(self, explorer):
+        tree = explorer.explore(0, threshold=0.0)
+        np.testing.assert_allclose(tree.gamma, [0.5, 0.5])
+
+    def test_invalid_direction(self, explorer):
+        with pytest.raises(ValidationError, match="direction"):
+            explorer.explore(0, direction="sideways")
+
+    def test_invalid_user(self, explorer):
+        with pytest.raises(ValidationError):
+            explorer.explore(99)
+
+    def test_labels_populated_for_labelled_graph(self, labelled_graph):
+        weights = TopicEdgeWeights(labelled_graph, np.full((3, 2), 0.5))
+        tree = InfluencePathExplorer(weights).explore(0, threshold=0.0)
+        assert tree.label_of(0) == "alice"
+
+
+class TestPathTreeStructure:
+    def test_children_sorted_by_probability(self, tree):
+        children = tree.children()
+        assert children[0] == [1, 2]  # 0.9 before 0.5
+
+    def test_subtree_size(self, tree):
+        assert tree.subtree_size(0) == 4
+        assert tree.subtree_size(1) == 2  # 1 and 3
+        assert tree.subtree_size(2) == 1
+
+    def test_subtree_size_unknown_node(self, tree):
+        with pytest.raises(ValidationError):
+            tree.subtree_size(42)
+
+    def test_path_to(self, tree):
+        assert tree.path_to(3) == [0, 1, 3]
+        assert tree.path_to(0) == [0]
+
+    def test_path_to_unknown(self, tree):
+        with pytest.raises(ValidationError):
+            tree.path_to(42)
+
+    def test_depth_of(self, tree):
+        assert tree.depth_of(0) == 0
+        assert tree.depth_of(3) == 2
+
+    def test_paths_through_internal_node(self, tree):
+        paths = tree.paths_through(1)
+        assert paths == [[0, 1, 3]]
+
+    def test_paths_through_leaf(self, tree):
+        assert tree.paths_through(2) == [[0, 2]]
+
+    def test_clusters_are_root_subtrees(self, tree):
+        clusters = tree.clusters()
+        assert sorted(map(tuple, clusters)) == [(1, 3), (2,)]
+
+    def test_clusters_min_size(self, tree):
+        clusters = tree.clusters(min_size=2)
+        assert clusters == [[1, 3]]
+
+    def test_to_dict_shape(self, tree):
+        payload = tree.to_dict()
+        assert payload["root"] == 0
+        assert len(payload["nodes"]) == 4
+        root_entry = [n for n in payload["nodes"] if n["id"] == 0][0]
+        assert root_entry["parent"] is None
+
+    def test_invalid_direction_rejected_in_dataclass(self):
+        with pytest.raises(ValidationError):
+            PathTree(
+                root=0,
+                direction="bogus",
+                threshold=0.1,
+                gamma=np.array([1.0]),
+                parents={0: 0},
+                probabilities={0: 1.0},
+            )

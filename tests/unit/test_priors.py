@@ -1,0 +1,76 @@
+"""Unit tests for repro.topics.priors."""
+
+import numpy as np
+import pytest
+
+from repro.topics.priors import (
+    l1_distance,
+    normalize_distribution,
+    one_hot_distribution,
+    sample_topic_distributions,
+    uniform_distribution,
+)
+
+
+class TestBasicDistributions:
+    def test_uniform(self):
+        gamma = uniform_distribution(4)
+        np.testing.assert_allclose(gamma, 0.25)
+
+    def test_one_hot(self):
+        gamma = one_hot_distribution(3, 1)
+        np.testing.assert_array_equal(gamma, [0.0, 1.0, 0.0])
+
+    def test_one_hot_invalid_topic(self):
+        with pytest.raises(ValueError):
+            one_hot_distribution(3, 3)
+
+
+class TestSampling:
+    def test_shape_and_simplex(self):
+        samples = sample_topic_distributions(5, 20, seed=0)
+        assert samples.shape == (20, 5)
+        np.testing.assert_allclose(samples.sum(axis=1), 1.0)
+        assert np.all(samples >= 0)
+
+    def test_low_concentration_is_sparse(self):
+        sparse = sample_topic_distributions(8, 200, concentration=0.1, seed=1)
+        dense = sample_topic_distributions(8, 200, concentration=10.0, seed=1)
+        assert sparse.max(axis=1).mean() > dense.max(axis=1).mean()
+
+    def test_deterministic(self):
+        a = sample_topic_distributions(4, 5, seed=3)
+        b = sample_topic_distributions(4, 5, seed=3)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestDistance:
+    def test_l1_distance_basics(self):
+        a = np.array([1.0, 0.0])
+        b = np.array([0.0, 1.0])
+        assert l1_distance(a, b) == pytest.approx(2.0)
+        assert l1_distance(a, a) == 0.0
+
+    def test_l1_distance_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            l1_distance(np.array([1.0]), np.array([0.5, 0.5]))
+
+
+class TestNormalize:
+    def test_normalizes_weights(self):
+        np.testing.assert_allclose(
+            normalize_distribution(np.array([1.0, 3.0])), [0.25, 0.75]
+        )
+
+    def test_zero_vector_becomes_uniform(self):
+        np.testing.assert_allclose(
+            normalize_distribution(np.zeros(4)), 0.25
+        )
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            normalize_distribution(np.array([-1.0, 2.0]))
+
+    def test_matrix_rejected(self):
+        with pytest.raises(ValueError):
+            normalize_distribution(np.ones((2, 2)))

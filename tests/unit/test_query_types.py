@@ -1,0 +1,82 @@
+"""Unit tests for repro.core.query result types."""
+
+import numpy as np
+import pytest
+
+from repro.core.query import InfluencerResult, KeywordQuery, KeywordSuggestionResult
+from repro.utils.validation import ValidationError
+
+
+class TestKeywordQuery:
+    def test_construction(self):
+        query = KeywordQuery(
+            keywords=("data mining",), gamma=np.array([0.8, 0.2]), k=5
+        )
+        assert query.dominant_topic == 0
+        assert query.k == 5
+
+    def test_rejects_empty_keywords(self):
+        with pytest.raises(ValidationError):
+            KeywordQuery(keywords=(), gamma=np.array([1.0]), k=1)
+
+    def test_rejects_bad_gamma(self):
+        with pytest.raises(ValidationError):
+            KeywordQuery(keywords=("x",), gamma=np.array([0.7, 0.7]), k=1)
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValidationError):
+            KeywordQuery(keywords=("x",), gamma=np.array([1.0]), k=0)
+
+    def test_gamma_immutable(self):
+        query = KeywordQuery(keywords=("x",), gamma=np.array([1.0]), k=1)
+        with pytest.raises(ValueError):
+            query.gamma[0] = 0.5
+
+
+class TestInfluencerResult:
+    def _result(self):
+        query = KeywordQuery(
+            keywords=("graph",), gamma=np.array([0.6, 0.4]), k=2
+        )
+        return InfluencerResult(
+            query=query,
+            seeds=[4, 9],
+            spread=12.5,
+            labels=["ada", "bob"],
+        )
+
+    def test_top(self):
+        assert self._result().top(1) == [(4, "ada")]
+        assert self._result().top(5) == [(4, "ada"), (9, "bob")]
+
+    def test_top_without_labels(self):
+        query = KeywordQuery(keywords=("graph",), gamma=np.array([1.0]), k=1)
+        result = InfluencerResult(query=query, seeds=[7], spread=1.0)
+        assert result.top(1) == [(7, "node-7")]
+
+    def test_repr_mentions_keywords(self):
+        assert "graph" in repr(self._result())
+
+
+class TestKeywordSuggestionResult:
+    def test_radar_series_is_plain_floats(self):
+        result = KeywordSuggestionResult(
+            target=3,
+            target_label="ada",
+            keywords=["a"],
+            spread=4.0,
+            gamma=np.array([0.25, 0.75]),
+        )
+        series = result.radar_series()
+        assert series == [0.25, 0.75]
+        assert all(isinstance(value, float) for value in series)
+
+    def test_repr(self):
+        result = KeywordSuggestionResult(
+            target=3,
+            target_label="ada",
+            keywords=["a"],
+            spread=4.0,
+            gamma=np.array([1.0]),
+        )
+        assert "ada" in repr(result)

@@ -1,0 +1,58 @@
+"""Unit tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import as_generator, spawn_generators
+
+
+class TestAsGenerator:
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = as_generator(7).random(5)
+        b = as_generator(7).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        assert not np.allclose(as_generator(1).random(5), as_generator(2).random(5))
+
+    def test_generator_passthrough(self):
+        rng = np.random.default_rng(0)
+        assert as_generator(rng) is rng
+
+    def test_seed_sequence_accepted(self):
+        sequence = np.random.SeedSequence(9)
+        rng = as_generator(sequence)
+        assert isinstance(rng, np.random.Generator)
+
+
+class TestSpawnGenerators:
+    def test_count(self):
+        assert len(spawn_generators(0, 5)) == 5
+
+    def test_zero_count(self):
+        assert spawn_generators(0, 0) == []
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            spawn_generators(0, -1)
+
+    def test_deterministic_streams(self):
+        first = [g.random(3) for g in spawn_generators(11, 3)]
+        second = [g.random(3) for g in spawn_generators(11, 3)]
+        for a, b in zip(first, second):
+            np.testing.assert_array_equal(a, b)
+
+    def test_streams_are_independent(self):
+        streams = spawn_generators(5, 2)
+        a = streams[0].random(100)
+        b = streams[1].random(100)
+        assert not np.allclose(a, b)
+
+    def test_spawn_from_generator(self):
+        rng = np.random.default_rng(3)
+        children = spawn_generators(rng, 2)
+        assert len(children) == 2
+        assert all(isinstance(c, np.random.Generator) for c in children)

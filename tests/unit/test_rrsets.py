@@ -1,0 +1,90 @@
+"""Unit tests for repro.propagation.rrsets."""
+
+import numpy as np
+import pytest
+
+from repro.propagation.ic import IndependentCascade
+from repro.propagation.rrsets import RRSetCollection, generate_rr_set
+from repro.utils.validation import ValidationError
+
+
+class TestGenerateRRSet:
+    def test_contains_root(self, line_graph):
+        rr = generate_rr_set(line_graph, np.zeros(3), 2, seed=0)
+        assert rr == {2}
+
+    def test_deterministic_edges_reach_all_ancestors(self, line_graph):
+        rr = generate_rr_set(line_graph, np.ones(3), 3, seed=0)
+        assert rr == {0, 1, 2, 3}
+
+    def test_respects_direction(self, line_graph):
+        rr = generate_rr_set(line_graph, np.ones(3), 0, seed=0)
+        assert rr == {0}  # nothing points into node 0
+
+    def test_invalid_root(self, line_graph):
+        with pytest.raises(ValidationError):
+            generate_rr_set(line_graph, np.ones(3), 9)
+
+
+class TestRRSetCollection:
+    def test_requires_sets(self, line_graph):
+        with pytest.raises(ValidationError):
+            RRSetCollection(line_graph, [])
+
+    def test_sample_count(self, medium_graph, medium_probabilities):
+        collection = RRSetCollection.sample(
+            medium_graph, medium_probabilities, 50, seed=0
+        )
+        assert len(collection) == 50
+
+    def test_coverage_of(self, line_graph):
+        collection = RRSetCollection(line_graph, [{0, 1}, {1, 2}, {3}])
+        assert collection.coverage_of(1) == 2
+        assert collection.coverage_of(3) == 1
+        assert collection.coverage_of(99) == 0
+
+    def test_estimate_spread_formula(self, line_graph):
+        collection = RRSetCollection(line_graph, [{0, 1}, {1, 2}, {3}, {2}])
+        # seeds {1} cover 2 of 4 sets; n = 4 → spread = 4 * 2/4 = 2.
+        assert collection.estimate_spread([1]) == pytest.approx(2.0)
+        assert collection.estimate_spread([0, 3]) == pytest.approx(2.0)
+
+    def test_estimator_agrees_with_monte_carlo(
+        self, medium_graph, medium_probabilities
+    ):
+        collection = RRSetCollection.sample(
+            medium_graph, medium_probabilities, 6000, seed=1
+        )
+        cascade = IndependentCascade(medium_graph, medium_probabilities)
+        seeds = [0, 1]
+        ris = collection.estimate_spread(seeds)
+        mc = cascade.estimate_spread(seeds, num_samples=2000, seed=2)
+        assert ris == pytest.approx(mc, rel=0.15, abs=1.0)
+
+    def test_greedy_max_cover_prefers_high_coverage(self, line_graph):
+        collection = RRSetCollection(
+            line_graph, [{0, 1}, {1, 2}, {1, 3}, {0}]
+        )
+        seeds, spread = collection.greedy_max_cover(1)
+        assert seeds == [1]
+        assert spread == pytest.approx(4 * 3 / 4)
+
+    def test_greedy_max_cover_diminishing(self, line_graph):
+        collection = RRSetCollection(
+            line_graph, [{0, 1}, {1, 2}, {1, 3}, {0}]
+        )
+        seeds, spread = collection.greedy_max_cover(2)
+        assert seeds[0] == 1
+        assert seeds[1] == 0
+        assert spread == pytest.approx(4.0)
+
+    def test_greedy_stops_when_everything_covered(self, line_graph):
+        collection = RRSetCollection(line_graph, [{0}, {0, 1}])
+        seeds, _spread = collection.greedy_max_cover(3)
+        assert seeds == [0]
+
+    def test_fixed_roots(self, line_graph):
+        collection = RRSetCollection.sample(
+            line_graph, np.zeros(3), 4, seed=0, roots=[3]
+        )
+        assert all(rr == {3} for rr in collection.rr_sets)

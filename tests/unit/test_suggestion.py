@@ -1,0 +1,138 @@
+"""Unit tests for repro.core.suggestion."""
+
+import numpy as np
+import pytest
+
+from repro.core.influencer_index import InfluencerIndex
+from repro.core.suggestion import KeywordSuggester
+from repro.topics.edges import TopicEdgeWeights
+from repro.topics.model import TopicModel
+from repro.topics.vocabulary import Vocabulary
+from repro.utils.validation import ValidationError
+
+
+@pytest.fixture(scope="module")
+def setup():
+    """Planted two-topic world where user 0 is influential on topic 0 only."""
+    from repro.graph.digraph import SocialGraph
+
+    # user 0 → 1..6; topic-0 edges are strong, topic-1 edges are dead.
+    graph = SocialGraph.from_edges(
+        7, [(0, i) for i in range(1, 7)], labels=[f"user-{i}" for i in range(7)]
+    )
+    weights = TopicEdgeWeights(
+        graph,
+        np.column_stack(
+            [np.full(6, 0.9), np.full(6, 0.01)]
+        ),
+    )
+    vocab = Vocabulary(["alpha", "beta", "gamma", "delta"])
+    # alpha,beta → topic 0; gamma,delta → topic 1
+    word_topic = np.array(
+        [
+            [0.45, 0.05],
+            [0.45, 0.05],
+            [0.05, 0.45],
+            [0.05, 0.45],
+        ]
+    )
+    model = TopicModel(vocab, word_topic)
+    index = InfluencerIndex(weights, num_sketches=600, seed=1)
+    user_keywords = {
+        0: [0, 0, 1, 2, 3],  # uses all four words, alpha most often
+        1: [2],
+    }
+    suggester = KeywordSuggester(model, index, user_keywords)
+    return graph, model, index, suggester
+
+
+class TestCandidates:
+    def test_frequency_ordered(self, setup):
+        _graph, _model, _index, suggester = setup
+        assert suggester.candidates_for(0)[0] == 0  # alpha used twice
+
+    def test_unknown_user_empty(self, setup):
+        _graph, _model, _index, suggester = setup
+        assert suggester.candidates_for(5) == []
+
+
+class TestSuggest:
+    def test_picks_influential_topic_keywords(self, setup):
+        _graph, _model, _index, suggester = setup
+        result = suggester.suggest(0, k=2)
+        assert set(result.keywords) <= {"alpha", "beta"}
+        assert len(result.keywords) == 2
+        assert result.spread > 0
+
+    def test_gamma_matches_keywords(self, setup):
+        _graph, model, _index, suggester = setup
+        result = suggester.suggest(0, k=2)
+        expected = model.keyword_topic_posterior(result.keywords)
+        np.testing.assert_allclose(result.gamma, expected)
+        assert result.gamma.argmax() == 0
+
+    def test_exact_at_least_greedy(self, setup):
+        _graph, _model, _index, suggester = setup
+        greedy = suggester.suggest(0, k=2, method="greedy")
+        exact = suggester.suggest(0, k=2, method="exact")
+        assert exact.spread >= greedy.spread - 1e-9
+
+    def test_per_keyword_spread_recorded(self, setup):
+        _graph, _model, _index, suggester = setup
+        result = suggester.suggest(0, k=1)
+        assert "alpha" in result.per_keyword_spread
+        # topic-0 words must dominate topic-1 words for this user
+        assert (
+            result.per_keyword_spread["alpha"]
+            > result.per_keyword_spread["gamma"]
+        )
+
+    def test_statistics(self, setup):
+        _graph, _model, _index, suggester = setup
+        result = suggester.suggest(0, k=2)
+        assert result.statistics["candidates_total"] == 4.0
+        assert result.statistics["candidates_after_pruning"] <= 4.0
+
+    def test_target_label(self, setup):
+        _graph, _model, _index, suggester = setup
+        assert suggester.suggest(0, k=1).target_label == "user-0"
+
+    def test_user_without_keywords_raises(self, setup):
+        _graph, _model, _index, suggester = setup
+        with pytest.raises(ValidationError, match="no recorded keywords"):
+            suggester.suggest(3, k=1)
+
+    def test_invalid_method(self, setup):
+        _graph, _model, _index, suggester = setup
+        with pytest.raises(ValidationError, match="method"):
+            suggester.suggest(0, k=1, method="annealing")
+
+    def test_invalid_k(self, setup):
+        _graph, _model, _index, suggester = setup
+        with pytest.raises(ValidationError):
+            suggester.suggest(0, k=0)
+
+    def test_radar_series(self, setup):
+        _graph, _model, _index, suggester = setup
+        series = suggester.suggest(0, k=1).radar_series()
+        assert len(series) == 2
+        assert sum(series) == pytest.approx(1.0)
+
+
+class TestCandidateLimit:
+    def test_limit_applies(self, setup):
+        graph, model, index, _suggester = setup
+        limited = KeywordSuggester(
+            model, index, {0: [0, 1, 2, 3]}, candidate_limit=2
+        )
+        result = limited.suggest(0, k=1)
+        assert result.statistics["candidates_after_pruning"] == 2.0
+
+    def test_consistency_filter(self, setup):
+        graph, model, index, _suggester = setup
+        filtered = KeywordSuggester(
+            model, index, {0: [0, 1, 2, 3]}, consistency_filter=True
+        )
+        result = filtered.suggest(0, k=3)
+        # With the filter, only topic-0 words survive.
+        assert set(result.keywords) <= {"alpha", "beta"}

@@ -1,0 +1,82 @@
+"""Unit tests for repro.utils.timer and repro.utils.logging."""
+
+import logging
+import time
+
+from repro.utils.logging import enable_console_logging, get_logger
+from repro.utils.timer import Stopwatch, Timer
+
+
+class TestTimer:
+    def test_measures_elapsed(self):
+        with Timer() as timer:
+            time.sleep(0.01)
+        assert timer.elapsed >= 0.005
+
+    def test_elapsed_zero_before_use(self):
+        assert Timer().elapsed == 0.0
+
+    def test_reusable(self):
+        timer = Timer()
+        with timer:
+            pass
+        first = timer.elapsed
+        with timer:
+            time.sleep(0.01)
+        assert timer.elapsed >= first
+
+
+class TestStopwatch:
+    def test_phase_accumulates(self):
+        watch = Stopwatch()
+        with watch.phase("a"):
+            pass
+        with watch.phase("a"):
+            pass
+        assert watch.counts()["a"] == 2
+        assert watch.totals()["a"] >= 0.0
+
+    def test_multiple_phases(self):
+        watch = Stopwatch()
+        with watch.phase("x"):
+            pass
+        with watch.phase("y"):
+            time.sleep(0.005)
+        totals = watch.totals()
+        assert set(totals) == {"x", "y"}
+        assert totals["y"] >= totals["x"]
+
+    def test_reset(self):
+        watch = Stopwatch()
+        with watch.phase("a"):
+            pass
+        watch.reset()
+        assert watch.totals() == {}
+        assert watch.counts() == {}
+
+    def test_report_lines(self):
+        watch = Stopwatch()
+        with watch.phase("alpha"):
+            pass
+        lines = watch.report()
+        assert len(lines) == 1
+        assert "alpha" in lines[0]
+
+
+class TestLogging:
+    def test_namespaced_logger(self):
+        assert get_logger("topics.em").name == "repro.topics.em"
+        assert get_logger().name == "repro"
+
+    def test_enable_console_logging_idempotent(self):
+        logger = logging.getLogger("repro")
+        before = list(logger.handlers)
+        try:
+            enable_console_logging(logging.DEBUG)
+            enable_console_logging(logging.INFO)
+            assert len(logger.handlers) == 1
+        finally:
+            for handler in list(logger.handlers):
+                logger.removeHandler(handler)
+            for handler in before:
+                logger.addHandler(handler)

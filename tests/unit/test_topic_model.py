@@ -1,0 +1,119 @@
+"""Unit tests for repro.topics.model."""
+
+import numpy as np
+import pytest
+
+from repro.topics.model import TopicModel
+from repro.topics.vocabulary import Vocabulary
+from repro.utils.validation import ValidationError
+
+
+@pytest.fixture
+def model() -> TopicModel:
+    """3 words, 2 topics; word i strongly loads on topic i%2."""
+    vocab = Vocabulary(["apple", "banana", "cherry"])
+    matrix = np.array(
+        [
+            [0.8, 0.1],
+            [0.1, 0.8],
+            [0.1, 0.1],
+        ]
+    )
+    return TopicModel(vocab, matrix)
+
+
+class TestConstruction:
+    def test_rejects_non_normalised_columns(self):
+        vocab = Vocabulary(["a", "b"])
+        with pytest.raises(ValidationError, match="sum to 1"):
+            TopicModel(vocab, np.array([[0.5, 0.5], [0.4, 0.5]]))
+
+    def test_rejects_negative(self):
+        vocab = Vocabulary(["a", "b"])
+        with pytest.raises(ValidationError, match="non-negative"):
+            TopicModel(vocab, np.array([[1.5, 0.5], [-0.5, 0.5]]))
+
+    def test_rejects_row_mismatch(self):
+        vocab = Vocabulary(["a", "b", "c"])
+        with pytest.raises(ValidationError):
+            TopicModel(vocab, np.full((2, 2), 0.5))
+
+    def test_rejects_bad_prior(self, model):
+        vocab = Vocabulary(["a", "b"])
+        matrix = np.full((2, 2), 0.5)
+        with pytest.raises(ValidationError):
+            TopicModel(vocab, matrix, topic_prior=np.array([0.9, 0.2]))
+
+    def test_default_prior_uniform(self, model):
+        np.testing.assert_allclose(model.topic_prior, [0.5, 0.5])
+
+
+class TestPosterior:
+    def test_returns_simplex(self, model):
+        gamma = model.keyword_topic_posterior(["apple"])
+        assert gamma.sum() == pytest.approx(1.0)
+        assert np.all(gamma >= 0)
+
+    def test_single_keyword_prefers_its_topic(self, model):
+        assert model.keyword_topic_posterior(["apple"]).argmax() == 0
+        assert model.keyword_topic_posterior(["banana"]).argmax() == 1
+
+    def test_more_evidence_sharpens(self, model):
+        one = model.keyword_topic_posterior(["apple"])
+        two = model.keyword_topic_posterior(["apple", "apple"])
+        assert two[0] > one[0]
+
+    def test_conflicting_keywords_flatten(self, model):
+        gamma = model.keyword_topic_posterior(["apple", "banana"])
+        np.testing.assert_allclose(gamma, [0.5, 0.5], atol=1e-6)
+
+    def test_accepts_word_ids(self, model):
+        by_word = model.keyword_topic_posterior(["apple"])
+        by_id = model.keyword_topic_posterior([0])
+        np.testing.assert_allclose(by_word, by_id)
+
+    def test_neutral_keyword_follows_prior(self):
+        vocab = Vocabulary(["x", "y"])
+        matrix = np.array([[0.5, 0.5], [0.5, 0.5]])
+        model = TopicModel(vocab, matrix, topic_prior=np.array([0.8, 0.2]))
+        gamma = model.keyword_topic_posterior(["x"])
+        np.testing.assert_allclose(gamma, [0.8, 0.2], atol=1e-6)
+
+    def test_empty_keywords_raise(self, model):
+        with pytest.raises(ValidationError, match="at least one"):
+            model.keyword_topic_posterior([])
+
+    def test_unknown_keyword_raises(self, model):
+        with pytest.raises(ValidationError, match="unknown"):
+            model.keyword_topic_posterior(["durian"])
+
+    def test_out_of_range_id_raises(self, model):
+        with pytest.raises(ValidationError, match="out of range"):
+            model.keyword_topic_posterior([99])
+
+    def test_bool_rejected(self, model):
+        with pytest.raises(ValidationError):
+            model.keyword_topic_posterior([True])
+
+
+class TestIntrospection:
+    def test_top_words(self, model):
+        top = model.top_words(0, 2)
+        assert top[0][0] == "apple"
+        assert len(top) == 2
+
+    def test_top_words_invalid_topic(self, model):
+        with pytest.raises(ValidationError):
+            model.top_words(5)
+
+    def test_dominant_topic(self, model):
+        assert model.dominant_topic(["banana"]) == 1
+
+    def test_topic_profile_of_word(self, model):
+        profile = model.topic_profile_of_word("apple")
+        assert profile.argmax() == 0
+
+    def test_word_likelihood_positive_and_ordered(self, model):
+        coherent = model.word_likelihood(["apple", "apple"])
+        incoherent = model.word_likelihood(["apple", "banana"])
+        assert coherent > incoherent > 0

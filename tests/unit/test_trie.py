@@ -1,0 +1,78 @@
+"""Unit tests for repro.index.trie."""
+
+import pytest
+
+from repro.index.trie import Trie
+from repro.utils.validation import ValidationError
+
+
+class TestInsert:
+    def test_size(self):
+        trie = Trie()
+        trie.insert("data mining", 1)
+        trie.insert("databases", 2)
+        assert len(trie) == 2
+
+    def test_rejects_empty_key(self):
+        with pytest.raises(ValidationError):
+            Trie().insert("   ")
+
+    def test_rejects_non_string(self):
+        with pytest.raises(ValidationError):
+            Trie().insert(42)
+
+
+class TestComplete:
+    def _trie(self):
+        trie = Trie()
+        trie.insert("data mining", 1, weight=10)
+        trie.insert("databases", 2, weight=5)
+        trie.insert("data integration", 3, weight=7)
+        trie.insert("deep learning", 4, weight=20)
+        return trie
+
+    def test_prefix_filtering(self):
+        results = self._trie().complete("data")
+        keys = [key for key, _payload in results]
+        assert keys == ["data mining", "data integration", "databases"]
+
+    def test_weight_ordering(self):
+        results = self._trie().complete("d")
+        assert results[0][0] == "deep learning"
+
+    def test_limit(self):
+        assert len(self._trie().complete("d", limit=2)) == 2
+
+    def test_no_match(self):
+        assert self._trie().complete("zzz") == []
+
+    def test_empty_prefix_returns_heaviest(self):
+        results = self._trie().complete("", limit=1)
+        assert results[0][0] == "deep learning"
+
+    def test_case_insensitive(self):
+        results = self._trie().complete("DaTa M")
+        assert results[0] == ("data mining", 1)
+
+    def test_payload_returned(self):
+        assert self._trie().complete("databases")[0][1] == 2
+
+    def test_tie_broken_alphabetically(self):
+        trie = Trie()
+        trie.insert("bb", 1, weight=1)
+        trie.insert("ba", 2, weight=1)
+        assert [key for key, _p in trie.complete("b")] == ["ba", "bb"]
+
+    def test_invalid_limit(self):
+        with pytest.raises(ValidationError):
+            self._trie().complete("d", limit=0)
+
+
+class TestContains:
+    def test_exact_membership(self):
+        trie = Trie()
+        trie.insert("graph")
+        assert trie.contains("graph")
+        assert trie.contains("GRAPH")
+        assert not trie.contains("gra")
+        assert not trie.contains("graphs")

@@ -1,0 +1,125 @@
+"""Unit tests for repro.viz (d3 exports, radar data, text rendering)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.paths import InfluencePathExplorer
+from repro.topics.edges import TopicEdgeWeights
+from repro.topics.model import TopicModel
+from repro.topics.vocabulary import Vocabulary
+from repro.utils.validation import ValidationError
+from repro.viz.d3 import path_tree_to_d3_force, path_tree_to_d3_hierarchy
+from repro.viz.radar import radar_chart_data
+from repro.viz.text import render_path_tree, render_radar
+
+
+@pytest.fixture
+def tree(diamond_graph):
+    weights = TopicEdgeWeights(
+        diamond_graph,
+        np.array([[0.9, 0.1], [0.5, 0.5], [0.8, 0.2], [0.1, 0.9]]),
+    )
+    explorer = InfluencePathExplorer(weights)
+    return explorer.explore(0, gamma=np.array([1.0, 0.0]), threshold=0.01)
+
+
+@pytest.fixture
+def model():
+    vocab = Vocabulary(["apple", "banana"])
+    return TopicModel(vocab, np.array([[0.9, 0.1], [0.1, 0.9]]))
+
+
+class TestD3Force:
+    def test_payload_is_json_serialisable(self, tree):
+        payload = path_tree_to_d3_force(tree)
+        json.dumps(payload)
+
+    def test_node_and_link_counts(self, tree):
+        payload = path_tree_to_d3_force(tree)
+        assert len(payload["nodes"]) == tree.size
+        assert len(payload["links"]) == tree.size - 1
+
+    def test_root_flagged(self, tree):
+        payload = path_tree_to_d3_force(tree)
+        roots = [n for n in payload["nodes"] if n["root"]]
+        assert len(roots) == 1
+        assert roots[0]["id"] == 0
+
+    def test_sizes_scale_with_probability(self, tree):
+        payload = path_tree_to_d3_force(tree, size_scale=10.0, min_size=0.5)
+        by_id = {n["id"]: n for n in payload["nodes"]}
+        assert by_id[1]["size"] > by_id[3]["size"]  # 0.9 vs 0.72
+
+    def test_links_follow_influence_direction(self, tree):
+        payload = path_tree_to_d3_force(tree)
+        for link in payload["links"]:
+            assert tree.parents[link["target"]] == link["source"]
+
+    def test_clusters_assigned(self, tree):
+        payload = path_tree_to_d3_force(tree)
+        non_root_clusters = {
+            n["cluster"] for n in payload["nodes"] if not n["root"]
+        }
+        assert -1 not in non_root_clusters
+
+    def test_reverse_direction_flips_links(self, diamond_graph):
+        weights = TopicEdgeWeights(diamond_graph, np.full((4, 2), 0.5))
+        tree = InfluencePathExplorer(weights).explore(
+            3, direction="influenced_by", threshold=0.0
+        )
+        payload = path_tree_to_d3_force(tree)
+        for link in payload["links"]:
+            # rendered along the original influence direction: source → target
+            assert tree.parents[link["source"]] == link["target"]
+
+
+class TestD3Hierarchy:
+    def test_root_and_children(self, tree):
+        payload = path_tree_to_d3_hierarchy(tree)
+        assert payload["id"] == 0
+        child_ids = {child["id"] for child in payload["children"]}
+        assert child_ids == {1, 2}
+
+    def test_subtree_sizes_attached(self, tree):
+        payload = path_tree_to_d3_hierarchy(tree)
+        assert payload["subtree_size"] == tree.size
+
+    def test_json_serialisable(self, tree):
+        json.dumps(path_tree_to_d3_hierarchy(tree))
+
+
+class TestRadar:
+    def test_payload(self, model):
+        payload = radar_chart_data(model, ["apple"], ["fruit-a", "fruit-b"])
+        assert payload["axes"] == ["fruit-a", "fruit-b"]
+        assert payload["dominant"] == "fruit-a"
+        assert sum(payload["values"]) == pytest.approx(1.0)
+        json.dumps(payload)
+
+    def test_accepts_word_ids(self, model):
+        payload = radar_chart_data(model, [1], ["a", "b"])
+        assert payload["keywords"] == ["banana"]
+        assert payload["dominant"] == "b"
+
+    def test_topic_name_count_checked(self, model):
+        with pytest.raises(ValidationError):
+            radar_chart_data(model, ["apple"], ["only-one"])
+
+
+class TestTextRendering:
+    def test_render_tree_contains_labels(self, tree):
+        text = render_path_tree(tree)
+        assert "node-0" in text
+        assert "→" in text
+
+    def test_render_tree_depth_cap(self, tree):
+        text = render_path_tree(tree, max_depth=1, max_children=1)
+        assert "more" in text
+
+    def test_render_radar(self, model):
+        payload = radar_chart_data(model, ["apple"], ["a", "b"])
+        text = render_radar(payload)
+        assert "dominant topic: a" in text
+        assert "#" in text

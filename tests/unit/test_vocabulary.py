@@ -1,0 +1,94 @@
+"""Unit tests for repro.topics.vocabulary."""
+
+import pytest
+
+from repro.topics.vocabulary import Vocabulary
+from repro.utils.validation import ValidationError
+
+
+class TestAdd:
+    def test_dense_ids_in_first_seen_order(self):
+        vocab = Vocabulary()
+        assert vocab.add("alpha") == 0
+        assert vocab.add("beta") == 1
+        assert vocab.add("alpha") == 0
+        assert len(vocab) == 2
+
+    def test_normalisation(self):
+        vocab = Vocabulary()
+        assert vocab.add("  Data Mining ") == vocab.add("data mining")
+
+    def test_counts_accumulate(self):
+        vocab = Vocabulary()
+        vocab.add("x")
+        vocab.add("x", count=3)
+        assert vocab.count_of("x") == 4
+        assert vocab.count_of("unknown") == 0
+
+    def test_empty_word_rejected(self):
+        with pytest.raises(ValidationError, match="empty"):
+            Vocabulary().add("   ")
+
+    def test_non_string_rejected(self):
+        with pytest.raises(ValidationError, match="string"):
+            Vocabulary().add(42)
+
+    def test_constructor_seeds_words(self):
+        vocab = Vocabulary(["a", "b", "a"])
+        assert len(vocab) == 2
+        assert vocab.count_of("a") == 2
+
+
+class TestLookup:
+    def test_id_roundtrip(self):
+        vocab = Vocabulary(["one", "two"])
+        assert vocab.word_of(vocab.id_of("two")) == "two"
+
+    def test_unknown_word_raises(self):
+        with pytest.raises(ValidationError, match="unknown"):
+            Vocabulary().id_of("missing")
+
+    def test_word_of_out_of_range(self):
+        with pytest.raises(ValidationError):
+            Vocabulary(["a"]).word_of(5)
+
+    def test_contains(self):
+        vocab = Vocabulary(["graph"])
+        assert "graph" in vocab
+        assert "Graph" in vocab  # normalised
+        assert "tree" not in vocab
+        assert "" not in vocab  # invalid keys are simply absent
+
+    def test_ids_of_strict(self):
+        vocab = Vocabulary(["a", "b"])
+        assert vocab.ids_of(["b", "a"]) == [1, 0]
+        with pytest.raises(ValidationError):
+            vocab.ids_of(["a", "zzz"])
+
+    def test_known_ids_of_lenient(self):
+        vocab = Vocabulary(["a", "b"])
+        assert vocab.known_ids_of(["a", "zzz", "b"]) == [0, 1]
+
+    def test_iteration_and_words(self):
+        vocab = Vocabulary(["x", "y"])
+        assert list(vocab) == ["x", "y"]
+        assert vocab.words() == ["x", "y"]
+        assert vocab.counts() == [1, 1]
+
+
+class TestFreeze:
+    def test_frozen_rejects_new_words(self):
+        vocab = Vocabulary(["a"]).freeze()
+        assert vocab.frozen
+        with pytest.raises(ValidationError, match="frozen"):
+            vocab.add("b")
+
+    def test_frozen_allows_existing_word_counts(self):
+        vocab = Vocabulary(["a"]).freeze()
+        assert vocab.add("a") == 0
+        assert vocab.count_of("a") == 2
+
+    def test_add_document(self):
+        vocab = Vocabulary()
+        ids = vocab.add_document(["p", "q", "p"])
+        assert ids == [0, 1, 0]

@@ -1,0 +1,139 @@
+"""Unit tests for repro.engine.workload."""
+
+import numpy as np
+import pytest
+
+from repro.engine.workload import (
+    LatencyReport,
+    QueryWorkload,
+    WorkloadConfig,
+    run_workload,
+)
+from repro.utils.validation import ValidationError
+
+
+@pytest.fixture(scope="module")
+def small_system(citation_dataset):
+    from repro.core.octopus import Octopus, OctopusConfig
+
+    return Octopus.from_dataset(
+        citation_dataset,
+        config=OctopusConfig(
+            num_sketches=40,
+            num_topic_samples=4,
+            topic_sample_rr_sets=200,
+            oracle_samples=20,
+            seed=90,
+        ),
+    )
+
+
+class TestWorkloadConfig:
+    def test_defaults_valid(self):
+        WorkloadConfig()
+
+    def test_unknown_service_rejected(self):
+        with pytest.raises(ValidationError, match="unknown services"):
+            WorkloadConfig(mix={"teleport": 1.0})
+
+    def test_negative_frequency_rejected(self):
+        with pytest.raises(ValidationError):
+            WorkloadConfig(mix={"influencers": -1.0})
+
+    def test_zero_total_rejected(self):
+        with pytest.raises(ValidationError):
+            WorkloadConfig(mix={"influencers": 0.0})
+
+    def test_empty_mix_rejected(self):
+        with pytest.raises(ValidationError):
+            WorkloadConfig(mix={})
+
+
+class TestGenerate:
+    def test_length_and_services(self, small_system):
+        workload = QueryWorkload.generate(
+            small_system, WorkloadConfig(num_queries=50, seed=1)
+        )
+        assert len(workload) == 50
+        services = {service for service, _arg in workload.queries}
+        assert services <= {"influencers", "suggest", "paths", "complete"}
+
+    def test_deterministic(self, small_system):
+        a = QueryWorkload.generate(
+            small_system, WorkloadConfig(num_queries=30, seed=2)
+        )
+        b = QueryWorkload.generate(
+            small_system, WorkloadConfig(num_queries=30, seed=2)
+        )
+        assert a.queries == b.queries
+
+    def test_mix_respected(self, small_system):
+        workload = QueryWorkload.generate(
+            small_system,
+            WorkloadConfig(
+                num_queries=80, mix={"complete": 1.0}, seed=3
+            ),
+        )
+        assert all(service == "complete" for service, _arg in workload.queries)
+
+    def test_zipf_skew_repeats_queries(self, small_system):
+        workload = QueryWorkload.generate(
+            small_system,
+            WorkloadConfig(
+                num_queries=100,
+                mix={"influencers": 1.0},
+                zipf_s=2.0,
+                seed=4,
+            ),
+        )
+        arguments = [argument for _service, argument in workload.queries]
+        assert len(set(arguments)) < len(arguments)  # repetition exists
+
+
+class TestRunWorkload:
+    def test_report_shape(self, small_system):
+        workload = QueryWorkload.generate(
+            small_system, WorkloadConfig(num_queries=40, seed=5)
+        )
+        report = run_workload(small_system, workload)
+        assert isinstance(report, LatencyReport)
+        assert report.total_queries == 40
+        for stats in report.per_service.values():
+            assert stats["p50_ms"] <= stats["p95_ms"] <= stats["max_ms"]
+
+    def test_cache_improves_second_pass(self, small_system):
+        small_system._result_cache.clear()
+        workload = QueryWorkload.generate(
+            small_system,
+            WorkloadConfig(
+                num_queries=30, mix={"influencers": 1.0}, zipf_s=2.0, seed=6
+            ),
+        )
+        first = run_workload(small_system, workload)
+        second = run_workload(small_system, workload)
+        assert second.cache_hit_rate >= first.cache_hit_rate
+        assert (
+            second.per_service["influencers"]["p50_ms"]
+            <= first.per_service["influencers"]["p50_ms"] + 1e-6
+        )
+
+    def test_errors_counted_not_raised(self, small_system):
+        workload = QueryWorkload(
+            queries=[("suggest", 10_000), ("complete", "da")]
+        )
+        report = run_workload(small_system, workload)
+        assert report.per_service["errors"]["count"] == 1.0
+        assert report.per_service["complete"]["count"] == 1.0
+
+    def test_empty_workload_rejected(self, small_system):
+        with pytest.raises(ValidationError, match="empty"):
+            run_workload(small_system, QueryWorkload(queries=[]))
+
+    def test_report_lines_render(self, small_system):
+        workload = QueryWorkload.generate(
+            small_system, WorkloadConfig(num_queries=20, seed=7)
+        )
+        report = run_workload(small_system, workload)
+        lines = report.lines()
+        assert any("p95" in line for line in lines)
+        assert any("cache hit rate" in line for line in lines)
