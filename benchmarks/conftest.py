@@ -4,9 +4,18 @@ Everything expensive is session-scoped.  The benchmark graph is kept at a
 few hundred nodes so the whole suite runs in minutes on a laptop while
 preserving the *shapes* the paper's claims rest on (see the repro
 calibration note: billion-edge scale needs C extensions, out of scope).
+
+Besides pytest-benchmark's human table, every run writes one
+machine-readable JSON artifact (``BENCH_RESULTS.json`` next to this file,
+or ``$BENCH_JSON_PATH``) with per-benchmark stats and ``extra_info``, so
+the performance trajectory can be diffed across PRs.
 """
 
 from __future__ import annotations
+
+import json
+import os
+import pathlib
 
 import numpy as np
 import pytest
@@ -79,3 +88,42 @@ def best_effort_engine(bench_weights, bound_estimators):
         num_samples=60,
         seed=1003,
     )
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Dump one machine-readable dict per benchmark to a JSON artifact."""
+    benchmark_session = getattr(session.config, "_benchmarksession", None)
+    if benchmark_session is None or not benchmark_session.benchmarks:
+        return
+    records = []
+    for bench in benchmark_session.benchmarks:
+        try:
+            stats = bench.stats
+            records.append(
+                {
+                    "name": bench.name,
+                    "group": bench.group,
+                    "fullname": bench.fullname,
+                    "rounds": int(stats.rounds),
+                    "mean_s": float(stats.mean),
+                    "stddev_s": float(stats.stddev) if stats.rounds > 1 else 0.0,
+                    "min_s": float(stats.min),
+                    "max_s": float(stats.max),
+                    "extra_info": dict(bench.extra_info),
+                }
+            )
+        except Exception:  # noqa: BLE001 — never fail the run over reporting
+            continue
+    if not records:
+        return
+    target = pathlib.Path(
+        os.environ.get(
+            "BENCH_JSON_PATH",
+            pathlib.Path(__file__).parent / "BENCH_RESULTS.json",
+        )
+    )
+    try:
+        target.write_text(json.dumps(records, indent=1, sort_keys=True))
+        print(f"\nbenchmark JSON written to {target}")
+    except OSError:
+        pass

@@ -1,20 +1,34 @@
 #!/usr/bin/env python
-"""Online serving: mixed workload latency + streaming model refresh.
+"""Online serving through the typed service API: envelopes, batching, cache.
 
 Demonstrates the "online influence analysis ... instant results" feature
-under realistic conditions: a Zipf-skewed mix of the three services plus
-auto-completion, latency percentiles before and after the result cache
-warms, and the model-refresh path — periodic EM re-fits absorbed by the
-influencer index without re-sampling its sketches.
+under realistic conditions, all through :class:`repro.OctopusService` — the
+request/response front door every client shares:
+
+1. a single typed request and its JSON wire form (log-replayable),
+2. a Zipf-skewed mixed workload of request objects, cold vs. warm cache,
+3. batch execution de-duplicating repeated queries,
+4. the serving metrics the middleware stack collects for free,
+5. the model-refresh path — periodic EM re-fits absorbed by the
+   influencer index without re-sampling its sketches.
 
 Run:  python examples/online_serving.py
 """
 
 import numpy as np
 
-from repro import CitationNetworkGenerator, Octopus, OctopusConfig
+from repro import (
+    CitationNetworkGenerator,
+    FindInfluencersRequest,
+    Octopus,
+    OctopusConfig,
+    OctopusService,
+    QueryWorkload,
+    ServiceResponse,
+    WorkloadConfig,
+    run_workload,
+)
 from repro.core.dynamic import DynamicInfluenceEngine
-from repro.engine.workload import QueryWorkload, WorkloadConfig, run_workload
 from repro.topics.em import EMConfig, TICLearner
 from repro.utils.timer import Timer
 
@@ -36,19 +50,45 @@ def main() -> None:
             seed=62,
         ),
     )
+    service = OctopusService(system)
 
-    print("== mixed query workload (Zipf-skewed, 120 queries) ==")
+    print("== one typed request, and its wire form ==")
+    request = FindInfluencersRequest("data mining", k=5)
+    response = service.execute(request)
+    print(f"request JSON : {request.to_json()}")
+    print(f"top seeds    : {response.payload['labels'][:3]}")
+    print(f"latency      : {response.latency_ms:.1f} ms "
+          f"(cache_hit={response.cache_hit})")
+    replayed = ServiceResponse.from_json(response.to_json())
+    assert replayed == response  # responses round-trip losslessly
+
+    print("\n== mixed query workload (Zipf-skewed, 120 queries) ==")
     workload = QueryWorkload.generate(
-        system, WorkloadConfig(num_queries=120, zipf_s=1.5, seed=63)
+        service, WorkloadConfig(num_queries=120, zipf_s=1.5, seed=63)
     )
     print("\ncold cache:")
-    cold = run_workload(system, workload)
+    cold = run_workload(service, workload)
     for line in cold.lines():
         print("  " + line)
     print("\nwarm cache (same workload again):")
-    warm = run_workload(system, workload)
+    warm = run_workload(service, workload)
     for line in warm.lines():
         print("  " + line)
+
+    print("\n== batch execution (duplicates shared, input order kept) ==")
+    batch = [
+        FindInfluencersRequest("data mining", k=5),
+        FindInfluencersRequest("clustering", k=5),
+        FindInfluencersRequest("data mining", k=5),  # duplicate → shared
+    ]
+    responses = service.execute_batch(batch)
+    for req, resp in zip(batch, responses):
+        print(f"  {req.keywords[0]:<14s} ok={resp.ok} "
+              f"cache_hit={resp.cache_hit} {resp.latency_ms:.2f} ms")
+
+    print("\n== serving metrics (collected by the middleware stack) ==")
+    for key, value in sorted(service.metrics.snapshot().items()):
+        print(f"  {key:<40s} {value:.3f}")
 
     print("\n== streaming model refresh ==")
     engine = DynamicInfluenceEngine(

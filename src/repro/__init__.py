@@ -4,36 +4,88 @@ A full reproduction of the OCTOPUS system: topic-aware independent-cascade
 modelling with EM learning, keyword-based influence maximization with a
 best-effort bound framework and topic-sample index, personalized influential
 keyword suggestion over an influencer index, and MIA-based influential-path
-exploration — behind the :class:`~repro.core.octopus.Octopus` facade.
+exploration.  The :class:`~repro.core.octopus.Octopus` facade is the compute
+backend; the typed :class:`~repro.service.OctopusService` layer in front of
+it is the recommended entry point — it adds result caching, metrics,
+validation envelopes and batch execution, and speaks JSON.
 
 Quickstart::
 
-    from repro import CitationNetworkGenerator, Octopus
+    from repro import (
+        CitationNetworkGenerator, Octopus, OctopusService,
+        FindInfluencersRequest,
+    )
 
     dataset = CitationNetworkGenerator(num_researchers=500, seed=7).generate()
-    system = Octopus.from_dataset(dataset)
-    result = system.find_influencers("data mining", k=5)
-    for node, label in result.top(5):
+    service = OctopusService(Octopus.from_dataset(dataset))
+    response = service.execute(FindInfluencersRequest("data mining", k=5))
+    assert response.ok  # errors come back as envelopes, never exceptions
+    for node, label in zip(response.payload["seeds"],
+                           response.payload["labels"]):
         print(label)
+
+    # Requests and responses round-trip through JSON for logging/replay:
+    wire = response.to_json()
+
+Workloads (``repro.engine``) generate Zipf-skewed streams of typed requests
+and report latency percentiles through the same service layer.
 """
 
 from repro.core.octopus import Octopus, OctopusConfig
 from repro.core.query import InfluencerResult, KeywordQuery, KeywordSuggestionResult
 from repro.datasets.citation import CitationNetworkGenerator
 from repro.datasets.social import SocialNetworkGenerator
+from repro.engine.workload import (
+    LatencyReport,
+    QueryWorkload,
+    WorkloadConfig,
+    run_workload,
+)
 from repro.graph.digraph import GraphBuilder, SocialGraph
+from repro.service import (
+    CompleteRequest,
+    ExplorePathsRequest,
+    FindInfluencersRequest,
+    TargetedInfluencersRequest,
+    OctopusService,
+    RadarRequest,
+    ServiceError,
+    ServiceRequest,
+    ServiceResponse,
+    StatsRequest,
+    SuggestKeywordsRequest,
+    request_from_dict,
+    request_from_json,
+)
 from repro.topics.edges import TopicEdgeWeights
 from repro.topics.model import TopicModel
 from repro.topics.vocabulary import Vocabulary
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Octopus",
     "OctopusConfig",
+    "OctopusService",
+    "ServiceRequest",
+    "FindInfluencersRequest",
+    "TargetedInfluencersRequest",
+    "SuggestKeywordsRequest",
+    "ExplorePathsRequest",
+    "CompleteRequest",
+    "RadarRequest",
+    "StatsRequest",
+    "ServiceResponse",
+    "ServiceError",
+    "request_from_dict",
+    "request_from_json",
     "KeywordQuery",
     "InfluencerResult",
     "KeywordSuggestionResult",
+    "WorkloadConfig",
+    "QueryWorkload",
+    "LatencyReport",
+    "run_workload",
     "CitationNetworkGenerator",
     "SocialNetworkGenerator",
     "SocialGraph",

@@ -4,7 +4,10 @@ The demo paper fronts OCTOPUS with a web UI; this CLI exposes the same
 services to a terminal (and doubles as the reference client for the
 library).  A dataset directory (created by ``octopus generate`` or
 :func:`repro.datasets.loaders.save_dataset`) plays the role of the deployed
-network.
+network.  Every command is served through the typed
+:class:`~repro.service.OctopusService` layer — the CLI renders
+:class:`~repro.service.ServiceResponse` payloads, it never calls the
+algorithms directly.
 
 Commands::
 
@@ -16,6 +19,11 @@ Commands::
     octopus radar       DIR "em algorithm"
     octopus complete    DIR --users PREFIX | --keywords PREFIX
     octopus stats       DIR
+    octopus query       DIR REQUEST_JSON [--batch] [--pretty]
+
+``query`` is the wire-level entry point: it takes a JSON request (or a JSON
+array with ``--batch``), ``@file`` to read from a file, or ``-`` for stdin,
+and prints the JSON response envelope(s).
 """
 
 from __future__ import annotations
@@ -29,6 +37,17 @@ from repro.core.octopus import Octopus, OctopusConfig
 from repro.datasets.citation import CitationNetworkGenerator
 from repro.datasets.loaders import load_dataset, save_dataset
 from repro.datasets.social import SocialNetworkGenerator
+from repro.service import (
+    CompleteRequest,
+    ExplorePathsRequest,
+    FindInfluencersRequest,
+    OctopusService,
+    RadarRequest,
+    ServiceResponse,
+    StatsRequest,
+    SuggestKeywordsRequest,
+    request_from_json,
+)
 from repro.utils.validation import ValidationError
 
 __all__ = ["main", "build_parser"]
@@ -97,10 +116,27 @@ def build_parser() -> argparse.ArgumentParser:
     complete.add_argument("--limit", type=int, default=10)
 
     add_system_command("stats", "system and index statistics")
+
+    query = add_system_command(
+        "query", "execute a JSON service request (the wire-level API)"
+    )
+    query.add_argument(
+        "request",
+        help="JSON request object, '@path' to read a file, or '-' for stdin",
+    )
+    query.add_argument(
+        "--batch",
+        action="store_true",
+        help="treat the input as a JSON array and execute it as a batch",
+    )
+    query.add_argument(
+        "--pretty", action="store_true", help="indent the JSON response"
+    )
     return parser
 
 
-def _load_system(arguments: argparse.Namespace) -> Octopus:
+def _load_service(arguments: argparse.Namespace) -> OctopusService:
+    """Build the system and wrap it in the service layer."""
     dataset = load_dataset(arguments.dataset)
     if arguments.fast:
         config = OctopusConfig(
@@ -112,14 +148,22 @@ def _load_system(arguments: argparse.Namespace) -> Octopus:
         )
     else:
         config = OctopusConfig(seed=arguments.seed)
-    return Octopus.from_dataset(dataset, config=config)
+    return OctopusService(Octopus.from_dataset(dataset, config=config))
 
 
-def _resolve_user_argument(system: Octopus, text: str):
-    try:
-        return system.resolve_user(int(text))
-    except (ValueError, ValidationError):
-        return system.resolve_user(text)
+def _user_argument(text: str):
+    """CLI user arguments are ids when numeric, names otherwise."""
+    stripped = text.strip()
+    if stripped.lstrip("-").isdigit():
+        return int(stripped)
+    return text
+
+
+def _render_error(response: ServiceResponse) -> int:
+    """Print a service error envelope the way the CLI reports errors."""
+    assert response.error is not None
+    print(f"error: {response.error.message}", file=sys.stderr)
+    return 2
 
 
 def _command_generate(arguments: argparse.Namespace) -> int:
@@ -140,46 +184,62 @@ def _command_generate(arguments: argparse.Namespace) -> int:
 
 
 def _command_influencers(arguments: argparse.Namespace) -> int:
-    system = _load_system(arguments)
-    result = system.find_influencers(arguments.keywords, k=arguments.k)
-    print(f"keywords : {', '.join(result.query.keywords)}")
-    print(f"spread   : {result.spread:.1f}")
-    print(f"latency  : {result.elapsed_seconds * 1e3:.1f} ms")
-    for rank, (node, label) in enumerate(result.top(arguments.k), start=1):
+    service = _load_service(arguments)
+    response = service.execute(
+        FindInfluencersRequest(keywords=arguments.keywords, k=arguments.k)
+    )
+    if not response.ok:
+        return _render_error(response)
+    payload = response.payload
+    print(f"keywords : {', '.join(payload['keywords'])}")
+    print(f"spread   : {payload['spread']:.1f}")
+    print(f"latency  : {response.latency_ms:.1f} ms")
+    ranked = list(zip(payload["seeds"], payload["labels"]))
+    for rank, (node, label) in enumerate(ranked[: arguments.k], start=1):
         print(f"{rank:3d}. {label}  (user {node})")
     return 0
 
 
 def _command_suggest(arguments: argparse.Namespace) -> int:
-    system = _load_system(arguments)
-    user = _resolve_user_argument(system, arguments.user)
+    service = _load_service(arguments)
     method = "exact" if arguments.exact else "greedy"
-    result = system.suggest_keywords(user, k=arguments.k, method=method)
-    print(f"user     : {result.target_label} (user {result.target})")
-    print(f"keywords : {', '.join(result.keywords)}")
-    print(f"spread   : {result.spread:.1f}")
-    from repro.viz.radar import radar_chart_data
+    response = service.execute(
+        SuggestKeywordsRequest(
+            user=_user_argument(arguments.user), k=arguments.k, method=method
+        )
+    )
+    if not response.ok:
+        return _render_error(response)
+    payload = response.payload
+    print(f"user     : {payload['target_label']} (user {payload['target']})")
+    print(f"keywords : {', '.join(payload['keywords'])}")
+    print(f"spread   : {payload['spread']:.1f}")
     from repro.viz.text import render_radar
 
-    payload = radar_chart_data(
-        system.topic_model, result.keywords, system.topic_names
-    )
-    print(render_radar(payload))
+    radar = service.execute(RadarRequest(payload["keywords"]))
+    if not radar.ok:
+        return _render_error(radar)
+    print(render_radar(radar.payload))
     return 0
 
 
 def _command_paths(arguments: argparse.Namespace) -> int:
-    system = _load_system(arguments)
-    user = _resolve_user_argument(system, arguments.user)
+    service = _load_service(arguments)
     direction = "influenced_by" if arguments.reverse else "influences"
-    tree = system.explore_paths(
-        user,
-        keywords=arguments.keywords,
-        threshold=arguments.threshold,
-        direction=direction,
+    response = service.execute(
+        ExplorePathsRequest(
+            user=_user_argument(arguments.user),
+            keywords=arguments.keywords,
+            threshold=arguments.threshold,
+            direction=direction,
+        )
     )
+    if not response.ok:
+        return _render_error(response)
+    from repro.core.paths import PathTree
     from repro.viz.text import render_path_tree
 
+    tree = PathTree.from_dict(response.payload)
     print(render_path_tree(tree))
     if arguments.json:
         from repro.viz.d3 import path_tree_to_d3_force
@@ -191,31 +251,96 @@ def _command_paths(arguments: argparse.Namespace) -> int:
 
 
 def _command_radar(arguments: argparse.Namespace) -> int:
-    system = _load_system(arguments)
+    service = _load_service(arguments)
+    response = service.execute(RadarRequest(keywords=arguments.keywords))
+    if not response.ok:
+        return _render_error(response)
     from repro.viz.text import render_radar
 
-    print(render_radar(system.radar(arguments.keywords)))
+    print(render_radar(response.payload))
     return 0
 
 
 def _command_complete(arguments: argparse.Namespace) -> int:
-    system = _load_system(arguments)
+    service = _load_service(arguments)
     if arguments.users is not None:
-        completions = system.autocomplete_users(arguments.users, arguments.limit)
-    else:
-        completions = system.autocomplete_keywords(
-            arguments.keywords, arguments.limit
+        request = CompleteRequest(
+            prefix=arguments.users, kind="users", limit=arguments.limit
         )
-    for key, payload in completions:
+    else:
+        request = CompleteRequest(
+            prefix=arguments.keywords, kind="keywords", limit=arguments.limit
+        )
+    response = service.execute(request)
+    if not response.ok:
+        return _render_error(response)
+    for key, payload in response.payload["completions"]:
         print(f"{key}\t{payload}")
     return 0
 
 
 def _command_stats(arguments: argparse.Namespace) -> int:
-    system = _load_system(arguments)
-    for key, value in sorted(system.statistics().items()):
+    service = _load_service(arguments)
+    response = service.execute(StatsRequest())
+    if not response.ok:
+        return _render_error(response)
+    for key, value in sorted(response.payload.items()):
         print(f"{key:<45s} {value:.4f}")
     return 0
+
+
+def _read_query_input(text: str) -> str:
+    """Resolve the ``query`` command's request argument to raw JSON text."""
+    if text == "-":
+        return sys.stdin.read()
+    if text.startswith("@"):
+        with open(text[1:], "r", encoding="utf-8") as handle:
+            return handle.read()
+    return text
+
+
+def _command_query(arguments: argparse.Namespace) -> int:
+    # Read and shape-check the input before the (expensive) index build.
+    try:
+        raw = _read_query_input(arguments.request)
+    except OSError as error:
+        print(f"error: cannot read request: {error}", file=sys.stderr)
+        return 2
+    indent = 1 if arguments.pretty else None
+    if arguments.batch:
+        try:
+            entries = json.loads(raw)
+        except json.JSONDecodeError as error:
+            print(f"error: batch input is not valid JSON: {error}", file=sys.stderr)
+            return 2
+        if not isinstance(entries, list):
+            print("error: --batch expects a JSON array", file=sys.stderr)
+            return 2
+        service = _load_service(arguments)
+        responses = service.execute_batch(entries)
+        print(
+            json.dumps(
+                [response.to_dict() for response in responses],
+                sort_keys=True,
+                indent=indent,
+            )
+        )
+        return 0 if all(response.ok for response in responses) else 2
+    try:
+        request = request_from_json(raw)
+    except ValidationError as error:
+        try:
+            name = str(json.loads(raw).get("service") or "unknown")
+        except (json.JSONDecodeError, AttributeError):
+            name = "unknown"
+        response = ServiceResponse.failure(
+            name, "malformed_request", str(error)
+        )
+        print(response.to_json(indent=indent))
+        return 2
+    response = _load_service(arguments).execute(request)
+    print(response.to_json(indent=indent))
+    return 0 if response.ok else 2
 
 
 _HANDLERS = {
@@ -226,6 +351,7 @@ _HANDLERS = {
     "radar": _command_radar,
     "complete": _command_complete,
     "stats": _command_stats,
+    "query": _command_query,
 }
 
 

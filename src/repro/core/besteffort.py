@@ -22,6 +22,7 @@ pruning" device of [3].
 
 from __future__ import annotations
 
+import hashlib
 from typing import Callable, List, Optional, Sequence
 
 import numpy as np
@@ -35,7 +36,7 @@ from repro.propagation.estimators import (
 )
 from repro.topics.edges import TopicEdgeWeights
 from repro.utils.heap import LazyGreedyQueue
-from repro.utils.rng import SeedLike, as_generator
+from repro.utils.rng import SeedLike
 from repro.utils.validation import (
     ValidationError,
     check_in_range,
@@ -48,22 +49,57 @@ __all__ = ["BestEffortKeywordIM"]
 OracleFactory = Callable[[SocialGraph, np.ndarray], SpreadEstimator]
 
 
+def _base_entropy(seed: SeedLike) -> int:
+    """Collapse any seed form into one integer entropy value."""
+    if isinstance(seed, np.random.Generator):
+        return int(seed.integers(0, 2**63 - 1))
+    if isinstance(seed, np.random.SeedSequence):
+        return int(seed.generate_state(1, dtype=np.uint64)[0])
+    if seed is None:
+        return int(np.random.SeedSequence().generate_state(1)[0])
+    return int(seed)
+
+
+def _query_rng(entropy: int, probabilities: np.ndarray) -> np.random.Generator:
+    """Per-query generator keyed by (engine seed, query probabilities).
+
+    Identical queries draw identical randomness regardless of what ran
+    before them, so answers are reproducible: a cached response, a replayed
+    log entry and a batched duplicate all equal a fresh computation.
+    """
+    digest = hashlib.blake2b(
+        np.ascontiguousarray(probabilities, dtype=np.float64).tobytes(),
+        digest_size=8,
+    ).digest()
+    return np.random.default_rng(
+        np.random.SeedSequence([entropy, int.from_bytes(digest, "little")])
+    )
+
+
 def _monte_carlo_factory(num_samples: int, seed: SeedLike) -> OracleFactory:
-    rng = as_generator(seed)
+    entropy = _base_entropy(seed)
 
     def factory(graph: SocialGraph, probabilities: np.ndarray) -> SpreadEstimator:
         return MonteCarloSpreadEstimator(
-            graph, probabilities, num_samples=num_samples, seed=rng
+            graph,
+            probabilities,
+            num_samples=num_samples,
+            seed=_query_rng(entropy, probabilities),
         )
 
     return factory
 
 
 def _rr_set_factory(num_sets: int, seed: SeedLike) -> OracleFactory:
-    rng = as_generator(seed)
+    entropy = _base_entropy(seed)
 
     def factory(graph: SocialGraph, probabilities: np.ndarray) -> SpreadEstimator:
-        return RRSetSpreadEstimator(graph, probabilities, num_sets=num_sets, seed=rng)
+        return RRSetSpreadEstimator(
+            graph,
+            probabilities,
+            num_sets=num_sets,
+            seed=_query_rng(entropy, probabilities),
+        )
 
     return factory
 

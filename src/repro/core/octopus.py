@@ -10,7 +10,12 @@ keyword-based interface:
 * :meth:`Octopus.explore_paths` — influential path trees (§II-E: MIA).
 
 Plus the UI plumbing of the demo: keyword parsing, auto-completion tries,
-radar-diagram data, an LRU query cache and system statistics.
+radar-diagram data and system statistics.
+
+This facade is a *pure compute backend*: it always computes.  Serving
+concerns — result caching, metrics, validation envelopes, batching — live
+one layer up in :class:`repro.service.OctopusService`, which is the front
+door every client (CLI, workload engine, examples) should use.
 """
 
 from __future__ import annotations
@@ -37,7 +42,6 @@ from repro.core.query import (
 from repro.core.suggestion import KeywordSuggester
 from repro.core.topic_samples import TopicSampleIndex
 from repro.graph.digraph import SocialGraph
-from repro.index.cache import LRUCache
 from repro.index.inverted import InvertedIndex
 from repro.index.trie import Trie
 from repro.topics.edges import TopicEdgeWeights
@@ -70,7 +74,7 @@ class OctopusConfig:
     consistency_filter: bool = False
     default_k: int = 10
     default_path_threshold: float = 0.01
-    cache_capacity: int = 128
+    cache_capacity: int = 128  # default capacity of the service-layer result cache
     seed: SeedLike = None
 
     def __post_init__(self) -> None:
@@ -133,7 +137,6 @@ class Octopus:
             )
         self._stopwatch = Stopwatch()
         self._build_indexes()
-        self._result_cache: LRUCache = LRUCache(self.config.cache_capacity)
 
     # ------------------------------------------------------------------
     # Construction
@@ -314,10 +317,6 @@ class Octopus:
         k = k if k is not None else self.config.default_k
         check_positive(k, "k")
         resolved = self.parse_keywords(keywords)
-        cache_key = ("influencers", resolved, k)
-        cached = self._result_cache.get(cache_key)
-        if cached is not None:
-            return cached
         started = time.perf_counter()
         gamma = self.topic_model.keyword_topic_posterior(list(resolved))
         query = KeywordQuery(keywords=resolved, gamma=gamma, k=k)
@@ -344,7 +343,6 @@ class Octopus:
             elapsed_seconds=time.perf_counter() - started,
             statistics=dict(im_result.statistics),
         )
-        self._result_cache.put(cache_key, result)
         return result
 
     def find_targeted_influencers(
@@ -370,10 +368,6 @@ class Octopus:
             if audience_keywords is not None
             else resolved
         )
-        cache_key = ("targeted", resolved, audience_resolved, k, num_sets)
-        cached = self._result_cache.get(cache_key)
-        if cached is not None:
-            return cached
         from repro.core.targeted import TargetedKeywordIM
 
         started = time.perf_counter()
@@ -398,7 +392,6 @@ class Octopus:
             elapsed_seconds=time.perf_counter() - started,
             statistics=dict(im_result.statistics),
         )
-        self._result_cache.put(cache_key, result)
         return result
 
     # ------------------------------------------------------------------
@@ -414,14 +407,8 @@ class Octopus:
     ) -> KeywordSuggestionResult:
         """The user's most influential k-sized keyword set (§II-D)."""
         node = self.resolve_user(user)
-        cache_key = ("suggest", node, k, method)
-        cached = self._result_cache.get(cache_key)
-        if cached is not None:
-            return cached
         with self._stopwatch.phase("query.suggestion"):
-            result = self.suggester.suggest(node, k, method=method)
-        self._result_cache.put(cache_key, result)
-        return result
+            return self.suggester.suggest(node, k, method=method)
 
     # ------------------------------------------------------------------
     # Service 3: influential path exploration
@@ -477,13 +464,11 @@ class Octopus:
         return radar_chart_data(self.topic_model, list(resolved), self.topic_names)
 
     def statistics(self) -> Dict[str, float]:
-        """Build/query timings, index sizes and cache performance."""
+        """Build/query timings and index sizes (cache stats live in the
+        service layer, where the cache now lives)."""
         stats: Dict[str, float] = {}
         for name, total in self._stopwatch.totals().items():
             stats[f"seconds.{name}"] = total
-        stats["cache.hits"] = float(self._result_cache.hits)
-        stats["cache.misses"] = float(self._result_cache.misses)
-        stats["cache.hit_rate"] = self._result_cache.hit_rate
         for key, value in self.influencer_index.statistics().items():
             stats[f"influencer_index.{key}"] = value
         if self.topic_sample_index is not None:

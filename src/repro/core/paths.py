@@ -174,6 +174,36 @@ class PathTree:
             ],
         }
 
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "PathTree":
+        """Rebuild a tree from its :meth:`to_dict` form (service payloads).
+
+        ``to_dict(from_dict(d)) == d`` for any payload produced by
+        :meth:`to_dict` — this is what lets path trees travel as JSON
+        through the service layer and come back renderable.
+        """
+        root = int(payload["root"])
+        parents: Dict[int, int] = {}
+        probabilities: Dict[int, float] = {}
+        labels: Dict[int, str] = {}
+        for entry in payload["nodes"]:
+            node = int(entry["id"])
+            parent = entry.get("parent")
+            parents[node] = root if parent is None else int(parent)
+            probabilities[node] = float(entry["probability"])
+            label = entry.get("label")
+            if label is not None and label != f"node-{node}":
+                labels[node] = label
+        return cls(
+            root=root,
+            direction=payload["direction"],
+            threshold=float(payload["threshold"]),
+            gamma=np.asarray(payload["gamma"], dtype=np.float64),
+            parents=parents,
+            probabilities=probabilities,
+            labels=labels,
+        )
+
 
 class InfluencePathExplorer:
     """Builds :class:`PathTree` views over the topic-aware graph."""

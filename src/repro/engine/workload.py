@@ -1,21 +1,34 @@
 """Mixed query workloads and latency-percentile reporting.
 
 Generates a realistic stream of OCTOPUS queries (keyword IM, keyword
-suggestion, path exploration, auto-completion) with a configurable mix and
-skew — end users repeat popular queries, which is what makes the result
-cache matter — runs it against a built system, and reports per-service
-latency percentiles.
+suggestion, path exploration, auto-completion) as typed
+:class:`~repro.service.requests.ServiceRequest` objects with a configurable
+mix and skew — end users repeat popular queries, which is what makes the
+service-layer result cache matter — dispatches it through an
+:class:`~repro.service.OctopusService`, and reports per-service latency
+percentiles plus the cache/metrics counters the service keeps for free.
+
+Because workloads are request objects, they serialize: ``[r.to_dict() for r
+in workload.queries]`` is a replayable JSON query log.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.core.octopus import Octopus
+from repro.service.dispatcher import OctopusService
+from repro.service.requests import (
+    CompleteRequest,
+    ExplorePathsRequest,
+    FindInfluencersRequest,
+    ServiceRequest,
+    SuggestKeywordsRequest,
+)
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.validation import ValidationError, check_positive
 
@@ -62,16 +75,20 @@ class WorkloadConfig:
 
 @dataclass
 class QueryWorkload:
-    """A concrete query stream: ``(service, argument)`` pairs."""
+    """A concrete query stream of typed service requests."""
 
-    queries: List[Tuple[str, object]]
+    queries: List[ServiceRequest]
 
     def __len__(self) -> int:
         return len(self.queries)
 
+    def to_dicts(self) -> List[Dict]:
+        """The workload as a JSON-serializable query log."""
+        return [request.to_dict() for request in self.queries]
+
     @classmethod
     def generate(
-        cls, system: Octopus, config: Optional[WorkloadConfig] = None
+        cls, system: Union[Octopus, OctopusService], config: Optional[WorkloadConfig] = None
     ) -> "QueryWorkload":
         """Draw a workload against *system*'s vocabulary and users.
 
@@ -80,10 +97,11 @@ class QueryWorkload:
         are answerable); both are sampled with Zipf-like skew.
         """
         config = config or WorkloadConfig()
+        backend = system.backend if isinstance(system, OctopusService) else system
         rng = as_generator(config.seed)
-        vocabulary = system.topic_model.vocabulary
+        vocabulary = backend.topic_model.vocabulary
         keywords = vocabulary.words()
-        users = sorted(system.user_keywords)
+        users = sorted(backend.user_keywords)
         if not keywords or not users:
             raise ValidationError("system has no keywords or no active users")
 
@@ -103,18 +121,32 @@ class QueryWorkload:
 
         keyword_draws = zipf_choice(keywords, config.num_queries)
         user_draws = zipf_choice(users, config.num_queries)
-        queries: List[Tuple[str, object]] = []
+        queries: List[ServiceRequest] = []
         for position, service_index in enumerate(drawn_services):
             service = services[int(service_index)]
             if service == "influencers":
-                queries.append((service, keyword_draws[position]))
+                queries.append(
+                    FindInfluencersRequest(
+                        keywords=(keyword_draws[position],), k=config.k
+                    )
+                )
             elif service == "suggest":
-                queries.append((service, user_draws[position]))
+                queries.append(
+                    SuggestKeywordsRequest(user=int(user_draws[position]), k=3)
+                )
             elif service == "paths":
-                queries.append((service, user_draws[position]))
+                queries.append(
+                    ExplorePathsRequest(
+                        user=int(user_draws[position]),
+                        threshold=config.path_threshold,
+                    )
+                )
             else:  # complete
-                prefix = keyword_draws[position][:2]
-                queries.append((service, prefix))
+                queries.append(
+                    CompleteRequest(
+                        prefix=keyword_draws[position][:2], limit=10
+                    )
+                )
         return cls(queries)
 
 
@@ -126,6 +158,7 @@ class LatencyReport:
     total_queries: int
     cache_hit_rate: float
     wall_seconds: float
+    service_stats: Dict[str, float] = field(default_factory=dict)
 
     def lines(self) -> List[str]:
         """Human-readable report."""
@@ -146,11 +179,29 @@ class LatencyReport:
         )
         return rows
 
+    def to_dict(self) -> Dict[str, object]:
+        """Machine-readable report (for benchmark JSON artifacts)."""
+        return {
+            "per_service": {
+                service: dict(stats)
+                for service, stats in self.per_service.items()
+            },
+            "total_queries": self.total_queries,
+            "cache_hit_rate": self.cache_hit_rate,
+            "wall_seconds": self.wall_seconds,
+            "service_stats": dict(self.service_stats),
+        }
+
 
 def run_workload(
-    system: Octopus, workload: QueryWorkload
+    system: Union[Octopus, OctopusService], workload: QueryWorkload
 ) -> LatencyReport:
-    """Execute *workload* against *system* and collect latency percentiles.
+    """Execute *workload* through the service layer and collect percentiles.
+
+    *system* may be an :class:`OctopusService` (preferred — its cache and
+    metrics persist across runs, so a second pass over the same workload
+    shows the warm-cache speedup) or a bare :class:`Octopus`, which is
+    wrapped in a fresh service for the duration of the run.
 
     Individual query failures (e.g. a drawn user without enough keywords)
     are counted under ``errors`` rather than aborting the run — a serving
@@ -158,34 +209,29 @@ def run_workload(
     """
     if len(workload) == 0:
         raise ValidationError("workload is empty")
+    service = (
+        system
+        if isinstance(system, OctopusService)
+        else OctopusService(system)
+    )
     latencies: Dict[str, List[float]] = {}
     errors = 0
+    cache_hits = 0
     started = time.perf_counter()
-    for service, argument in workload.queries:
-        began = time.perf_counter()
-        try:
-            if service == "influencers":
-                system.find_influencers(argument, k=5)
-            elif service == "suggest":
-                system.suggest_keywords(argument, k=3)
-            elif service == "paths":
-                system.explore_paths(argument, threshold=0.02)
-            elif service == "complete":
-                system.autocomplete_keywords(argument, limit=10)
-            else:
-                raise ValidationError(f"unknown service {service!r}")
-        except ValidationError:
+    for request in workload.queries:
+        response = service.execute(request)
+        if not response.ok:
             errors += 1
             continue
-        latencies.setdefault(service, []).append(
-            (time.perf_counter() - began) * 1e3
-        )
+        if response.cache_hit:
+            cache_hits += 1
+        latencies.setdefault(request.service, []).append(response.latency_ms)
     wall = time.perf_counter() - started
 
     per_service: Dict[str, Dict[str, float]] = {}
-    for service, values in latencies.items():
+    for name, values in latencies.items():
         array = np.asarray(values)
-        per_service[service] = {
+        per_service[name] = {
             "count": float(len(array)),
             "p50_ms": float(np.percentile(array, 50)),
             "p95_ms": float(np.percentile(array, 95)),
@@ -202,9 +248,11 @@ def run_workload(
             "max_ms": 0.0,
             "mean_ms": 0.0,
         }
+    answered = len(workload) - errors
     return LatencyReport(
         per_service=per_service,
         total_queries=len(workload),
-        cache_hit_rate=system._result_cache.hit_rate,
+        cache_hit_rate=cache_hits / answered if answered else 0.0,
         wall_seconds=wall,
+        service_stats=service.metrics.snapshot(),
     )

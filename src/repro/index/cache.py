@@ -8,7 +8,7 @@ statistics panel.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Any, Hashable, Optional
+from typing import Any, Dict, Hashable, Optional
 
 from repro.utils.validation import check_positive
 
@@ -16,7 +16,7 @@ __all__ = ["LRUCache"]
 
 
 class LRUCache:
-    """Bounded least-recently-used mapping."""
+    """Bounded least-recently-used mapping with hit/miss/eviction counters."""
 
     def __init__(self, capacity: int = 256) -> None:
         check_positive(capacity, "capacity")
@@ -24,6 +24,7 @@ class LRUCache:
         self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def __len__(self) -> int:
         return len(self._data)
@@ -47,15 +48,28 @@ class LRUCache:
         self._data[key] = value
         while len(self._data) > self.capacity:
             self._data.popitem(last=False)
+            self.evictions += 1
 
     def clear(self) -> None:
         """Drop all entries and reset counters."""
         self._data.clear()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     @property
     def hit_rate(self) -> float:
         """Fraction of lookups served from cache (0 when unused)."""
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    def stats(self) -> Dict[str, float]:
+        """Counter snapshot for statistics panels (size, hits, misses, ...)."""
+        return {
+            "size": float(len(self._data)),
+            "capacity": float(self.capacity),
+            "hits": float(self.hits),
+            "misses": float(self.misses),
+            "evictions": float(self.evictions),
+            "hit_rate": self.hit_rate,
+        }

@@ -1,0 +1,340 @@
+"""The OCTOPUS service dispatcher — the system's single front door.
+
+:class:`OctopusService` routes typed requests (or their dict/JSON wire
+forms) to the :class:`~repro.core.octopus.Octopus` compute backend through a
+composable middleware stack, and always returns a
+:class:`~repro.service.responses.ServiceResponse` — malformed input, unknown
+services, backend validation failures and unexpected exceptions all become
+structured error envelopes, never tracebacks.  :meth:`execute_batch` groups
+same-service requests and shares results between duplicates so skewed
+interactive workloads amortize index lookups.
+"""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+import time
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.octopus import Octopus
+from repro.index.cache import LRUCache
+from repro.service.middleware import (
+    CacheMiddleware,
+    Handler,
+    MetricsMiddleware,
+    Middleware,
+    RateLimitMiddleware,
+    ServiceMetrics,
+    ValidationMiddleware,
+)
+from repro.service.requests import (
+    CompleteRequest,
+    ExplorePathsRequest,
+    FindInfluencersRequest,
+    RadarRequest,
+    ServiceRequest,
+    StatsRequest,
+    SuggestKeywordsRequest,
+    TargetedInfluencersRequest,
+    request_from_dict,
+    request_from_json,
+)
+from repro.service.responses import ServiceError, ServiceResponse, jsonify
+from repro.utils.validation import ValidationError
+
+__all__ = ["OctopusService"]
+
+RequestLike = Union[ServiceRequest, Dict[str, Any], str]
+
+
+class OctopusService:
+    """Typed request/response service over an :class:`Octopus` backend.
+
+    The default middleware stack, outermost first:
+
+    1. metrics — latency/error/hit counters per service;
+    2. rate limiting — only when ``rate_limit`` is given;
+    3. validation — structural request checks;
+    4. user middleware — anything passed via ``middleware``;
+    5. result cache — LRU over successful cacheable responses.
+
+    The result cache lives *here*, not in the backend: every entry point
+    (CLI, workload engine, future wire servers) shares one cache with one
+    set of counters.
+    """
+
+    def __init__(
+        self,
+        backend: Octopus,
+        *,
+        cache_capacity: Optional[int] = None,
+        rate_limit: Optional[float] = None,
+        middleware: Sequence[Middleware] = (),
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.backend = backend
+        self.metrics = ServiceMetrics()
+        self.cache = LRUCache(
+            cache_capacity
+            if cache_capacity is not None
+            else backend.config.cache_capacity
+        )
+        stack: List[Middleware] = [MetricsMiddleware(self.metrics)]
+        if rate_limit is not None:
+            stack.append(RateLimitMiddleware(rate_limit, clock=clock))
+        stack.append(ValidationMiddleware())
+        stack.extend(middleware)
+        stack.append(CacheMiddleware(self.cache))
+        self.middleware: Tuple[Middleware, ...] = tuple(stack)
+        self._handlers: Dict[str, Callable[[ServiceRequest], Dict[str, Any]]] = {
+            FindInfluencersRequest.service: self._handle_influencers,
+            TargetedInfluencersRequest.service: self._handle_targeted,
+            SuggestKeywordsRequest.service: self._handle_suggest,
+            ExplorePathsRequest.service: self._handle_paths,
+            CompleteRequest.service: self._handle_complete,
+            RadarRequest.service: self._handle_radar,
+            StatsRequest.service: self._handle_stats,
+        }
+        # The stack is immutable after construction: compose it once
+        # instead of allocating wrapper closures on every request.
+        entry: Handler = self._handle
+        for layer in reversed(self.middleware):
+            entry = self._wrap(layer, entry)
+        self._entry = entry
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def execute(self, request: RequestLike) -> ServiceResponse:
+        """Serve one request; never raises.
+
+        Accepts a typed :class:`ServiceRequest`, its dict form, or a JSON
+        string — the three shapes a log replayer or wire server deals in.
+        """
+        try:
+            typed = self._coerce(request)
+        except ValidationError as error:
+            return ServiceResponse.failure(
+                self._service_name_of(request), "malformed_request", str(error)
+            )
+        return self._run_stack(typed)
+
+    def execute_batch(
+        self, requests: Sequence[RequestLike]
+    ) -> List[ServiceResponse]:
+        """Serve many requests, amortizing work across the batch.
+
+        Requests are grouped by service and de-duplicated by cache key:
+        each distinct query is computed once and its response shared with
+        every duplicate (marked ``cache_hit=True``), which is where skewed
+        workloads win.  Responses come back in input order, and a bad
+        request only fails its own slot.
+        """
+        responses: List[Optional[ServiceResponse]] = [None] * len(requests)
+        groups: Dict[str, List[Tuple[int, ServiceRequest]]] = {}
+        for position, raw in enumerate(requests):
+            try:
+                typed = self._coerce(raw)
+            except ValidationError as error:
+                responses[position] = ServiceResponse.failure(
+                    self._service_name_of(raw), "malformed_request", str(error)
+                )
+                continue
+            groups.setdefault(typed.service, []).append((position, typed))
+        for _service, members in groups.items():
+            shared: Dict[Any, ServiceResponse] = {}
+            for position, typed in members:
+                key = typed.cache_key()
+                try:
+                    original = shared.get(key) if key is not None else None
+                except TypeError:
+                    # unhashable field value: structural validation will
+                    # reject it inside the stack; just don't de-duplicate
+                    key, original = None, None
+                if original is not None:
+                    started = time.perf_counter()
+                    payload = copy.deepcopy(original.payload)
+                    duplicate = dataclasses.replace(
+                        original,
+                        cache_hit=True,
+                        payload=payload,
+                        latency_ms=(time.perf_counter() - started) * 1e3,
+                    )
+                    responses[position] = duplicate
+                    self.metrics.record(duplicate)
+                    continue
+                response = self._run_stack(typed)
+                responses[position] = response
+                if key is not None and response.ok:
+                    shared[key] = response
+        assert all(response is not None for response in responses)
+        return list(responses)  # type: ignore[arg-type]
+
+    def stats(self) -> Dict[str, float]:
+        """Merged serving + backend statistics.
+
+        Service-level metrics (``service.*``), result-cache counters
+        (``cache.*``) and the backend's build/index statistics in one flat
+        dict.
+        """
+        stats: Dict[str, float] = {}
+        stats.update(self.metrics.snapshot())
+        for key, value in self.cache.stats().items():
+            stats[f"cache.{key}"] = float(value)
+        stats.update(self.backend.statistics())
+        return stats
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _service_name_of(request: RequestLike) -> str:
+        """Best-effort service name for error envelopes on unparsable input."""
+        if isinstance(request, ServiceRequest):
+            return request.service
+        if isinstance(request, dict):
+            service = request.get("service")
+            if isinstance(service, str) and service:
+                return service
+        return "unknown"
+
+    @staticmethod
+    def _coerce(request: RequestLike) -> ServiceRequest:
+        """Normalise dict/JSON input to a typed request."""
+        if isinstance(request, ServiceRequest):
+            return request
+        if isinstance(request, dict):
+            return request_from_dict(request)
+        if isinstance(request, str):
+            return request_from_json(request)
+        raise ValidationError(
+            f"request must be a ServiceRequest, dict or JSON string, "
+            f"got {type(request).__name__}"
+        )
+
+    def _run_stack(self, request: ServiceRequest) -> ServiceResponse:
+        """Run the request through the pre-composed middleware chain."""
+        return self._entry(request)
+
+    @staticmethod
+    def _wrap(layer: Middleware, inner: Handler) -> Handler:
+        """One composition step (named function to keep closures distinct)."""
+
+        def wrapped(request: ServiceRequest) -> ServiceResponse:
+            return layer(request, inner)
+
+        return wrapped
+
+    def _handle(self, request: ServiceRequest) -> ServiceResponse:
+        """Innermost handler: dispatch to the backend, envelope the outcome."""
+        handler = self._handlers.get(request.service)
+        if handler is None:
+            return ServiceResponse.failure(
+                request.service,
+                "unknown_service",
+                f"no handler for service {request.service!r}",
+            )
+        try:
+            payload = handler(request)
+        except ValidationError as error:
+            return ServiceResponse.failure(
+                request.service, "invalid_request", str(error)
+            )
+        except Exception as error:  # noqa: BLE001 — the envelope IS the contract
+            return ServiceResponse.failure(
+                request.service,
+                "internal_error",
+                f"{type(error).__name__}: {error}",
+            )
+        return ServiceResponse.success(request.service, payload)
+
+    # -- per-service handlers -------------------------------------------
+
+    def _handle_influencers(self, request: FindInfluencersRequest) -> Dict:
+        """Keyword IM via the backend; payload mirrors InfluencerResult."""
+        result = self.backend.find_influencers(request.keywords, k=request.k)
+        return {
+            "keywords": list(result.query.keywords),
+            "k": result.query.k,
+            "gamma": jsonify(result.query.gamma),
+            "seeds": list(result.seeds),
+            "labels": list(result.labels),
+            "spread": float(result.spread),
+            "marginal_gains": list(result.marginal_gains),
+            "elapsed_seconds": float(result.elapsed_seconds),
+            "statistics": jsonify(result.statistics),
+        }
+
+    def _handle_targeted(self, request: TargetedInfluencersRequest) -> Dict:
+        """Targeted keyword IM (relevant-audience variant) via the backend."""
+        result = self.backend.find_targeted_influencers(
+            request.keywords,
+            k=request.k,
+            audience_keywords=request.audience_keywords,
+            num_sets=request.num_sets,
+        )
+        return {
+            "keywords": list(result.query.keywords),
+            "k": result.query.k,
+            "gamma": jsonify(result.query.gamma),
+            "seeds": list(result.seeds),
+            "labels": list(result.labels),
+            "spread": float(result.spread),
+            "marginal_gains": list(result.marginal_gains),
+            "elapsed_seconds": float(result.elapsed_seconds),
+            "statistics": jsonify(result.statistics),
+        }
+
+    def _handle_suggest(self, request: SuggestKeywordsRequest) -> Dict:
+        """Keyword suggestion via the backend."""
+        result = self.backend.suggest_keywords(
+            request.user, k=request.k, method=request.method
+        )
+        return {
+            "target": int(result.target),
+            "target_label": result.target_label,
+            "keywords": list(result.keywords),
+            "spread": float(result.spread),
+            "gamma": jsonify(result.gamma),
+            "per_keyword_spread": jsonify(result.per_keyword_spread),
+            "elapsed_seconds": float(result.elapsed_seconds),
+            "statistics": jsonify(result.statistics),
+        }
+
+    def _handle_paths(self, request: ExplorePathsRequest) -> Dict:
+        """Path exploration via the backend; payload is PathTree.to_dict()."""
+        tree = self.backend.explore_paths(
+            request.user,
+            keywords=request.keywords,
+            threshold=request.threshold,
+            direction=request.direction,
+            max_nodes=request.max_nodes,
+        )
+        return tree.to_dict()
+
+    def _handle_complete(self, request: CompleteRequest) -> Dict:
+        """Auto-completion over the requested trie."""
+        if request.kind == "users":
+            completions = self.backend.autocomplete_users(
+                request.prefix, request.limit
+            )
+        else:
+            completions = self.backend.autocomplete_keywords(
+                request.prefix, request.limit
+            )
+        return {
+            "prefix": request.prefix,
+            "kind": request.kind,
+            "completions": [[key, int(value)] for key, value in completions],
+        }
+
+    def _handle_radar(self, request: RadarRequest) -> Dict:
+        """Radar-diagram topic interpretation."""
+        return dict(self.backend.radar(request.keywords))
+
+    def _handle_stats(self, request: StatsRequest) -> Dict:
+        """Live service + backend statistics snapshot."""
+        return self.stats()

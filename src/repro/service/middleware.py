@@ -1,0 +1,213 @@
+"""Composable middleware for the OCTOPUS service dispatcher.
+
+A middleware is any callable ``(request, call_next) -> ServiceResponse``
+where ``call_next(request)`` invokes the rest of the stack.  The dispatcher
+composes a list of middleware outermost-first around the actual handler, so
+cross-cutting serving concerns — metrics, rate limiting, validation, result
+caching — are written once here instead of being re-implemented (or
+forgotten) at every entry point.
+"""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from repro.index.cache import LRUCache
+from repro.service.requests import ServiceRequest
+from repro.service.responses import ServiceResponse
+from repro.utils.validation import ValidationError, check_positive
+
+__all__ = [
+    "Handler",
+    "Middleware",
+    "ServiceMetrics",
+    "MetricsMiddleware",
+    "ValidationMiddleware",
+    "CacheMiddleware",
+    "RateLimitMiddleware",
+]
+
+Handler = Callable[[ServiceRequest], ServiceResponse]
+Middleware = Callable[[ServiceRequest, Handler], ServiceResponse]
+
+
+@dataclass
+class _ServiceCounters:
+    """Per-service serving counters."""
+
+    requests: int = 0
+    errors: int = 0
+    cache_hits: int = 0
+    total_latency_ms: float = 0.0
+    max_latency_ms: float = 0.0
+
+
+@dataclass
+class ServiceMetrics:
+    """Per-service request counts, error counts, cache hits and latency."""
+
+    per_service: Dict[str, _ServiceCounters] = field(default_factory=dict)
+
+    def record(self, response: ServiceResponse) -> None:
+        """Fold one response into the counters."""
+        counters = self.per_service.setdefault(
+            response.service, _ServiceCounters()
+        )
+        counters.requests += 1
+        if not response.ok:
+            counters.errors += 1
+        if response.cache_hit:
+            counters.cache_hits += 1
+        counters.total_latency_ms += response.latency_ms
+        counters.max_latency_ms = max(
+            counters.max_latency_ms, response.latency_ms
+        )
+
+    def snapshot(self) -> Dict[str, float]:
+        """Flat metric dict, keyed ``service.<name>.<metric>``."""
+        stats: Dict[str, float] = {}
+        for service, counters in sorted(self.per_service.items()):
+            prefix = f"service.{service}"
+            stats[f"{prefix}.requests"] = float(counters.requests)
+            stats[f"{prefix}.errors"] = float(counters.errors)
+            stats[f"{prefix}.cache_hits"] = float(counters.cache_hits)
+            stats[f"{prefix}.hit_rate"] = (
+                counters.cache_hits / counters.requests
+                if counters.requests
+                else 0.0
+            )
+            stats[f"{prefix}.mean_latency_ms"] = (
+                counters.total_latency_ms / counters.requests
+                if counters.requests
+                else 0.0
+            )
+            stats[f"{prefix}.max_latency_ms"] = counters.max_latency_ms
+        return stats
+
+    def reset(self) -> None:
+        """Drop all counters."""
+        self.per_service.clear()
+
+
+class MetricsMiddleware:
+    """Times every request and feeds a :class:`ServiceMetrics` collector.
+
+    Placed outermost so latency covers the full stack (cache lookups and
+    rejections included).
+    """
+
+    def __init__(self, metrics: ServiceMetrics) -> None:
+        self.metrics = metrics
+
+    def __call__(
+        self, request: ServiceRequest, call_next: Handler
+    ) -> ServiceResponse:
+        """Measure the downstream call and record the outcome."""
+        started = time.perf_counter()
+        response = call_next(request)
+        response = dataclasses.replace(
+            response, latency_ms=(time.perf_counter() - started) * 1e3
+        )
+        self.metrics.record(response)
+        return response
+
+
+class ValidationMiddleware:
+    """Runs :meth:`ServiceRequest.validate` and converts failures into
+    ``invalid_request`` error envelopes before any index is touched."""
+
+    def __call__(
+        self, request: ServiceRequest, call_next: Handler
+    ) -> ServiceResponse:
+        """Validate, then continue down the stack."""
+        try:
+            request.validate()
+        except ValidationError as error:
+            return ServiceResponse.failure(
+                request.service, "invalid_request", str(error)
+            )
+        return call_next(request)
+
+
+class CacheMiddleware:
+    """Serves repeated requests from an :class:`LRUCache` of responses.
+
+    Only successful responses to requests with a non-``None``
+    :meth:`~ServiceRequest.cache_key` are stored.  Hits are returned with
+    ``cache_hit=True`` (the outer metrics middleware re-stamps latency).
+    Payloads are deep-copied on both store and serve so a caller mutating
+    its response can never poison the cache or other callers.
+    """
+
+    def __init__(self, cache: LRUCache) -> None:
+        self.cache = cache
+
+    def __call__(
+        self, request: ServiceRequest, call_next: Handler
+    ) -> ServiceResponse:
+        """Answer from cache when possible; populate it otherwise."""
+        key = request.cache_key()
+        if key is None:
+            return call_next(request)
+        cached = self.cache.get(key)
+        if cached is not None:
+            return dataclasses.replace(
+                cached, cache_hit=True, payload=copy.deepcopy(cached.payload)
+            )
+        response = call_next(request)
+        if response.ok:
+            self.cache.put(
+                key,
+                dataclasses.replace(
+                    response, payload=copy.deepcopy(response.payload)
+                ),
+            )
+        return response
+
+
+class RateLimitMiddleware:
+    """Token-bucket rate limiter (optional; off unless installed).
+
+    Allows bursts up to *burst* requests and refills at *rate_per_second*.
+    Over-limit requests get a ``rate_limited`` error envelope instead of
+    queueing — shedding load is the serving-system behaviour.  The clock is
+    injectable for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        rate_per_second: float,
+        *,
+        burst: Optional[int] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        check_positive(rate_per_second, "rate_per_second")
+        self.rate = float(rate_per_second)
+        self.burst = float(burst if burst is not None else max(1, int(rate_per_second)))
+        check_positive(self.burst, "burst")
+        self._clock = clock
+        self._tokens = self.burst
+        self._last = clock()
+
+    def __call__(
+        self, request: ServiceRequest, call_next: Handler
+    ) -> ServiceResponse:
+        """Spend a token or reject with ``rate_limited``."""
+        now = self._clock()
+        self._tokens = min(
+            self.burst, self._tokens + (now - self._last) * self.rate
+        )
+        self._last = now
+        if self._tokens < 1.0:
+            return ServiceResponse.failure(
+                request.service,
+                "rate_limited",
+                f"rate limit of {self.rate:g} requests/s exceeded",
+                details={"retry_after_seconds": (1.0 - self._tokens) / self.rate},
+            )
+        self._tokens -= 1.0
+        return call_next(request)

@@ -1,0 +1,331 @@
+"""Typed requests of the OCTOPUS service API.
+
+Every online operation is described by a small, frozen, JSON-serializable
+dataclass.  A request knows three things: the *service* it addresses (the
+dispatch key), how to *validate* itself structurally before any index is
+touched, and its *cache key* (or ``None`` for uncacheable services such as
+statistics).  Requests round-trip losslessly through ``to_dict``/``to_json``
+and :func:`request_from_dict`/:func:`request_from_json`, which is what lets
+query streams be logged, replayed and eventually served over a wire.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass
+from typing import Any, ClassVar, Dict, Optional, Sequence, Tuple, Type, Union
+
+from repro.utils.validation import ValidationError, check_positive
+
+__all__ = [
+    "ServiceRequest",
+    "FindInfluencersRequest",
+    "TargetedInfluencersRequest",
+    "SuggestKeywordsRequest",
+    "ExplorePathsRequest",
+    "CompleteRequest",
+    "RadarRequest",
+    "StatsRequest",
+    "request_from_dict",
+    "request_from_json",
+    "known_services",
+]
+
+_REQUEST_TYPES: Dict[str, Type["ServiceRequest"]] = {}
+
+
+def _normalize_keywords(
+    keywords: Union[str, Sequence[str]], name: str
+) -> Tuple[str, ...]:
+    """Canonicalise keyword input into a stripped, non-empty tuple."""
+    if isinstance(keywords, str):
+        parts = [part.strip() for part in keywords.split(",") if part.strip()]
+    elif isinstance(keywords, Sequence):
+        parts = [str(part).strip() for part in keywords if str(part).strip()]
+    else:
+        raise ValidationError(
+            f"{name} must be a string or a sequence of strings, "
+            f"got {type(keywords).__name__}"
+        )
+    if not parts:
+        raise ValidationError(f"{name} must contain at least one keyword")
+    return tuple(parts)
+
+
+@dataclass(frozen=True)
+class ServiceRequest:
+    """Base class of all service requests.
+
+    Subclasses set the class attribute ``service`` (the dispatch key) and are
+    automatically registered for :func:`request_from_dict`.
+    """
+
+    service: ClassVar[str] = ""
+
+    def __init_subclass__(cls, **kwargs: Any) -> None:
+        super().__init_subclass__(**kwargs)
+        if cls.service:
+            _REQUEST_TYPES[cls.service] = cls
+
+    def validate(self) -> None:
+        """Structural validation; raises :class:`ValidationError` on bad input.
+
+        This checks shapes and ranges only — semantic checks that need the
+        indexes (unknown keyword, unknown user) happen in the backend.
+        """
+
+    def cache_key(self) -> Optional[Tuple]:
+        """Hashable identity for the result cache; ``None`` disables caching."""
+        return (self.service,) + tuple(
+            getattr(self, f.name) for f in dataclasses.fields(self)
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain JSON-serializable dict, ``service`` field included."""
+        payload: Dict[str, Any] = {"service": self.service}
+        for f in dataclasses.fields(self):
+            value = getattr(self, f.name)
+            if isinstance(value, tuple):
+                value = list(value)
+            payload[f.name] = value
+        return payload
+
+    def to_json(self) -> str:
+        """Compact JSON encoding of :meth:`to_dict`."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+
+@dataclass(frozen=True)
+class FindInfluencersRequest(ServiceRequest):
+    """Keyword-based influence maximization (paper §II-C).
+
+    ``keywords`` accepts a comma-separated string or a sequence and is
+    canonicalised to a tuple; ``k`` defaults to the engine's configured
+    seed-set size when ``None``.
+    """
+
+    service: ClassVar[str] = "influencers"
+
+    keywords: Union[str, Sequence[str]] = ()
+    k: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "keywords", _normalize_keywords(self.keywords, "keywords")
+        )
+
+    def validate(self) -> None:
+        """Check that ``k`` is a positive integer when given."""
+        if self.k is not None:
+            if isinstance(self.k, bool) or not isinstance(self.k, int):
+                raise ValidationError(f"k must be an integer, got {self.k!r}")
+            check_positive(self.k, "k")
+
+
+@dataclass(frozen=True)
+class TargetedInfluencersRequest(ServiceRequest):
+    """Targeted keyword IM: only the relevant audience counts (ref. [7]).
+
+    ``audience_keywords`` targets a different population than the
+    propagated topic; ``None`` means the audience is the users of the
+    query keywords themselves.
+    """
+
+    service: ClassVar[str] = "targeted"
+
+    keywords: Union[str, Sequence[str]] = ()
+    k: Optional[int] = None
+    audience_keywords: Optional[Union[str, Sequence[str]]] = None
+    num_sets: int = 2000
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "keywords", _normalize_keywords(self.keywords, "keywords")
+        )
+        if self.audience_keywords is not None:
+            object.__setattr__(
+                self,
+                "audience_keywords",
+                _normalize_keywords(self.audience_keywords, "audience_keywords"),
+            )
+
+    def validate(self) -> None:
+        """Check that ``k`` and ``num_sets`` are positive integers."""
+        if self.k is not None:
+            if isinstance(self.k, bool) or not isinstance(self.k, int):
+                raise ValidationError(f"k must be an integer, got {self.k!r}")
+            check_positive(self.k, "k")
+        if isinstance(self.num_sets, bool) or not isinstance(self.num_sets, int):
+            raise ValidationError(
+                f"num_sets must be an integer, got {self.num_sets!r}"
+            )
+        check_positive(self.num_sets, "num_sets")
+
+
+@dataclass(frozen=True)
+class SuggestKeywordsRequest(ServiceRequest):
+    """Personalized influential-keyword suggestion (paper §II-D)."""
+
+    service: ClassVar[str] = "suggest"
+
+    user: Union[int, str] = 0
+    k: int = 3
+    method: str = "greedy"
+
+    def validate(self) -> None:
+        """Check user/k/method shapes."""
+        if isinstance(self.user, bool) or not isinstance(self.user, (int, str)):
+            raise ValidationError(
+                f"user must be an id or a name, got {self.user!r}"
+            )
+        if isinstance(self.k, bool) or not isinstance(self.k, int):
+            raise ValidationError(f"k must be an integer, got {self.k!r}")
+        check_positive(self.k, "k")
+        if self.method not in ("greedy", "exact"):
+            raise ValidationError(
+                f"method must be 'greedy' or 'exact', got {self.method!r}"
+            )
+
+
+@dataclass(frozen=True)
+class ExplorePathsRequest(ServiceRequest):
+    """Influential path-tree exploration (paper §II-E)."""
+
+    service: ClassVar[str] = "paths"
+
+    user: Union[int, str] = 0
+    keywords: Optional[Union[str, Sequence[str]]] = None
+    threshold: Optional[float] = None
+    direction: str = "influences"
+    max_nodes: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.keywords is not None:
+            object.__setattr__(
+                self, "keywords", _normalize_keywords(self.keywords, "keywords")
+            )
+
+    def validate(self) -> None:
+        """Check user/threshold/direction shapes."""
+        if isinstance(self.user, bool) or not isinstance(self.user, (int, str)):
+            raise ValidationError(
+                f"user must be an id or a name, got {self.user!r}"
+            )
+        if self.threshold is not None:
+            if not isinstance(self.threshold, (int, float)) or not (
+                0.0 <= float(self.threshold) <= 1.0
+            ):
+                raise ValidationError(
+                    f"threshold must be in [0, 1], got {self.threshold!r}"
+                )
+        if self.direction not in ("influences", "influenced_by"):
+            raise ValidationError(
+                f"direction must be 'influences' or 'influenced_by', "
+                f"got {self.direction!r}"
+            )
+        if self.max_nodes is not None:
+            if isinstance(self.max_nodes, bool) or not isinstance(
+                self.max_nodes, int
+            ):
+                raise ValidationError(
+                    f"max_nodes must be an integer, got {self.max_nodes!r}"
+                )
+            check_positive(self.max_nodes, "max_nodes")
+
+
+@dataclass(frozen=True)
+class CompleteRequest(ServiceRequest):
+    """Auto-completion over the user or keyword tries."""
+
+    service: ClassVar[str] = "complete"
+
+    prefix: str = ""
+    kind: str = "keywords"
+    limit: int = 10
+
+    def validate(self) -> None:
+        """Check prefix/kind/limit shapes."""
+        if not isinstance(self.prefix, str) or not self.prefix:
+            raise ValidationError("prefix must be a non-empty string")
+        if self.kind not in ("keywords", "users"):
+            raise ValidationError(
+                f"kind must be 'keywords' or 'users', got {self.kind!r}"
+            )
+        if isinstance(self.limit, bool) or not isinstance(self.limit, int):
+            raise ValidationError(f"limit must be an integer, got {self.limit!r}")
+        check_positive(self.limit, "limit")
+
+
+@dataclass(frozen=True)
+class RadarRequest(ServiceRequest):
+    """Radar-diagram topic interpretation of a keyword set."""
+
+    service: ClassVar[str] = "radar"
+
+    keywords: Union[str, Sequence[str]] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "keywords", _normalize_keywords(self.keywords, "keywords")
+        )
+
+
+@dataclass(frozen=True)
+class StatsRequest(ServiceRequest):
+    """System, index and serving statistics.
+
+    Never cached — the whole point is a live snapshot.
+    """
+
+    service: ClassVar[str] = "stats"
+
+    def cache_key(self) -> Optional[Tuple]:
+        """Statistics are live; caching them would serve stale counters."""
+        return None
+
+
+def known_services() -> Tuple[str, ...]:
+    """Registered service names, sorted."""
+    return tuple(sorted(_REQUEST_TYPES))
+
+
+def request_from_dict(payload: Dict[str, Any]) -> ServiceRequest:
+    """Rebuild a typed request from its :meth:`ServiceRequest.to_dict` form.
+
+    Raises :class:`ValidationError` on a missing/unknown ``service`` key or
+    unexpected fields, so the dispatcher can turn malformed wire input into
+    an error envelope instead of a traceback.
+    """
+    if not isinstance(payload, dict):
+        raise ValidationError(
+            f"request must be a JSON object, got {type(payload).__name__}"
+        )
+    service = payload.get("service")
+    if service is None:
+        raise ValidationError("request is missing the 'service' field")
+    request_type = _REQUEST_TYPES.get(service)
+    if request_type is None:
+        raise ValidationError(
+            f"unknown service {service!r}; known: {sorted(_REQUEST_TYPES)}"
+        )
+    field_names = {f.name for f in dataclasses.fields(request_type)}
+    arguments = {key: value for key, value in payload.items() if key != "service"}
+    unexpected = set(arguments) - field_names
+    if unexpected:
+        raise ValidationError(
+            f"unexpected fields for service {service!r}: {sorted(unexpected)}"
+        )
+    try:
+        return request_type(**arguments)
+    except TypeError as error:
+        raise ValidationError(f"bad request for {service!r}: {error}") from None
+
+
+def request_from_json(text: str) -> ServiceRequest:
+    """Parse a JSON string into a typed request (see :func:`request_from_dict`)."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise ValidationError(f"request is not valid JSON: {error}") from None
+    return request_from_dict(payload)

@@ -74,3 +74,37 @@ class TestLRUCache:
     def test_invalid_capacity(self):
         with pytest.raises(ValidationError):
             LRUCache(0)
+
+    def test_eviction_counter(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.evictions == 0
+        cache.put("c", 3)
+        cache.put("d", 4)
+        assert cache.evictions == 2
+
+    def test_clear_resets_evictions(self):
+        cache = LRUCache(1)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.evictions == 1
+        cache.clear()
+        assert cache.evictions == 0
+
+    def test_stats_snapshot(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("zz")
+        cache.put("b", 2)
+        cache.put("c", 3)
+        stats = cache.stats()
+        assert stats == {
+            "size": 2.0,
+            "capacity": 2.0,
+            "hits": 1.0,
+            "misses": 1.0,
+            "evictions": 1.0,
+            "hit_rate": pytest.approx(0.5),
+        }

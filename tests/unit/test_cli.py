@@ -119,6 +119,64 @@ class TestCommands:
         assert "graph.num_nodes" in capsys.readouterr().out
 
 
+class TestQueryCommand:
+    def test_query_influencers_json(self, dataset_dir, capsys):
+        request = json.dumps(
+            {"service": "influencers", "keywords": ["data mining"], "k": 3}
+        )
+        code = main(["query", dataset_dir, request, "--fast"])
+        assert code == 0
+        response = json.loads(capsys.readouterr().out)
+        assert response["ok"] is True
+        assert response["service"] == "influencers"
+        assert len(response["payload"]["seeds"]) == 3
+
+    def test_query_stats(self, dataset_dir, capsys):
+        code = main(["query", dataset_dir, '{"service": "stats"}', "--fast"])
+        assert code == 0
+        response = json.loads(capsys.readouterr().out)
+        assert response["payload"]["graph.num_nodes"] > 0
+
+    def test_query_error_envelope_and_exit_code(self, dataset_dir, capsys):
+        request = json.dumps(
+            {"service": "influencers", "keywords": ["definitely not real"]}
+        )
+        code = main(["query", dataset_dir, request, "--fast"])
+        assert code == 2
+        response = json.loads(capsys.readouterr().out)
+        assert response["ok"] is False
+        assert response["error"]["code"] == "invalid_request"
+
+    def test_query_malformed_json(self, dataset_dir, capsys):
+        code = main(["query", dataset_dir, "{not json", "--fast"])
+        assert code == 2
+        response = json.loads(capsys.readouterr().out)
+        assert response["error"]["code"] == "malformed_request"
+
+    def test_query_batch(self, dataset_dir, capsys):
+        batch = json.dumps(
+            [
+                {"service": "complete", "prefix": "da"},
+                {"service": "complete", "prefix": "da"},
+                {"service": "stats"},
+            ]
+        )
+        code = main(["query", dataset_dir, batch, "--batch", "--fast"])
+        assert code == 0
+        responses = json.loads(capsys.readouterr().out)
+        assert len(responses) == 3
+        assert all(response["ok"] for response in responses)
+        assert responses[1]["cache_hit"] is True
+
+    def test_query_request_file(self, dataset_dir, tmp_path, capsys):
+        request_path = tmp_path / "request.json"
+        request_path.write_text('{"service": "complete", "prefix": "da"}')
+        code = main(["query", dataset_dir, f"@{request_path}", "--fast"])
+        assert code == 0
+        response = json.loads(capsys.readouterr().out)
+        assert response["ok"] is True
+
+
 class TestErrors:
     def test_unknown_keyword_exit_code(self, dataset_dir, capsys):
         code = main(

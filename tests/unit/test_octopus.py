@@ -137,12 +137,13 @@ class TestUserResolution:
 
 
 class TestServicesPlumbing:
-    def test_find_influencers_cached(self, system):
+    def test_find_influencers_deterministic_recompute(self, system):
+        # The facade is a pure compute backend (caching lives in the
+        # service layer); repeated queries recompute to the same answer.
         first = system.find_influencers("data mining", k=3)
-        hits_before = system._result_cache.hits
         second = system.find_influencers("data mining", k=3)
-        assert system._result_cache.hits == hits_before + 1
         assert first.seeds == second.seeds
+        assert first is not second
 
     def test_default_k(self, system):
         result = system.find_influencers("clustering")
@@ -183,7 +184,8 @@ class TestServicesPlumbing:
         stats = system.statistics()
         assert "seconds.build.influencer_index" in stats
         assert "graph.num_nodes" in stats
-        assert stats["cache.hits"] >= 0
+        # cache counters moved up to the service layer with the cache
+        assert not any(key.startswith("cache.") for key in stats)
 
     def test_learn_model_pipeline(self, citation_dataset_module):
         from repro.topics.em import EMConfig

@@ -21,6 +21,7 @@ PACKAGES = [
     "repro.datasets",
     "repro.viz",
     "repro.engine",
+    "repro.service",
 ]
 
 MODULES = [
@@ -38,6 +39,10 @@ MODULES = [
     "repro.datasets.loaders",
     "repro.engine.workload",
     "repro.graph.digraph",
+    "repro.service.dispatcher",
+    "repro.service.middleware",
+    "repro.service.requests",
+    "repro.service.responses",
     "repro.im.mia",
     "repro.propagation.rrsets",
     "repro.topics.em",
@@ -94,4 +99,20 @@ def test_top_level_quickstart_names():
         Octopus,
         OctopusConfig,
         SocialNetworkGenerator,
+    )
+
+
+def test_top_level_service_and_engine_names():
+    """The service/engine layers are reachable without deep imports."""
+    from repro import (  # noqa: F401
+        FindInfluencersRequest,
+        LatencyReport,
+        OctopusService,
+        QueryWorkload,
+        ServiceError,
+        ServiceResponse,
+        WorkloadConfig,
+        request_from_dict,
+        request_from_json,
+        run_workload,
     )

@@ -1,0 +1,209 @@
+"""Unit tests for the typed request/response wire format.
+
+The acceptance bar: every request type round-trips request → JSON →
+request losslessly, and every response round-trips response → JSON →
+response losslessly.
+"""
+
+import json
+
+import pytest
+
+from repro.service import (
+    CompleteRequest,
+    ExplorePathsRequest,
+    FindInfluencersRequest,
+    RadarRequest,
+    TargetedInfluencersRequest,
+    ServiceError,
+    ServiceResponse,
+    StatsRequest,
+    SuggestKeywordsRequest,
+    jsonify,
+    known_services,
+    request_from_dict,
+    request_from_json,
+)
+from repro.utils.validation import ValidationError
+
+ALL_REQUESTS = [
+    FindInfluencersRequest(keywords=("data mining",), k=5),
+    FindInfluencersRequest(keywords="data mining, clustering"),
+    TargetedInfluencersRequest(
+        keywords=("data mining",), k=3, audience_keywords="clustering", num_sets=500
+    ),
+    SuggestKeywordsRequest(user=7, k=2, method="exact"),
+    SuggestKeywordsRequest(user="Ada Abadi"),
+    ExplorePathsRequest(user=3, keywords=("data mining",), threshold=0.05),
+    ExplorePathsRequest(
+        user="Bo Chen", direction="influenced_by", max_nodes=50
+    ),
+    CompleteRequest(prefix="da", kind="keywords", limit=4),
+    CompleteRequest(prefix="A", kind="users"),
+    RadarRequest(keywords=("em algorithm",)),
+    StatsRequest(),
+]
+
+
+class TestRequestRoundTrip:
+    @pytest.mark.parametrize(
+        "request_obj", ALL_REQUESTS, ids=lambda r: type(r).__name__
+    )
+    def test_dict_round_trip(self, request_obj):
+        rebuilt = request_from_dict(request_obj.to_dict())
+        assert rebuilt == request_obj
+        assert type(rebuilt) is type(request_obj)
+
+    @pytest.mark.parametrize(
+        "request_obj", ALL_REQUESTS, ids=lambda r: type(r).__name__
+    )
+    def test_json_round_trip(self, request_obj):
+        rebuilt = request_from_json(request_obj.to_json())
+        assert rebuilt == request_obj
+
+    @pytest.mark.parametrize(
+        "request_obj", ALL_REQUESTS, ids=lambda r: type(r).__name__
+    )
+    def test_wire_form_is_plain_json(self, request_obj):
+        payload = json.loads(request_obj.to_json())
+        assert payload["service"] == request_obj.service
+
+    def test_known_services_cover_all_types(self):
+        assert set(known_services()) == {
+            "influencers",
+            "targeted",
+            "suggest",
+            "paths",
+            "complete",
+            "radar",
+            "stats",
+        }
+
+
+class TestKeywordNormalisation:
+    def test_string_splits_on_commas(self):
+        request = FindInfluencersRequest("data mining,  clustering ")
+        assert request.keywords == ("data mining", "clustering")
+
+    def test_sequence_kept_in_order(self):
+        request = FindInfluencersRequest(["b", "a"])
+        assert request.keywords == ("b", "a")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError, match="at least one keyword"):
+            FindInfluencersRequest("  , ")
+
+    def test_normalisation_is_canonical(self):
+        by_string = FindInfluencersRequest("data mining, clustering", k=3)
+        by_tuple = FindInfluencersRequest(("data mining", "clustering"), k=3)
+        assert by_string == by_tuple
+        assert by_string.cache_key() == by_tuple.cache_key()
+
+
+class TestRequestValidation:
+    def test_bad_k(self):
+        with pytest.raises(ValidationError):
+            FindInfluencersRequest("x", k=0).validate()
+
+    def test_bad_method(self):
+        with pytest.raises(ValidationError, match="method"):
+            SuggestKeywordsRequest(user=1, method="oracle").validate()
+
+    def test_bad_direction(self):
+        with pytest.raises(ValidationError, match="direction"):
+            ExplorePathsRequest(user=1, direction="sideways").validate()
+
+    def test_bad_threshold(self):
+        with pytest.raises(ValidationError, match="threshold"):
+            ExplorePathsRequest(user=1, threshold=2.0).validate()
+
+    def test_bad_kind(self):
+        with pytest.raises(ValidationError, match="kind"):
+            CompleteRequest(prefix="a", kind="emails").validate()
+
+    def test_bool_user_rejected(self):
+        with pytest.raises(ValidationError, match="user"):
+            SuggestKeywordsRequest(user=True).validate()
+
+
+class TestRequestParsingErrors:
+    def test_missing_service(self):
+        with pytest.raises(ValidationError, match="service"):
+            request_from_dict({"keywords": ["x"]})
+
+    def test_unknown_service(self):
+        with pytest.raises(ValidationError, match="unknown service"):
+            request_from_dict({"service": "teleport"})
+
+    def test_unexpected_field(self):
+        with pytest.raises(ValidationError, match="unexpected"):
+            request_from_dict(
+                {"service": "stats", "surprise": 1}
+            )
+
+    def test_not_json(self):
+        with pytest.raises(ValidationError, match="not valid JSON"):
+            request_from_json("{nope")
+
+    def test_not_an_object(self):
+        with pytest.raises(ValidationError, match="JSON object"):
+            request_from_json("[1, 2]")
+
+
+class TestCacheKeys:
+    def test_stats_is_uncacheable(self):
+        assert StatsRequest().cache_key() is None
+
+    def test_distinct_requests_distinct_keys(self):
+        a = FindInfluencersRequest("x y", k=3)
+        b = FindInfluencersRequest("x y", k=4)
+        assert a.cache_key() != b.cache_key()
+
+    def test_key_includes_service(self):
+        radar = RadarRequest("data mining")
+        find = FindInfluencersRequest("data mining")
+        assert radar.cache_key() != find.cache_key()
+
+
+class TestResponseRoundTrip:
+    def test_success_round_trip(self):
+        response = ServiceResponse.success(
+            "influencers",
+            {"seeds": [1, 2], "spread": 3.5, "labels": ["a", "b"]},
+        )
+        assert ServiceResponse.from_json(response.to_json()) == response
+
+    def test_failure_round_trip(self):
+        response = ServiceResponse.failure(
+            "suggest",
+            "invalid_request",
+            "unknown user 'Zed'",
+            details={"suggestions": ["Zed A", "Zed B"]},
+        )
+        rebuilt = ServiceResponse.from_json(response.to_json())
+        assert rebuilt == response
+        assert rebuilt.error.code == "invalid_request"
+
+    def test_raise_for_error(self):
+        response = ServiceResponse.failure("stats", "internal_error", "boom")
+        with pytest.raises(ValidationError, match="internal_error"):
+            response.raise_for_error()
+
+    def test_success_raise_for_error_passthrough(self):
+        response = ServiceResponse.success("stats", {"x": 1.0})
+        assert response.raise_for_error() is response
+
+
+class TestJsonify:
+    def test_numpy_conversion(self):
+        import numpy as np
+
+        payload = jsonify(
+            {"a": np.float64(1.5), "b": np.arange(3), "c": (1, 2), 5: "x"}
+        )
+        assert payload == {"a": 1.5, "b": [0, 1, 2], "c": [1, 2], "5": "x"}
+        json.dumps(payload)  # actually serializable
+
+    def test_unserializable_rejected(self):
+        with pytest.raises(ValidationError, match="not JSON-serializable"):
+            jsonify({"f": object()})

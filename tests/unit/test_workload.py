@@ -9,6 +9,11 @@ from repro.engine.workload import (
     WorkloadConfig,
     run_workload,
 )
+from repro.service import (
+    CompleteRequest,
+    OctopusService,
+    SuggestKeywordsRequest,
+)
 from repro.utils.validation import ValidationError
 
 
@@ -55,7 +60,7 @@ class TestGenerate:
             small_system, WorkloadConfig(num_queries=50, seed=1)
         )
         assert len(workload) == 50
-        services = {service for service, _arg in workload.queries}
+        services = {request.service for request in workload.queries}
         assert services <= {"influencers", "suggest", "paths", "complete"}
 
     def test_deterministic(self, small_system):
@@ -74,7 +79,9 @@ class TestGenerate:
                 num_queries=80, mix={"complete": 1.0}, seed=3
             ),
         )
-        assert all(service == "complete" for service, _arg in workload.queries)
+        assert all(
+            request.service == "complete" for request in workload.queries
+        )
 
     def test_zipf_skew_repeats_queries(self, small_system):
         workload = QueryWorkload.generate(
@@ -86,8 +93,20 @@ class TestGenerate:
                 seed=4,
             ),
         )
-        arguments = [argument for _service, argument in workload.queries]
+        arguments = [request.keywords for request in workload.queries]
         assert len(set(arguments)) < len(arguments)  # repetition exists
+
+    def test_workload_is_a_replayable_json_log(self, small_system):
+        import json
+
+        from repro.service import request_from_dict
+
+        workload = QueryWorkload.generate(
+            small_system, WorkloadConfig(num_queries=25, seed=8)
+        )
+        log = json.loads(json.dumps(workload.to_dicts()))
+        replayed = [request_from_dict(entry) for entry in log]
+        assert replayed == workload.queries
 
 
 class TestRunWorkload:
@@ -102,16 +121,17 @@ class TestRunWorkload:
             assert stats["p50_ms"] <= stats["p95_ms"] <= stats["max_ms"]
 
     def test_cache_improves_second_pass(self, small_system):
-        small_system._result_cache.clear()
+        service = OctopusService(small_system)
         workload = QueryWorkload.generate(
-            small_system,
+            service,
             WorkloadConfig(
                 num_queries=30, mix={"influencers": 1.0}, zipf_s=2.0, seed=6
             ),
         )
-        first = run_workload(small_system, workload)
-        second = run_workload(small_system, workload)
+        first = run_workload(service, workload)
+        second = run_workload(service, workload)
         assert second.cache_hit_rate >= first.cache_hit_rate
+        assert second.cache_hit_rate == 1.0  # every query repeats, all cached
         assert (
             second.per_service["influencers"]["p50_ms"]
             <= first.per_service["influencers"]["p50_ms"] + 1e-6
@@ -119,11 +139,23 @@ class TestRunWorkload:
 
     def test_errors_counted_not_raised(self, small_system):
         workload = QueryWorkload(
-            queries=[("suggest", 10_000), ("complete", "da")]
+            queries=[
+                SuggestKeywordsRequest(user=10_000),
+                CompleteRequest(prefix="da"),
+            ]
         )
         report = run_workload(small_system, workload)
         assert report.per_service["errors"]["count"] == 1.0
         assert report.per_service["complete"]["count"] == 1.0
+
+    def test_service_stats_reported(self, small_system):
+        workload = QueryWorkload.generate(
+            small_system, WorkloadConfig(num_queries=10, seed=9)
+        )
+        report = run_workload(small_system, workload)
+        assert any(key.startswith("service.") for key in report.service_stats)
+        payload = report.to_dict()
+        assert payload["total_queries"] == 10
 
     def test_empty_workload_rejected(self, small_system):
         with pytest.raises(ValidationError, match="empty"):
