@@ -1,0 +1,105 @@
+"""E14 — concurrent serving: worker-pool throughput vs the serial service.
+
+The concurrency claim of the backend/executor layer: an RR-set-heavy query
+stream (targeted keyword IM forces fresh weighted RR sampling per query)
+served by :class:`~repro.service.ConcurrentOctopusService` in process mode
+should scale with the worker count, because each query runs GIL-free on a
+forked replica of the indexes.
+
+Expected shape: on an N-core machine throughput approaches min(workers, N)×
+the serial service; ``extra_info`` records the measured ratio together with
+``cpu_count`` so the trajectory in ``BENCH_HISTORY.jsonl`` is interpretable
+on any host (a single-core runner cannot show a parallel speedup — the
+ratio then documents the executor's overhead instead).
+
+The threads-mode benchmark measures the other win: identical in-flight
+requests de-duplicated against a shared thread-safe cache on a skewed
+workload.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.engine.workload import QueryWorkload, WorkloadConfig, run_workload
+from repro.service import (
+    ConcurrentOctopusService,
+    OctopusService,
+    TargetedInfluencersRequest,
+)
+
+WORKERS = max(2, min(4, os.cpu_count() or 1))
+
+# Distinct num_sets values give every request a distinct cache key, so each
+# one really computes (no result sharing) — a pure RR-sampling-bound stream.
+HEAVY_REQUESTS = [
+    TargetedInfluencersRequest(keywords="data mining", k=5, num_sets=1200 + i)
+    for i in range(6)
+]
+
+
+@pytest.mark.benchmark(group="e14-concurrency")
+def test_serial_throughput_rr_heavy(benchmark, bench_system):
+    """Baseline: the serial dispatcher grinds the stream one query at a time."""
+    service = OctopusService(bench_system)
+
+    def run():
+        service.cache.clear()
+        return service.execute_batch(HEAVY_REQUESTS)
+
+    responses = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert all(response.ok for response in responses)
+    benchmark.extra_info["queries"] = len(HEAVY_REQUESTS)
+    benchmark.extra_info["cpu_count"] = os.cpu_count()
+
+
+@pytest.mark.benchmark(group="e14-concurrency")
+def test_process_pool_throughput_rr_heavy(benchmark, bench_system):
+    """Process-mode executor on the same stream, plus the speedup ratio."""
+    serial_service = OctopusService(bench_system)
+    serial_started = time.perf_counter()
+    serial_responses = serial_service.execute_batch(HEAVY_REQUESTS)
+    serial_seconds = time.perf_counter() - serial_started
+    assert all(response.ok for response in serial_responses)
+
+    service = OctopusService(bench_system)
+    with ConcurrentOctopusService(
+        service, workers=WORKERS, mode="processes"
+    ) as executor:
+        executor.execute(HEAVY_REQUESTS[0])  # warm the fork pool once
+
+        def run():
+            service.cache.clear()
+            return executor.execute_batch(HEAVY_REQUESTS)
+
+        responses = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert all(response.ok for response in responses)
+    concurrent_seconds = benchmark.stats.stats.mean
+    benchmark.extra_info["workers"] = WORKERS
+    benchmark.extra_info["cpu_count"] = os.cpu_count()
+    benchmark.extra_info["serial_seconds"] = round(serial_seconds, 4)
+    benchmark.extra_info["throughput_vs_serial"] = round(
+        serial_seconds / concurrent_seconds, 3
+    )
+
+
+@pytest.mark.benchmark(group="e14-concurrency")
+def test_thread_pool_skewed_workload(benchmark, bench_system):
+    """Threads-mode executor on a skewed mixed workload (shared cache wins)."""
+    service = OctopusService(bench_system)
+    workload = QueryWorkload.generate(
+        service, WorkloadConfig(num_queries=60, zipf_s=1.5, seed=141)
+    )
+    with ConcurrentOctopusService(service, workers=WORKERS) as executor:
+
+        def run():
+            service.cache.clear()
+            return run_workload(executor, workload)
+
+        report = benchmark.pedantic(run, rounds=2, iterations=1)
+        benchmark.extra_info["workers"] = WORKERS
+        benchmark.extra_info["cache_hit_rate"] = round(report.cache_hit_rate, 3)
+        benchmark.extra_info["shared_inflight"] = executor.stats()[
+            "executor.shared_inflight"
+        ]

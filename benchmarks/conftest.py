@@ -7,15 +7,20 @@ calibration note: billion-edge scale needs C extensions, out of scope).
 
 Besides pytest-benchmark's human table, every run writes one
 machine-readable JSON artifact (``BENCH_RESULTS.json`` next to this file,
-or ``$BENCH_JSON_PATH``) with per-benchmark stats and ``extra_info``, so
-the performance trajectory can be diffed across PRs.
+or ``$BENCH_JSON_PATH``) with per-benchmark stats and ``extra_info``, and
+*appends* the same records to ``BENCH_HISTORY.jsonl`` (or
+``$BENCH_HISTORY_PATH``) keyed by git SHA and timestamp — the overwrite
+artifact answers "how fast is it now", the history answers "how fast has
+it been across PRs".
 """
 
 from __future__ import annotations
 
+import datetime
 import json
 import os
 import pathlib
+import subprocess
 
 import numpy as np
 import pytest
@@ -125,5 +130,47 @@ def pytest_sessionfinish(session, exitstatus):
     try:
         target.write_text(json.dumps(records, indent=1, sort_keys=True))
         print(f"\nbenchmark JSON written to {target}")
+    except OSError:
+        pass
+    _append_history(records)
+
+
+def _git_sha() -> str:
+    """The current commit SHA, or ``unknown`` outside a git checkout."""
+    try:
+        return (
+            subprocess.run(
+                ["git", "rev-parse", "HEAD"],
+                cwd=pathlib.Path(__file__).parent,
+                capture_output=True,
+                text=True,
+                timeout=10,
+                check=True,
+            ).stdout.strip()
+            or "unknown"
+        )
+    except Exception:  # noqa: BLE001 — never fail the run over reporting
+        return "unknown"
+
+
+def _append_history(records) -> None:
+    """Append this run to the across-PRs trajectory log (one JSON line)."""
+    history = pathlib.Path(
+        os.environ.get(
+            "BENCH_HISTORY_PATH",
+            pathlib.Path(__file__).parent / "BENCH_HISTORY.jsonl",
+        )
+    )
+    entry = {
+        "git_sha": _git_sha(),
+        "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "benchmarks": records,
+    }
+    try:
+        with history.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(entry, sort_keys=True) + "\n")
+        print(f"benchmark history appended to {history}")
     except OSError:
         pass

@@ -8,8 +8,11 @@ request/response front door every client shares:
 1. a single typed request and its JSON wire form (log-replayable),
 2. a Zipf-skewed mixed workload of request objects, cold vs. warm cache,
 3. batch execution de-duplicating repeated queries,
-4. the serving metrics the middleware stack collects for free,
-5. the model-refresh path — periodic EM re-fits absorbed by the
+4. concurrent execution of the same workload on a worker pool
+   (:class:`repro.ConcurrentOctopusService` — in-flight de-duplication,
+   shared thread-safe cache and metrics),
+5. the serving metrics the middleware stack collects for free,
+6. the model-refresh path — periodic EM re-fits absorbed by the
    influencer index without re-sampling its sketches.
 
 Run:  python examples/online_serving.py
@@ -19,6 +22,7 @@ import numpy as np
 
 from repro import (
     CitationNetworkGenerator,
+    ConcurrentOctopusService,
     FindInfluencersRequest,
     Octopus,
     OctopusConfig,
@@ -85,6 +89,15 @@ def main() -> None:
     for req, resp in zip(batch, responses):
         print(f"  {req.keywords[0]:<14s} ok={resp.ok} "
               f"cache_hit={resp.cache_hit} {resp.latency_ms:.2f} ms")
+
+    print("\n== concurrent serving (4 worker threads, same envelopes) ==")
+    service.cache.clear()
+    with ConcurrentOctopusService(service, workers=4) as executor:
+        concurrent = run_workload(executor, workload)
+        for line in concurrent.lines():
+            print("  " + line)
+        shared = executor.stats()["executor.shared_inflight"]
+        print(f"  identical in-flight requests shared: {shared:.0f}")
 
     print("\n== serving metrics (collected by the middleware stack) ==")
     for key, value in sorted(service.metrics.snapshot().items()):

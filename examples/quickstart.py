@@ -47,6 +47,12 @@ def main() -> None:
         num_topic_samples=16,
         topic_sample_rr_sets=1500,
         oracle_samples=80,
+        # Index builds parallelise across a worker pool; with a fixed seed
+        # "threads" and "processes" give identical results at any worker
+        # count (the CLI equivalent is ``--backend threads --workers 4``;
+        # the "serial" default keeps the historical single-stream results).
+        execution_backend="threads",
+        workers=4,
         seed=11,
     )
     service = OctopusService(Octopus.from_dataset(dataset, config=config))

@@ -31,6 +31,13 @@ Workloads (``repro.engine``) generate Zipf-skewed streams of typed requests
 and report latency percentiles through the same service layer.
 """
 
+from repro.backend import (
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    ThreadPoolBackend,
+    resolve_backend,
+)
 from repro.core.octopus import Octopus, OctopusConfig
 from repro.core.query import InfluencerResult, KeywordQuery, KeywordSuggestionResult
 from repro.datasets.citation import CitationNetworkGenerator
@@ -44,6 +51,7 @@ from repro.engine.workload import (
 from repro.graph.digraph import GraphBuilder, SocialGraph
 from repro.service import (
     CompleteRequest,
+    ConcurrentOctopusService,
     ExplorePathsRequest,
     FindInfluencersRequest,
     TargetedInfluencersRequest,
@@ -61,12 +69,18 @@ from repro.topics.edges import TopicEdgeWeights
 from repro.topics.model import TopicModel
 from repro.topics.vocabulary import Vocabulary
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Octopus",
     "OctopusConfig",
     "OctopusService",
+    "ConcurrentOctopusService",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ThreadPoolBackend",
+    "ProcessPoolBackend",
+    "resolve_backend",
     "ServiceRequest",
     "FindInfluencersRequest",
     "TargetedInfluencersRequest",

@@ -1,0 +1,188 @@
+"""Execution-backend abstraction for parallel compute.
+
+OCTOPUS's heavy offline work — RR-set sampling, topic-sample precomputation,
+sketch construction — consists of independent, identically-distributed
+tasks, so it parallelises embarrassingly well.  An
+:class:`ExecutionBackend` owns a worker pool (or no pool at all) and exposes
+one primitive, :meth:`~ExecutionBackend.map_chunks`: apply a function to a
+sequence of task chunks and return the results *in input order*.
+
+Determinism is the design constraint.  Work is split into fixed-size chunks
+whose count depends only on the problem size — never on the worker count —
+and each chunk receives its own RNG stream spawned from the root seed (the
+``SeedSequence.spawn`` protocol, the same device
+:func:`repro.utils.rng.spawn_generators` uses).  The same seed therefore
+produces bit-identical results on :class:`~repro.backend.serial.SerialBackend`,
+:class:`~repro.backend.pools.ThreadPoolBackend` and
+:class:`~repro.backend.pools.ProcessPoolBackend`, at any worker count — the
+property the service layer's caching and replay guarantees rest on.
+
+:meth:`~ExecutionBackend.sample_rr_sets` builds on ``map_chunks`` to give
+every backend the chunked RR-sampling strategy shared by
+:class:`~repro.propagation.rrsets.RRSetCollection`, the targeted-IM engine
+and the RR-set spread oracle.
+"""
+
+from __future__ import annotations
+
+import abc
+import os
+from typing import Any, Callable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.utils.rng import SeedLike
+from repro.utils.validation import ValidationError, check_positive
+
+__all__ = [
+    "DEFAULT_RR_CHUNK_SIZE",
+    "ExecutionBackend",
+    "default_worker_count",
+    "seed_to_sequence",
+]
+
+# Fixed chunk granularity for RR sampling.  Part of the determinism
+# contract: results depend on the chunk size, so it must never be derived
+# from the worker count.
+DEFAULT_RR_CHUNK_SIZE = 256
+
+
+def default_worker_count() -> int:
+    """Worker count to use when the caller doesn't specify one."""
+    return max(os.cpu_count() or 1, 1)
+
+
+def seed_to_sequence(seed: SeedLike) -> np.random.SeedSequence:
+    """Collapse any seed form into a spawnable :class:`SeedSequence`.
+
+    Passing a live :class:`~numpy.random.Generator` consumes one draw from
+    it (mirroring :func:`repro.utils.rng.spawn_generators`), so sharing a
+    stream across sequential parallel stages remains reproducible.
+    """
+    if isinstance(seed, np.random.SeedSequence):
+        return seed
+    if isinstance(seed, np.random.Generator):
+        return np.random.SeedSequence(int(seed.integers(0, 2**63 - 1)))
+    return np.random.SeedSequence(seed)
+
+
+def _sample_rr_chunk(
+    task: Tuple[Any, np.ndarray, int, np.random.SeedSequence, Optional[List[int]]],
+) -> List[Set[int]]:
+    """Sample one chunk of RR sets from its private spawned stream.
+
+    Module-level (not a closure) so :class:`ProcessPoolBackend` can pickle
+    it.  Roots are either pre-assigned (weighted/fixed-root sampling) or
+    drawn uniformly from the chunk's own stream.
+    """
+    from repro.propagation.rrsets import _reverse_reachable
+
+    graph, edge_probabilities, count, seed_sequence, roots = task
+    rng = np.random.default_rng(seed_sequence)
+    rr_sets: List[Set[int]] = []
+    for index in range(count):
+        if roots is not None:
+            root = roots[index]
+        else:
+            root = int(rng.integers(0, graph.num_nodes))
+        rr_sets.append(
+            _reverse_reachable(graph, edge_probabilities, root, rng)
+        )
+    return rr_sets
+
+
+class ExecutionBackend(abc.ABC):
+    """How chunked work executes: serially, on threads, or on processes.
+
+    Backends are context managers; pooled implementations release their
+    workers on ``close()`` / ``__exit__``.
+    """
+
+    #: Short identifier (``serial`` / ``threads`` / ``processes``).
+    name: str = "abstract"
+
+    @property
+    @abc.abstractmethod
+    def workers(self) -> int:
+        """Number of workers results are computed on (1 for serial)."""
+
+    @abc.abstractmethod
+    def map_chunks(
+        self, function: Callable[[Any], Any], chunks: Sequence[Any]
+    ) -> List[Any]:
+        """Apply *function* to every chunk, returning results in order.
+
+        *function* must be a module-level callable and every chunk must be
+        picklable when the backend crosses process boundaries.
+        """
+
+    def close(self) -> None:
+        """Release pooled resources (no-op for unpooled backends)."""
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(workers={self.workers})"
+
+    # ------------------------------------------------------------------
+    # Shared chunked-sampling strategy
+    # ------------------------------------------------------------------
+
+    def sample_rr_sets(
+        self,
+        graph: Any,
+        edge_probabilities: np.ndarray,
+        num_sets: int,
+        seed: SeedLike = None,
+        *,
+        roots: Optional[Sequence[int]] = None,
+        chunk_size: int = DEFAULT_RR_CHUNK_SIZE,
+    ) -> List[Set[int]]:
+        """Sample *num_sets* RR sets in deterministic fixed-size chunks.
+
+        With explicit *roots*, chunk ``c``'s slice follows the same
+        ``roots[i % len(roots)]`` cycling the serial sampler uses, so
+        fixed-root semantics are preserved.  Chunk count and per-chunk
+        streams depend only on ``(num_sets, chunk_size, seed)``.
+        """
+        check_positive(num_sets, "num_sets")
+        check_positive(chunk_size, "chunk_size")
+        if graph.num_nodes == 0:
+            raise ValidationError("cannot sample RR sets on an empty graph")
+        root_cycle: Optional[List[int]] = None
+        if roots is not None:
+            root_cycle = [int(root) for root in roots]
+            if not root_cycle:
+                raise ValidationError("roots must not be empty when given")
+            for root in root_cycle:
+                if not 0 <= root < graph.num_nodes:
+                    raise ValidationError(
+                        f"root must be in [0, {graph.num_nodes}), got {root}"
+                    )
+        sequence = seed_to_sequence(seed)
+        counts = [
+            min(chunk_size, num_sets - start)
+            for start in range(0, num_sets, chunk_size)
+        ]
+        children = sequence.spawn(len(counts))
+        tasks = []
+        offset = 0
+        for count, child in zip(counts, children):
+            chunk_roots = None
+            if root_cycle is not None:
+                chunk_roots = [
+                    root_cycle[(offset + index) % len(root_cycle)]
+                    for index in range(count)
+                ]
+            tasks.append(
+                (graph, edge_probabilities, count, child, chunk_roots)
+            )
+            offset += count
+        rr_sets: List[Set[int]] = []
+        for chunk in self.map_chunks(_sample_rr_chunk, tasks):
+            rr_sets.extend(chunk)
+        return rr_sets

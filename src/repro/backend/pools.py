@@ -1,0 +1,118 @@
+"""Pooled execution backends: shared-memory threads and forked processes.
+
+Both create their executor lazily on first use, so constructing a backend
+(e.g. inside :class:`~repro.core.octopus.OctopusConfig` plumbing) costs
+nothing until work is actually dispatched, and both keep the pool alive
+across calls — index builds issue many small ``map_chunks`` rounds and
+per-call pool startup would dominate.
+
+Choosing between them:
+
+* :class:`ThreadPoolBackend` shares memory, so chunks carry no pickling
+  cost; CPython's GIL limits its speedup for pure-Python hot loops, but
+  NumPy-heavy chunks and anything releasing the GIL scale.
+* :class:`ProcessPoolBackend` sidesteps the GIL entirely; chunk arguments
+  and results cross a pickle boundary, so it wins when chunks are
+  compute-heavy relative to their payload (RR sampling at realistic set
+  counts qualifies).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Any, Callable, List, Optional, Sequence
+
+from repro.backend.base import ExecutionBackend, default_worker_count
+from repro.utils.validation import check_positive
+
+__all__ = ["ThreadPoolBackend", "ProcessPoolBackend"]
+
+
+class _PooledBackend(ExecutionBackend):
+    """Common lazy-pool lifecycle for the two pooled backends."""
+
+    def __init__(self, workers: Optional[int] = None) -> None:
+        self._workers = (
+            int(workers) if workers is not None else default_worker_count()
+        )
+        check_positive(self._workers, "workers")
+        self._executor: Optional[Executor] = None
+        # One backend may be shared by concurrent query threads (e.g. the
+        # thread-mode service executor over a process-backed Octopus); the
+        # lock keeps the lazy creation from racing and leaking a pool.
+        self._executor_lock = threading.Lock()
+
+    @property
+    def workers(self) -> int:
+        return self._workers
+
+    def _make_executor(self) -> Executor:
+        raise NotImplementedError
+
+    def _pool(self) -> Executor:
+        with self._executor_lock:
+            if self._executor is None:
+                self._executor = self._make_executor()
+            return self._executor
+
+    def map_chunks(
+        self, function: Callable[[Any], Any], chunks: Sequence[Any]
+    ) -> List[Any]:
+        """Dispatch chunks to the pool; results come back in input order."""
+        if not chunks:
+            return []
+        if len(chunks) == 1:
+            # One chunk can't parallelise; skip the dispatch overhead.
+            return [function(chunks[0])]
+        return list(self._pool().map(function, chunks))
+
+    def close(self) -> None:
+        """Shut the pool down and forget it (a later call restarts it)."""
+        with self._executor_lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True)
+
+
+class ThreadPoolBackend(_PooledBackend):
+    """Chunks run on a shared :class:`~concurrent.futures.ThreadPoolExecutor`."""
+
+    name = "threads"
+
+    def _make_executor(self) -> Executor:
+        return ThreadPoolExecutor(
+            max_workers=self._workers, thread_name_prefix="repro-backend"
+        )
+
+
+class ProcessPoolBackend(_PooledBackend):
+    """Chunks run on a :class:`~concurrent.futures.ProcessPoolExecutor`.
+
+    Uses the ``fork`` start method where available (cheap copy-on-write
+    worker startup; the graphs being sampled are inherited, though chunk
+    arguments still travel by pickle through the task queue).
+    """
+
+    name = "processes"
+
+    def _make_executor(self) -> Executor:
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover — non-POSIX platforms
+            context = multiprocessing.get_context()
+        return ProcessPoolExecutor(
+            max_workers=self._workers, mp_context=context
+        )
+
+    def map_chunks(
+        self, function: Callable[[Any], Any], chunks: Sequence[Any]
+    ) -> List[Any]:
+        """Dispatch chunks, batching queue traffic for many small chunks."""
+        if not chunks:
+            return []
+        if len(chunks) == 1:
+            return [function(chunks[0])]
+        batch = max(1, len(chunks) // (self._workers * 4))
+        return list(self._pool().map(function, chunks, chunksize=batch))

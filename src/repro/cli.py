@@ -24,6 +24,15 @@ Commands::
 ``query`` is the wire-level entry point: it takes a JSON request (or a JSON
 array with ``--batch``), ``@file`` to read from a file, or ``-`` for stdin,
 and prints the JSON response envelope(s).
+
+Every system command also accepts ``--backend {serial,threads,processes}``
+and ``--workers N``: index builds and RR-set sampling run on the chosen
+execution backend.  ``threads`` and ``processes`` are deterministic and
+interchangeable — the same seed gives the same answers on either, at any
+worker count — while ``serial`` (the default) bypasses the backend layer
+and preserves the historical single-stream results exactly.  ``query
+--batch`` with ``--workers > 1`` serves the batch through the concurrent
+executor.
 """
 
 from __future__ import annotations
@@ -79,6 +88,21 @@ def build_parser() -> argparse.ArgumentParser:
             "--fast",
             action="store_true",
             help="small index budgets (quicker startup, noisier answers)",
+        )
+        sub.add_argument(
+            "--backend",
+            choices=("serial", "threads", "processes"),
+            default="serial",
+            help="execution backend for index builds and RR sampling; "
+            "threads and processes give identical answers to each other "
+            "for a fixed seed at any --workers, while serial (default) "
+            "preserves the historical single-stream results",
+        )
+        sub.add_argument(
+            "--workers",
+            type=int,
+            default=None,
+            help="worker count for pooled backends (default: CPU count)",
         )
         return sub
 
@@ -138,16 +162,22 @@ def build_parser() -> argparse.ArgumentParser:
 def _load_service(arguments: argparse.Namespace) -> OctopusService:
     """Build the system and wrap it in the service layer."""
     dataset = load_dataset(arguments.dataset)
+    backend = getattr(arguments, "backend", "serial")
+    workers = getattr(arguments, "workers", None)
     if arguments.fast:
         config = OctopusConfig(
             num_sketches=60,
             num_topic_samples=6,
             topic_sample_rr_sets=400,
             oracle_samples=30,
+            execution_backend=backend,
+            workers=workers,
             seed=arguments.seed,
         )
     else:
-        config = OctopusConfig(seed=arguments.seed)
+        config = OctopusConfig(
+            execution_backend=backend, workers=workers, seed=arguments.seed
+        )
     return OctopusService(Octopus.from_dataset(dataset, config=config))
 
 
@@ -317,7 +347,16 @@ def _command_query(arguments: argparse.Namespace) -> int:
             print("error: --batch expects a JSON array", file=sys.stderr)
             return 2
         service = _load_service(arguments)
-        responses = service.execute_batch(entries)
+        workers = arguments.workers or 1
+        if workers > 1:
+            # Concurrent batch serving: same envelopes, worker threads,
+            # in-flight de-duplication of identical requests.
+            from repro.service import ConcurrentOctopusService
+
+            with ConcurrentOctopusService(service, workers=workers) as executor:
+                responses = executor.execute_batch(entries)
+        else:
+            responses = service.execute_batch(entries)
         print(
             json.dumps(
                 [response.to_dict() for response in responses],

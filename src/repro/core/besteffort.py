@@ -90,7 +90,9 @@ def _monte_carlo_factory(num_samples: int, seed: SeedLike) -> OracleFactory:
     return factory
 
 
-def _rr_set_factory(num_sets: int, seed: SeedLike) -> OracleFactory:
+def _rr_set_factory(
+    num_sets: int, seed: SeedLike, backend=None
+) -> OracleFactory:
     entropy = _base_entropy(seed)
 
     def factory(graph: SocialGraph, probabilities: np.ndarray) -> SpreadEstimator:
@@ -99,6 +101,7 @@ def _rr_set_factory(num_sets: int, seed: SeedLike) -> OracleFactory:
             probabilities,
             num_sets=num_sets,
             seed=_query_rng(entropy, probabilities),
+            backend=backend,
         )
 
     return factory
@@ -134,6 +137,7 @@ class BestEffortKeywordIM:
         num_sets: int = 2000,
         candidate_limit: Optional[int] = None,
         seed: SeedLike = None,
+        backend=None,
     ) -> None:
         check_positive(num_samples, "num_samples")
         check_positive(num_sets, "num_sets")
@@ -148,7 +152,7 @@ class BestEffortKeywordIM:
                 num_samples, seed
             )
         elif oracle == "ris":
-            self._oracle_factory = _rr_set_factory(num_sets, seed)
+            self._oracle_factory = _rr_set_factory(num_sets, seed, backend)
         elif callable(oracle):
             self._oracle_factory = oracle
         else:

@@ -32,7 +32,7 @@ envelope at ``λ=0``.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Protocol, Sequence, Set
+from typing import List, Optional, Protocol, Sequence
 
 import numpy as np
 
@@ -40,7 +40,6 @@ from repro.graph.digraph import SocialGraph
 from repro.topics.edges import TopicEdgeWeights
 from repro.utils.validation import (
     ValidationError,
-    check_in_range,
     check_node_id,
     check_positive,
     check_simplex,

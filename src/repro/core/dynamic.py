@@ -26,7 +26,7 @@ sketch rebuild for correctness.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict
 
 import numpy as np
 

@@ -29,11 +29,13 @@ vectorised liveness test (one mat-vec per sketch) plus a reverse BFS.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from repro.graph.digraph import SocialGraph
 from repro.topics.edges import TopicEdgeWeights
 from repro.utils.rng import SeedLike, spawn_generators
 from repro.utils.validation import (
@@ -42,6 +44,9 @@ from repro.utils.validation import (
     check_positive,
     check_simplex,
 )
+
+if TYPE_CHECKING:  # pragma: no cover — typing only
+    from repro.backend.base import ExecutionBackend
 
 __all__ = ["Sketch", "InfluencerIndex"]
 
@@ -76,6 +81,62 @@ class Sketch:
         return len(self.edge_sources)
 
 
+def _expand_sketch(
+    graph: SocialGraph,
+    envelope: np.ndarray,
+    sketch: Sketch,
+    rng: np.random.Generator,
+    budget: int,
+) -> None:
+    """Examine in-edges of up to *budget* frontier nodes of *sketch*.
+
+    The sketch-construction core, free of index state: each sketch is a
+    pure function of ``(graph, envelope, root, rng stream)``, which is what
+    lets builds be partitioned across workers without changing the result.
+    """
+    processed = 0
+    while sketch.frontier and processed < budget:
+        node = sketch.frontier.pop()
+        processed += 1
+        start, stop = graph.in_offsets[node], graph.in_offsets[node + 1]
+        degree = stop - start
+        if degree == 0:
+            continue
+        thresholds = rng.random(degree)
+        sources = graph.in_sources[start:stop]
+        edge_ids = graph.in_edge_ids[start:stop]
+        for offset in range(degree):
+            theta = float(thresholds[offset])
+            edge_id = int(edge_ids[offset])
+            if theta > envelope[edge_id]:
+                sketch.edges_pruned += 1  # never live under any γ
+                continue
+            source = int(sources[offset])
+            sketch.edge_sources.append(source)
+            sketch.edge_targets.append(node)
+            sketch.edge_ids.append(edge_id)
+            sketch.edge_thresholds.append(theta)
+            if source not in sketch.nodes:
+                sketch.nodes.add(source)
+                sketch.frontier.append(source)
+
+
+def _build_sketch_chunk(task) -> Tuple[List[Sketch], List[np.random.Generator]]:
+    """Backend chunk worker: build a slice of sketches from their streams.
+
+    Returns the sketches *and* the advanced generators — across a process
+    boundary the parent must adopt the returned RNG state so later delayed
+    materialization continues each stream exactly where the build left it.
+    """
+    graph, envelope, roots, rngs, budget = task
+    sketches: List[Sketch] = []
+    for root, rng in zip(roots, rngs):
+        sketch = Sketch(root=int(root), nodes={int(root)}, frontier=[int(root)])
+        _expand_sketch(graph, envelope, sketch, rng, budget)
+        sketches.append(sketch)
+    return sketches, list(rngs)
+
+
 class InfluencerIndex:
     """Sampled reverse sketches supporting real-time spread estimation."""
 
@@ -86,6 +147,7 @@ class InfluencerIndex:
         *,
         chunk_size: int = 100_000,
         seed: SeedLike = None,
+        backend: Optional["ExecutionBackend"] = None,
     ) -> None:
         check_positive(num_sketches, "num_sketches")
         check_positive(chunk_size, "chunk_size")
@@ -96,16 +158,48 @@ class InfluencerIndex:
         self.num_sketches = num_sketches
         self.chunk_size = chunk_size
         self._envelope = edge_weights.max_over_topics()
+        # Queries mutate the index (delayed materialization, per-sketch
+        # weight cache); the lock makes concurrent query threads safe.
+        self._lock = threading.RLock()
         generators = spawn_generators(seed, num_sketches + 1)
         root_rng, self._sketch_rngs = generators[0], generators[1:]
         roots = root_rng.integers(0, self.graph.num_nodes, size=num_sketches)
         self.sketches: List[Sketch] = []
         self._membership: Dict[int, List[int]] = {}
         self._weight_cache: Dict[int, np.ndarray] = {}
-        for index, root in enumerate(roots):
-            sketch = Sketch(root=int(root), nodes={int(root)}, frontier=[int(root)])
-            self._expand(index, sketch, budget=chunk_size)
-            self.sketches.append(sketch)
+        if backend is None:
+            for index, root in enumerate(roots):
+                sketch = Sketch(
+                    root=int(root), nodes={int(root)}, frontier=[int(root)]
+                )
+                _expand_sketch(
+                    self.graph, self._envelope, sketch, self._sketch_rngs[index],
+                    budget=chunk_size,
+                )
+                self.sketches.append(sketch)
+        else:
+            # Each sketch owns a pre-spawned stream, so partitioning the
+            # build changes nothing: any backend, any worker count, any
+            # chunking produces the sketches the serial loop produces.
+            span = max(1, -(-num_sketches // (backend.workers * 4)))
+            tasks = [
+                (
+                    self.graph,
+                    self._envelope,
+                    [int(root) for root in roots[start : start + span]],
+                    self._sketch_rngs[start : start + span],
+                    chunk_size,
+                )
+                for start in range(0, num_sketches, span)
+            ]
+            position = 0
+            for sketches, rngs in backend.map_chunks(_build_sketch_chunk, tasks):
+                self.sketches.extend(sketches)
+                # Adopt the advanced RNG state (identity for in-memory
+                # backends, a pickled round-trip for process pools).
+                for rng in rngs:
+                    self._sketch_rngs[position] = rng
+                    position += 1
         for index, sketch in enumerate(self.sketches):
             for node in sketch.nodes:
                 self._membership.setdefault(node, []).append(index)
@@ -116,34 +210,13 @@ class InfluencerIndex:
 
     def _expand(self, sketch_index: int, sketch: Sketch, budget: int) -> None:
         """Examine in-edges of up to *budget* frontier nodes."""
-        rng = self._sketch_rngs[sketch_index]
-        graph = self.graph
-        envelope = self._envelope
-        processed = 0
-        while sketch.frontier and processed < budget:
-            node = sketch.frontier.pop()
-            processed += 1
-            start, stop = graph.in_offsets[node], graph.in_offsets[node + 1]
-            degree = stop - start
-            if degree == 0:
-                continue
-            thresholds = rng.random(degree)
-            sources = graph.in_sources[start:stop]
-            edge_ids = graph.in_edge_ids[start:stop]
-            for offset in range(degree):
-                theta = float(thresholds[offset])
-                edge_id = int(edge_ids[offset])
-                if theta > envelope[edge_id]:
-                    sketch.edges_pruned += 1  # never live under any γ
-                    continue
-                source = int(sources[offset])
-                sketch.edge_sources.append(source)
-                sketch.edge_targets.append(node)
-                sketch.edge_ids.append(edge_id)
-                sketch.edge_thresholds.append(theta)
-                if source not in sketch.nodes:
-                    sketch.nodes.add(source)
-                    sketch.frontier.append(source)
+        _expand_sketch(
+            self.graph,
+            self._envelope,
+            sketch,
+            self._sketch_rngs[sketch_index],
+            budget,
+        )
         # Materialised arrays changed; invalidate the per-sketch cache.
         self._weight_cache.pop(sketch_index, None)
 
@@ -154,17 +227,19 @@ class InfluencerIndex:
         in-edges of frontier nodes can carry live paths, and a node's
         absence is only proven once the frontier is exhausted.  Expansion
         is deterministic (per-sketch RNG stream), happens at most once per
-        sketch, and updates the membership map.
+        sketch, and updates the membership map.  Serialized under the index
+        lock so concurrent query threads see consistent sketches.
         """
         sketch = self.sketches[sketch_index]
         if sketch.complete:
             return sketch
-        while not sketch.complete:
-            self._expand(sketch_index, sketch, budget=self.chunk_size)
-        for member in sketch.nodes:
-            postings = self._membership.setdefault(member, [])
-            if sketch_index not in postings:
-                postings.append(sketch_index)
+        with self._lock:
+            while not sketch.complete:
+                self._expand(sketch_index, sketch, budget=self.chunk_size)
+            for member in sketch.nodes:
+                postings = self._membership.setdefault(member, [])
+                if sketch_index not in postings:
+                    postings.append(sketch_index)
         return sketch
 
     def _contains_after_materialize(self, sketch_index: int, node: int) -> bool:
@@ -173,11 +248,12 @@ class InfluencerIndex:
 
     def _sketch_weights(self, sketch_index: int) -> np.ndarray:
         """Topic-weight rows of a sketch's edges, cached per sketch."""
-        if sketch_index not in self._weight_cache:
-            sketch = self.sketches[sketch_index]
-            rows = np.asarray(sketch.edge_ids, dtype=np.int64)
-            self._weight_cache[sketch_index] = self.edge_weights.weights[rows]
-        return self._weight_cache[sketch_index]
+        with self._lock:
+            if sketch_index not in self._weight_cache:
+                sketch = self.sketches[sketch_index]
+                rows = np.asarray(sketch.edge_ids, dtype=np.int64)
+                self._weight_cache[sketch_index] = self.edge_weights.weights[rows]
+            return self._weight_cache[sketch_index]
 
     # ------------------------------------------------------------------
     # Queries

@@ -21,8 +21,11 @@ door every client (CLI, workload engine, examples) should use.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
+
+if TYPE_CHECKING:  # pragma: no cover — typing only
+    from repro.backend.base import ExecutionBackend
 
 import numpy as np
 
@@ -75,6 +78,8 @@ class OctopusConfig:
     default_k: int = 10
     default_path_threshold: float = 0.01
     cache_capacity: int = 128  # default capacity of the service-layer result cache
+    execution_backend: str = "serial"  # serial | threads | processes
+    workers: Optional[int] = None  # worker count for pooled backends
     seed: SeedLike = None
 
     def __post_init__(self) -> None:
@@ -83,6 +88,13 @@ class OctopusConfig:
                 "bound_estimator must be 'precomputation', 'neighborhood' or "
                 f"'local', got {self.bound_estimator!r}"
             )
+        if self.execution_backend not in ("serial", "threads", "processes"):
+            raise ValidationError(
+                "execution_backend must be 'serial', 'threads' or "
+                f"'processes', got {self.execution_backend!r}"
+            )
+        if self.workers is not None:
+            check_positive(self.workers, "workers")
         for name in (
             "precomputation_grid",
             "local_radius",
@@ -185,6 +197,16 @@ class Octopus:
 
     def _build_indexes(self) -> None:
         config = self.config
+        # ``serial`` means "no backend object at all": index builds take the
+        # historical sequential code paths, so seed behaviour stays
+        # bit-identical to releases that predate the backend layer.
+        self.execution: Optional["ExecutionBackend"] = None
+        if config.execution_backend != "serial":
+            from repro.backend import resolve_backend
+
+            self.execution = resolve_backend(
+                config.execution_backend, config.workers
+            )
         rngs = spawn_generators(config.seed, 4)
         with self._stopwatch.phase("build.bounds"):
             if config.bound_estimator == "precomputation":
@@ -205,6 +227,7 @@ class Octopus:
                 num_samples=config.oracle_samples,
                 num_sets=config.oracle_rr_sets,
                 seed=rngs[0],
+                backend=self.execution,
             )
         self.topic_sample_index: Optional[TopicSampleIndex] = None
         if config.use_topic_samples:
@@ -215,6 +238,7 @@ class Octopus:
                     max_k=config.topic_sample_max_k,
                     num_rr_sets=config.topic_sample_rr_sets,
                     seed=rngs[1],
+                    backend=self.execution,
                 )
         with self._stopwatch.phase("build.influencer_index"):
             self.influencer_index = InfluencerIndex(
@@ -222,6 +246,7 @@ class Octopus:
                 num_sketches=config.num_sketches,
                 chunk_size=config.sketch_chunk_size,
                 seed=rngs[2],
+                backend=self.execution,
             )
         with self._stopwatch.phase("build.suggester"):
             self.suggester = KeywordSuggester(
@@ -378,6 +403,7 @@ class Octopus:
             self.inverted_index,
             num_sets=num_sets,
             seed=self.config.seed,
+            backend=self.execution,
         )
         word_ids = self.topic_model.vocabulary.ids_of(list(audience_resolved))
         audience = engine.audience_for_keywords(word_ids)
@@ -475,6 +501,20 @@ class Octopus:
             stats["topic_samples.count"] = float(len(self.topic_sample_index))
         if hasattr(self.bound_estimator, "index_size"):
             stats["bounds.index_size"] = float(self.bound_estimator.index_size)
+        stats["execution.workers"] = float(
+            self.execution.workers if self.execution is not None else 1
+        )
         stats["graph.num_nodes"] = float(self.graph.num_nodes)
         stats["graph.num_edges"] = float(self.graph.num_edges)
         return stats
+
+    def close(self) -> None:
+        """Release the execution backend's worker pool, if any."""
+        if self.execution is not None:
+            self.execution.close()
+
+    def __enter__(self) -> "Octopus":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

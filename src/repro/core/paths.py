@@ -12,11 +12,10 @@ click-highlighting of all paths through a node.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro.graph.digraph import SocialGraph
 from repro.graph.traversal import max_probability_paths
 from repro.topics.edges import TopicEdgeWeights
 from repro.topics.priors import uniform_distribution

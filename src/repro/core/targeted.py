@@ -20,14 +20,17 @@ implements that extension on top of the OCTOPUS substrates:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
 
 import numpy as np
 
 from repro.im.base import IMResult
 from repro.index.inverted import InvertedIndex
-from repro.propagation.rrsets import RRSetCollection, generate_rr_set
+from repro.propagation.rrsets import RRSetCollection
 from repro.topics.edges import TopicEdgeWeights
+
+if TYPE_CHECKING:  # pragma: no cover — typing only
+    from repro.backend.base import ExecutionBackend
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.validation import (
     ValidationError,
@@ -48,12 +51,14 @@ class TargetedKeywordIM:
         *,
         num_sets: int = 2000,
         seed: SeedLike = None,
+        backend: Optional["ExecutionBackend"] = None,
     ) -> None:
         check_positive(num_sets, "num_sets")
         self.edge_weights = edge_weights
         self.graph = edge_weights.graph
         self.inverted_index = inverted_index
         self.num_sets = num_sets
+        self.backend = backend
         self._rng = as_generator(seed)
 
     # ------------------------------------------------------------------
@@ -121,11 +126,17 @@ class TargetedKeywordIM:
         roots = self._rng.choice(
             self.graph.num_nodes, size=num_sets, p=root_distribution
         )
-        rr_sets = [
-            generate_rr_set(self.graph, probabilities, int(root), self._rng)
-            for root in roots
-        ]
-        collection = RRSetCollection(self.graph, rr_sets)
+        # Audience-weighted roots are drawn above from the engine stream;
+        # the sampling itself runs on the configured execution backend
+        # (per-chunk spawned sub-streams keep it deterministic per query).
+        collection = RRSetCollection.sample(
+            self.graph,
+            probabilities,
+            num_sets,
+            seed=self._rng,
+            roots=[int(root) for root in roots],
+            backend=self.backend,
+        )
         seeds, covered_fraction_spread = collection.greedy_max_cover(k)
         # greedy_max_cover scales by n; rescale to audience-weight units.
         covered_fraction = covered_fraction_spread / self.graph.num_nodes

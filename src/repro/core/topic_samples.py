@@ -28,7 +28,7 @@ they differ by at most ``n``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
 import numpy as np
 
@@ -44,6 +44,9 @@ from repro.utils.validation import (
     check_positive,
     check_simplex,
 )
+
+if TYPE_CHECKING:  # pragma: no cover — typing only
+    from repro.backend.base import ExecutionBackend
 
 __all__ = ["TopicSample", "TopicSampleIndex"]
 
@@ -67,6 +70,53 @@ class TopicSample:
         return self.spreads_by_k[index]
 
 
+def _precompute_sample(
+    edge_weights: TopicEdgeWeights,
+    gamma: np.ndarray,
+    max_k: int,
+    num_rr_sets: int,
+    rng: np.random.Generator,
+) -> TopicSample:
+    """Precompute one topic sample: IM seeds plus per-prefix spreads.
+
+    Module-level so parallel index builds can ship it to worker processes;
+    each call consumes only its own *rng* stream, which is what makes the
+    partitioned build order-independent.
+    """
+    graph = edge_weights.graph
+    probabilities = edge_weights.edge_probabilities(gamma)
+    result = ris_im(graph, probabilities, max_k, num_sets=num_rr_sets, seed=rng)
+    seeds_by_k: List[List[int]] = []
+    spreads_by_k: List[float] = []
+    # RR greedy returns nested prefixes; record each prefix's spread from
+    # the same collection for consistency.
+    from repro.propagation.rrsets import RRSetCollection  # local: avoid cycle
+
+    collection = RRSetCollection.sample(
+        graph, probabilities, max(num_rr_sets // 2, 1), rng
+    )
+    for k in range(1, len(result.seeds) + 1):
+        prefix = result.seeds[:k]
+        seeds_by_k.append(prefix)
+        spreads_by_k.append(collection.estimate_spread(prefix))
+    if not seeds_by_k:
+        raise ValidationError("sample precomputation selected no seeds")
+    return TopicSample(
+        gamma=gamma, seeds_by_k=seeds_by_k, spreads_by_k=spreads_by_k
+    )
+
+
+def _precompute_sample_chunk(task) -> List[TopicSample]:
+    """Backend chunk worker: precompute a slice of the sample list."""
+    edge_weights, gammas, max_k, num_rr_sets, seed_sequences = task
+    return [
+        _precompute_sample(
+            edge_weights, gamma, max_k, num_rr_sets, np.random.default_rng(child)
+        )
+        for gamma, child in zip(gammas, seed_sequences)
+    ]
+
+
 class TopicSampleIndex:
     """Offline-sampled topic distributions with precomputed seed sets."""
 
@@ -79,6 +129,7 @@ class TopicSampleIndex:
         concentration: float = 0.3,
         num_rr_sets: int = 4000,
         seed: SeedLike = None,
+        backend: Optional["ExecutionBackend"] = None,
     ) -> None:
         check_positive(num_samples, "num_samples")
         check_positive(max_k, "max_k")
@@ -92,34 +143,27 @@ class TopicSampleIndex:
         # Per-topic total edge probability mass, the T_z of the coupling gap.
         self.topic_mass = edge_weights.weights.sum(axis=0)
         self.samples: List[TopicSample] = []
-        for gamma in gammas:
-            self.samples.append(self._precompute_sample(gamma, num_rr_sets, rng))
+        if backend is None:
+            # Historical sequential build: one stream shared across samples
+            # (bit-identical to earlier releases).
+            for gamma in gammas:
+                self.samples.append(
+                    _precompute_sample(
+                        self.edge_weights, gamma, self.max_k, num_rr_sets, rng
+                    )
+                )
+        else:
+            # Partitioned build: one spawned stream per sample, so the
+            # result is identical for every backend at every worker count.
+            from repro.backend.base import seed_to_sequence
 
-    def _precompute_sample(
-        self, gamma: np.ndarray, num_rr_sets: int, rng: np.random.Generator
-    ) -> TopicSample:
-        probabilities = self.edge_weights.edge_probabilities(gamma)
-        result = ris_im(
-            self.graph, probabilities, self.max_k, num_sets=num_rr_sets, seed=rng
-        )
-        seeds_by_k: List[List[int]] = []
-        spreads_by_k: List[float] = []
-        # RR greedy returns nested prefixes; record each prefix's spread from
-        # the same collection for consistency.
-        from repro.propagation.rrsets import RRSetCollection  # local: avoid cycle
-
-        collection = RRSetCollection.sample(
-            self.graph, probabilities, max(num_rr_sets // 2, 1), rng
-        )
-        for k in range(1, len(result.seeds) + 1):
-            prefix = result.seeds[:k]
-            seeds_by_k.append(prefix)
-            spreads_by_k.append(collection.estimate_spread(prefix))
-        if not seeds_by_k:
-            raise ValidationError("sample precomputation selected no seeds")
-        return TopicSample(
-            gamma=gamma, seeds_by_k=seeds_by_k, spreads_by_k=spreads_by_k
-        )
+            children = seed_to_sequence(rng).spawn(num_samples)
+            tasks = [
+                (self.edge_weights, [gamma], self.max_k, num_rr_sets, [child])
+                for gamma, child in zip(gammas, children)
+            ]
+            for chunk in backend.map_chunks(_precompute_sample_chunk, tasks):
+                self.samples.extend(chunk)
 
     # ------------------------------------------------------------------
 

@@ -22,7 +22,6 @@ from repro.graph.digraph import SocialGraph
 from repro.graph.generators import small_world_digraph
 from repro.topics.edges import TopicEdgeWeights
 from repro.topics.em import ItemObservation, PropagationEvent
-from repro.topics.model import TopicModel
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.validation import check_in_range, check_positive
 

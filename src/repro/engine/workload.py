@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Sequence, Union
 import numpy as np
 
 from repro.core.octopus import Octopus
+from repro.service.concurrent import ConcurrentOctopusService
 from repro.service.dispatcher import OctopusService
 from repro.service.requests import (
     CompleteRequest,
@@ -88,7 +89,9 @@ class QueryWorkload:
 
     @classmethod
     def generate(
-        cls, system: Union[Octopus, OctopusService], config: Optional[WorkloadConfig] = None
+        cls,
+        system: Union[Octopus, OctopusService, ConcurrentOctopusService],
+        config: Optional[WorkloadConfig] = None,
     ) -> "QueryWorkload":
         """Draw a workload against *system*'s vocabulary and users.
 
@@ -97,7 +100,11 @@ class QueryWorkload:
         are answerable); both are sampled with Zipf-like skew.
         """
         config = config or WorkloadConfig()
-        backend = system.backend if isinstance(system, OctopusService) else system
+        backend = (
+            system.backend
+            if isinstance(system, (OctopusService, ConcurrentOctopusService))
+            else system
+        )
         rng = as_generator(config.seed)
         vocabulary = backend.topic_model.vocabulary
         keywords = vocabulary.words()
@@ -194,14 +201,22 @@ class LatencyReport:
 
 
 def run_workload(
-    system: Union[Octopus, OctopusService], workload: QueryWorkload
+    system: Union[Octopus, OctopusService, ConcurrentOctopusService],
+    workload: QueryWorkload,
+    *,
+    workers: Optional[int] = None,
+    mode: str = "threads",
 ) -> LatencyReport:
     """Execute *workload* through the service layer and collect percentiles.
 
     *system* may be an :class:`OctopusService` (preferred — its cache and
     metrics persist across runs, so a second pass over the same workload
-    shows the warm-cache speedup) or a bare :class:`Octopus`, which is
-    wrapped in a fresh service for the duration of the run.
+    shows the warm-cache speedup), a bare :class:`Octopus`, which is
+    wrapped in a fresh service for the duration of the run, or a
+    :class:`~repro.service.concurrent.ConcurrentOctopusService`, in which
+    case queries are dispatched to its worker pool.  Passing ``workers > 1``
+    wraps the service in a temporary concurrent executor (*mode* selects
+    threads or processes) for the duration of the run.
 
     Individual query failures (e.g. a drawn user without enough keywords)
     are counted under ``errors`` rather than aborting the run — a serving
@@ -209,24 +224,47 @@ def run_workload(
     """
     if len(workload) == 0:
         raise ValidationError("workload is empty")
-    service = (
-        system
-        if isinstance(system, OctopusService)
-        else OctopusService(system)
-    )
+    executor: Optional[ConcurrentOctopusService] = None
+    owns_executor = False
+    if isinstance(system, ConcurrentOctopusService):
+        executor, service = system, system.service
+    elif workers is not None and workers > 1:
+        service = (
+            system
+            if isinstance(system, OctopusService)
+            else OctopusService(system)
+        )
+        executor = ConcurrentOctopusService(service, workers=workers, mode=mode)
+        owns_executor = True
+    else:
+        service = (
+            system
+            if isinstance(system, OctopusService)
+            else OctopusService(system)
+        )
+    started = time.perf_counter()
+    try:
+        if executor is not None:
+            responses = executor.execute_batch(workload.queries)
+        else:
+            responses = [
+                service.execute(request) for request in workload.queries
+            ]
+    finally:
+        if owns_executor:
+            executor.close()
+    wall = time.perf_counter() - started
+
     latencies: Dict[str, List[float]] = {}
     errors = 0
     cache_hits = 0
-    started = time.perf_counter()
-    for request in workload.queries:
-        response = service.execute(request)
+    for request, response in zip(workload.queries, responses):
         if not response.ok:
             errors += 1
             continue
         if response.cache_hit:
             cache_hits += 1
         latencies.setdefault(request.service, []).append(response.latency_ms)
-    wall = time.perf_counter() - started
 
     per_service: Dict[str, Dict[str, float]] = {}
     for name, values in latencies.items():

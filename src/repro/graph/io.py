@@ -7,7 +7,6 @@ It round-trips node labels and edge-id order.
 
 from __future__ import annotations
 
-import os
 from typing import List, Optional, Tuple, Union
 
 from repro.graph.digraph import SocialGraph

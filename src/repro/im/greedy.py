@@ -10,7 +10,7 @@ algorithm" whose per-query cost motivates OCTOPUS's online techniques
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence
+from typing import Iterable, Optional
 
 import numpy as np
 

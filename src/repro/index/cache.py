@@ -3,10 +3,17 @@
 Online systems answer repeated queries; OCTOPUS caches the three services'
 results keyed by their normalised query.  Hit/miss counters feed the system
 statistics panel.
+
+The cache is thread-safe: the concurrent service executor shares one
+instance across worker threads, so every mutation (lookup bookkeeping,
+insertion, eviction) happens under an internal lock and the counters stay
+consistent — ``hits + misses`` always equals the number of lookups, and
+``evictions`` matches the entries actually dropped.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Any, Dict, Hashable, Optional
 
@@ -22,40 +29,46 @@ class LRUCache:
         check_positive(capacity, "capacity")
         self.capacity = capacity
         self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
 
     def __len__(self) -> int:
-        return len(self._data)
+        with self._lock:
+            return len(self._data)
 
     def __contains__(self, key: Hashable) -> bool:
-        return key in self._data
+        with self._lock:
+            return key in self._data
 
     def get(self, key: Hashable) -> Optional[Any]:
         """Return the cached value or ``None``; refreshes recency on hit."""
-        if key in self._data:
-            self._data.move_to_end(key)
-            self.hits += 1
-            return self._data[key]
-        self.misses += 1
-        return None
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+                self.hits += 1
+                return self._data[key]
+            self.misses += 1
+            return None
 
     def put(self, key: Hashable, value: Any) -> None:
         """Insert or refresh *key*, evicting the least recent on overflow."""
-        if key in self._data:
-            self._data.move_to_end(key)
-        self._data[key] = value
-        while len(self._data) > self.capacity:
-            self._data.popitem(last=False)
-            self.evictions += 1
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+            self._data[key] = value
+            while len(self._data) > self.capacity:
+                self._data.popitem(last=False)
+                self.evictions += 1
 
     def clear(self) -> None:
         """Drop all entries and reset counters."""
-        self._data.clear()
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        with self._lock:
+            self._data.clear()
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0
 
     @property
     def hit_rate(self) -> float:
@@ -65,11 +78,12 @@ class LRUCache:
 
     def stats(self) -> Dict[str, float]:
         """Counter snapshot for statistics panels (size, hits, misses, ...)."""
-        return {
-            "size": float(len(self._data)),
-            "capacity": float(self.capacity),
-            "hits": float(self.hits),
-            "misses": float(self.misses),
-            "evictions": float(self.evictions),
-            "hit_rate": self.hit_rate,
-        }
+        with self._lock:
+            return {
+                "size": float(len(self._data)),
+                "capacity": float(self.capacity),
+                "hits": float(self.hits),
+                "misses": float(self.misses),
+                "evictions": float(self.evictions),
+                "hit_rate": self.hit_rate,
+            }

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Tuple
 
-from repro.utils.validation import ValidationError, check_positive
+from repro.utils.validation import ValidationError
 
 __all__ = ["InvertedIndex"]
 

@@ -7,7 +7,7 @@ weight (e.g. occurrence count) so completions are ranked.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Tuple
 
 from repro.utils.validation import ValidationError, check_positive
 

@@ -8,7 +8,7 @@ trade-offs benchmark E2/E7 measures.
 
 from __future__ import annotations
 
-from typing import Optional, Protocol, Sequence
+from typing import TYPE_CHECKING, Optional, Protocol, Sequence
 
 import numpy as np
 
@@ -17,6 +17,9 @@ from repro.propagation.ic import IndependentCascade
 from repro.propagation.rrsets import RRSetCollection
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.validation import check_positive
+
+if TYPE_CHECKING:  # pragma: no cover — typing only
+    from repro.backend.base import ExecutionBackend
 
 __all__ = ["SpreadEstimator", "MonteCarloSpreadEstimator", "RRSetSpreadEstimator"]
 
@@ -68,10 +71,11 @@ class RRSetSpreadEstimator:
         num_sets: int = 2000,
         seed: SeedLike = None,
         collection: Optional[RRSetCollection] = None,
+        backend: Optional["ExecutionBackend"] = None,
     ) -> None:
         if collection is None:
             collection = RRSetCollection.sample(
-                graph, edge_probabilities, num_sets, seed
+                graph, edge_probabilities, num_sets, seed, backend=backend
             )
         self.collection = collection
 

@@ -11,7 +11,7 @@ index of Section II-D.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -19,23 +19,25 @@ from repro.graph.digraph import SocialGraph
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.validation import ValidationError, check_node_id, check_positive
 
+if TYPE_CHECKING:  # pragma: no cover — import cycle guard, typing only
+    from repro.backend.base import ExecutionBackend
+
 __all__ = ["generate_rr_set", "RRSetCollection"]
 
 
-def generate_rr_set(
+def _reverse_reachable(
     graph: SocialGraph,
     edge_probabilities: np.ndarray,
     root: int,
-    seed: SeedLike = None,
+    rng: np.random.Generator,
 ) -> Set[int]:
-    """Sample one RR set rooted at *root*.
+    """The unchecked sampling core: *rng* must already be a ``Generator``.
 
-    Performs a reverse BFS where each in-edge is crossed with its activation
-    probability; coins are flipped lazily, edge by edge, which matches the IC
-    distribution because each edge is examined at most once per sample.
+    Split out of :func:`generate_rr_set` so bulk samplers (the collection
+    sampler, the execution backends' chunk workers) pay neither the root
+    validation nor the seed coercion on every one of their thousands of
+    calls.
     """
-    check_node_id(root, graph.num_nodes, "root")
-    rng = as_generator(seed)
     visited: Set[int] = {root}
     frontier: List[int] = [root]
     while frontier:
@@ -54,6 +56,30 @@ def generate_rr_set(
                 visited.add(source)
                 frontier.append(source)
     return visited
+
+
+def generate_rr_set(
+    graph: SocialGraph,
+    edge_probabilities: np.ndarray,
+    root: int,
+    seed: SeedLike = None,
+) -> Set[int]:
+    """Sample one RR set rooted at *root*.
+
+    Performs a reverse BFS where each in-edge is crossed with its activation
+    probability; coins are flipped lazily, edge by edge, which matches the IC
+    distribution because each edge is examined at most once per sample.
+
+    A shared :class:`~numpy.random.Generator` passed as *seed* is used
+    directly (no per-call re-wrapping), so hot loops can hand one stream
+    across many samples at no coercion cost.
+    """
+    check_node_id(root, graph.num_nodes, "root")
+    if isinstance(seed, np.random.Generator):
+        rng = seed
+    else:
+        rng = as_generator(seed)
+    return _reverse_reachable(graph, edge_probabilities, root, rng)
 
 
 class RRSetCollection:
@@ -81,19 +107,42 @@ class RRSetCollection:
         num_sets: int,
         seed: SeedLike = None,
         roots: Optional[Sequence[int]] = None,
+        *,
+        backend: Optional["ExecutionBackend"] = None,
+        chunk_size: Optional[int] = None,
     ) -> "RRSetCollection":
-        """Sample *num_sets* RR sets with uniform (or given) roots."""
+        """Sample *num_sets* RR sets with uniform (or given) roots.
+
+        Without a *backend* the historical single-stream sequential sampler
+        runs (bit-identical to earlier releases).  With a *backend* the work
+        is split into fixed-size chunks with per-chunk spawned RNG streams,
+        so the result is identical for every backend at every worker count —
+        serial, threads or processes (see :mod:`repro.backend`).
+        """
+        if backend is not None:
+            sample_kwargs = {"roots": roots}
+            if chunk_size is not None:
+                sample_kwargs["chunk_size"] = chunk_size
+            rr_sets = backend.sample_rr_sets(
+                graph, edge_probabilities, num_sets, seed, **sample_kwargs
+            )
+            return cls(graph, rr_sets)
         check_positive(num_sets, "num_sets")
         if graph.num_nodes == 0:
             raise ValidationError("cannot sample RR sets on an empty graph")
+        if roots is not None:
+            for root in roots:
+                check_node_id(int(root), graph.num_nodes, "root")
         rng = as_generator(seed)
-        rr_sets: List[Set[int]] = []
+        rr_sets = []
         for index in range(num_sets):
             if roots is not None:
                 root = int(roots[index % len(roots)])
             else:
                 root = int(rng.integers(0, graph.num_nodes))
-            rr_sets.append(generate_rr_set(graph, edge_probabilities, root, rng))
+            rr_sets.append(
+                _reverse_reachable(graph, edge_probabilities, root, rng)
+            )
         return cls(graph, rr_sets)
 
     def __len__(self) -> int:

@@ -13,7 +13,7 @@ consistent and what the influencer index (Section II-D) exploits.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Set
+from typing import List, Sequence, Set
 
 import numpy as np
 

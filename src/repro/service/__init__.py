@@ -17,8 +17,16 @@ optional rate limiting, batch execution) once, for every entry point::
 
 Requests and responses serialize losslessly to JSON, so query streams can
 be logged, replayed and served over a wire.
+
+For concurrent serving, :class:`~repro.service.concurrent.ConcurrentOctopusService`
+runs the same envelopes over a thread or process worker pool with in-flight
+de-duplication of identical requests::
+
+    with ConcurrentOctopusService(service, workers=4) as executor:
+        responses = executor.execute_batch(requests)
 """
 
+from repro.service.concurrent import ConcurrentOctopusService
 from repro.service.dispatcher import OctopusService
 from repro.service.middleware import (
     CacheMiddleware,
@@ -45,6 +53,7 @@ from repro.service.responses import ServiceError, ServiceResponse, jsonify
 
 __all__ = [
     "OctopusService",
+    "ConcurrentOctopusService",
     "ServiceRequest",
     "FindInfluencersRequest",
     "TargetedInfluencersRequest",

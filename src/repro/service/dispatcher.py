@@ -40,7 +40,7 @@ from repro.service.requests import (
     request_from_dict,
     request_from_json,
 )
-from repro.service.responses import ServiceError, ServiceResponse, jsonify
+from repro.service.responses import ServiceResponse, jsonify
 from repro.utils.validation import ValidationError
 
 __all__ = ["OctopusService"]

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import copy
 import dataclasses
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional
@@ -48,49 +49,61 @@ class _ServiceCounters:
 
 @dataclass
 class ServiceMetrics:
-    """Per-service request counts, error counts, cache hits and latency."""
+    """Per-service request counts, error counts, cache hits and latency.
+
+    Thread-safe: the concurrent executor records responses from many
+    worker threads into one collector, so every fold and snapshot happens
+    under an internal lock (read-modify-write on the counters would
+    otherwise lose updates).
+    """
 
     per_service: Dict[str, _ServiceCounters] = field(default_factory=dict)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def record(self, response: ServiceResponse) -> None:
         """Fold one response into the counters."""
-        counters = self.per_service.setdefault(
-            response.service, _ServiceCounters()
-        )
-        counters.requests += 1
-        if not response.ok:
-            counters.errors += 1
-        if response.cache_hit:
-            counters.cache_hits += 1
-        counters.total_latency_ms += response.latency_ms
-        counters.max_latency_ms = max(
-            counters.max_latency_ms, response.latency_ms
-        )
+        with self._lock:
+            counters = self.per_service.setdefault(
+                response.service, _ServiceCounters()
+            )
+            counters.requests += 1
+            if not response.ok:
+                counters.errors += 1
+            if response.cache_hit:
+                counters.cache_hits += 1
+            counters.total_latency_ms += response.latency_ms
+            counters.max_latency_ms = max(
+                counters.max_latency_ms, response.latency_ms
+            )
 
     def snapshot(self) -> Dict[str, float]:
         """Flat metric dict, keyed ``service.<name>.<metric>``."""
         stats: Dict[str, float] = {}
-        for service, counters in sorted(self.per_service.items()):
-            prefix = f"service.{service}"
-            stats[f"{prefix}.requests"] = float(counters.requests)
-            stats[f"{prefix}.errors"] = float(counters.errors)
-            stats[f"{prefix}.cache_hits"] = float(counters.cache_hits)
-            stats[f"{prefix}.hit_rate"] = (
-                counters.cache_hits / counters.requests
-                if counters.requests
-                else 0.0
-            )
-            stats[f"{prefix}.mean_latency_ms"] = (
-                counters.total_latency_ms / counters.requests
-                if counters.requests
-                else 0.0
-            )
-            stats[f"{prefix}.max_latency_ms"] = counters.max_latency_ms
+        with self._lock:
+            for service, counters in sorted(self.per_service.items()):
+                prefix = f"service.{service}"
+                stats[f"{prefix}.requests"] = float(counters.requests)
+                stats[f"{prefix}.errors"] = float(counters.errors)
+                stats[f"{prefix}.cache_hits"] = float(counters.cache_hits)
+                stats[f"{prefix}.hit_rate"] = (
+                    counters.cache_hits / counters.requests
+                    if counters.requests
+                    else 0.0
+                )
+                stats[f"{prefix}.mean_latency_ms"] = (
+                    counters.total_latency_ms / counters.requests
+                    if counters.requests
+                    else 0.0
+                )
+                stats[f"{prefix}.max_latency_ms"] = counters.max_latency_ms
         return stats
 
     def reset(self) -> None:
         """Drop all counters."""
-        self.per_service.clear()
+        with self._lock:
+            self.per_service.clear()
 
 
 class MetricsMiddleware:
@@ -192,22 +205,27 @@ class RateLimitMiddleware:
         self._clock = clock
         self._tokens = self.burst
         self._last = clock()
+        # Refill-then-spend is a read-modify-write on the bucket; the lock
+        # keeps the budget exact when worker threads race through it.
+        self._bucket_lock = threading.Lock()
 
     def __call__(
         self, request: ServiceRequest, call_next: Handler
     ) -> ServiceResponse:
         """Spend a token or reject with ``rate_limited``."""
-        now = self._clock()
-        self._tokens = min(
-            self.burst, self._tokens + (now - self._last) * self.rate
-        )
-        self._last = now
-        if self._tokens < 1.0:
-            return ServiceResponse.failure(
-                request.service,
-                "rate_limited",
-                f"rate limit of {self.rate:g} requests/s exceeded",
-                details={"retry_after_seconds": (1.0 - self._tokens) / self.rate},
+        with self._bucket_lock:
+            now = self._clock()
+            self._tokens = min(
+                self.burst, self._tokens + (now - self._last) * self.rate
             )
-        self._tokens -= 1.0
+            self._last = now
+            if self._tokens < 1.0:
+                deficit = 1.0 - self._tokens
+                return ServiceResponse.failure(
+                    request.service,
+                    "rate_limited",
+                    f"rate limit of {self.rate:g} requests/s exceeded",
+                    details={"retry_after_seconds": deficit / self.rate},
+                )
+            self._tokens -= 1.0
         return call_next(request)

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Any, Generic, Hashable, Iterator, List, Optional, Tuple, TypeVar
+from typing import Generic, Hashable, Iterator, List, Optional, Tuple, TypeVar
 
 __all__ = ["LazyGreedyQueue", "TopK"]
 

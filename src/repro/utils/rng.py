@@ -9,7 +9,7 @@ order in which sub-streams are consumed.
 
 from __future__ import annotations
 
-from typing import List, Optional, Union
+from typing import List, Union
 
 import numpy as np
 

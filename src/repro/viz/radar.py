@@ -7,7 +7,7 @@ and machine learning, while also relevant to multimedia and HCI."
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Union
+from typing import Dict, Sequence, Union
 
 from repro.topics.model import TopicModel
 from repro.utils.validation import ValidationError

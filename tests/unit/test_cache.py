@@ -108,3 +108,59 @@ class TestLRUCache:
             "evictions": 1.0,
             "hit_rate": pytest.approx(0.5),
         }
+
+
+class TestThreadSafety:
+    """The cache is shared by the concurrent service executor's workers."""
+
+    def test_counters_consistent_under_concurrent_mutation(self):
+        import threading
+
+        cache = LRUCache(capacity=32)
+        lookups_per_thread = 400
+        threads = 8
+
+        def hammer(worker: int) -> None:
+            for step in range(lookups_per_thread):
+                key = (worker * step) % 64
+                if cache.get(key) is None:
+                    cache.put(key, worker)
+
+        pool = [
+            threading.Thread(target=hammer, args=(worker,))
+            for worker in range(threads)
+        ]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+
+        stats = cache.stats()
+        # every lookup is counted exactly once, size never exceeds capacity
+        assert stats["hits"] + stats["misses"] == threads * lookups_per_thread
+        assert len(cache) <= cache.capacity
+        assert stats["size"] == float(len(cache))
+
+    def test_eviction_counter_exact_under_concurrent_puts(self):
+        import threading
+
+        cache = LRUCache(capacity=8)
+        per_thread = 200
+        threads = 6
+
+        def fill(worker: int) -> None:
+            for step in range(per_thread):
+                cache.put((worker, step), step)
+
+        pool = [
+            threading.Thread(target=fill, args=(worker,))
+            for worker in range(threads)
+        ]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+
+        # all keys distinct: insertions - evictions == final size
+        assert threads * per_thread - cache.evictions == len(cache)
+        assert len(cache) == cache.capacity

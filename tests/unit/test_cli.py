@@ -192,3 +192,68 @@ class TestErrors:
     def test_missing_dataset(self, tmp_path, capsys):
         code = main(["stats", str(tmp_path / "nope"), "--fast"])
         assert code == 2
+
+
+class TestBackendOptions:
+    def test_parser_accepts_backend_and_workers(self):
+        parser = build_parser()
+        arguments = parser.parse_args(
+            ["stats", "dir", "--backend", "threads", "--workers", "4"]
+        )
+        assert arguments.backend == "threads"
+        assert arguments.workers == 4
+
+    def test_parser_rejects_unknown_backend(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["stats", "dir", "--backend", "quantum"])
+
+    def test_threads_backend_answers_match_worker_counts(
+        self, dataset_dir, capsys
+    ):
+        """--backend threads gives the same answer at any --workers."""
+        outputs = []
+        for workers in ("1", "3"):
+            code = main(
+                [
+                    "influencers",
+                    dataset_dir,
+                    "data mining",
+                    "-k",
+                    "3",
+                    "--fast",
+                    "--backend",
+                    "threads",
+                    "--workers",
+                    workers,
+                ]
+            )
+            assert code == 0
+            captured = capsys.readouterr().out
+            # drop the latency line: wall clock is not part of the answer
+            outputs.append(
+                "\n".join(
+                    line
+                    for line in captured.splitlines()
+                    if not line.startswith("latency")
+                )
+            )
+        assert outputs[0] == outputs[1]
+
+    def test_query_batch_with_workers(self, dataset_dir, capsys):
+        request = {"service": "complete", "prefix": "da", "limit": 3}
+        code = main(
+            [
+                "query",
+                dataset_dir,
+                json.dumps([request, request]),
+                "--batch",
+                "--fast",
+                "--workers",
+                "2",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [entry["ok"] for entry in payload] == [True, True]
+        assert payload[0]["payload"] == payload[1]["payload"]

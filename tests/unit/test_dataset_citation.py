@@ -97,9 +97,11 @@ class TestGenerator:
         assert observed_rate == pytest.approx(expected_rate, abs=0.05)
 
     def test_deterministic(self):
-        make = lambda: CitationNetworkGenerator(
-            num_researchers=60, seed=5
-        ).generate()
+        def make():
+            return CitationNetworkGenerator(
+                num_researchers=60, seed=5
+            ).generate()
+
         a, b = make(), make()
         assert list(a.graph.edges()) == list(b.graph.edges())
         np.testing.assert_array_equal(

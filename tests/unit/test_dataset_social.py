@@ -1,6 +1,5 @@
 """Unit tests for repro.datasets.social."""
 
-import numpy as np
 import pytest
 
 from repro.datasets.social import PRODUCT_TOPICS, SocialNetworkGenerator
@@ -51,7 +50,9 @@ class TestGenerator:
         )
 
     def test_deterministic(self):
-        make = lambda: SocialNetworkGenerator(num_users=50, seed=3).generate()
+        def make():
+            return SocialNetworkGenerator(num_users=50, seed=3).generate()
+
         a, b = make(), make()
         assert list(a.graph.edges()) == list(b.graph.edges())
         assert a.items[5].keywords == b.items[5].keywords

@@ -109,9 +109,11 @@ class TestFitting:
 
     def test_deterministic_given_seed(self):
         graph, vocab, items = _make_corpus()
-        fit = lambda: TICLearner(
-            graph, vocab, EMConfig(num_topics=2, seed=5)
-        ).fit(items)
+        def fit():
+            return TICLearner(
+                graph, vocab, EMConfig(num_topics=2, seed=5)
+            ).fit(items)
+
         a, b = fit(), fit()
         np.testing.assert_array_equal(
             a.topic_model.word_given_topic, b.topic_model.word_given_topic

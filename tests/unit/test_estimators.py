@@ -53,3 +53,43 @@ class TestRRSetEstimator:
         assert mc.spread(seeds) == pytest.approx(
             ris.spread(seeds), rel=0.15, abs=1.5
         )
+
+    def test_backend_sampling_deterministic(
+        self, medium_graph, medium_probabilities
+    ):
+        from repro.backend import SerialBackend, ThreadPoolBackend
+
+        serial = RRSetSpreadEstimator(
+            medium_graph,
+            medium_probabilities,
+            num_sets=400,
+            seed=5,
+            backend=SerialBackend(),
+        )
+        with ThreadPoolBackend(3) as backend:
+            threaded = RRSetSpreadEstimator(
+                medium_graph,
+                medium_probabilities,
+                num_sets=400,
+                seed=5,
+                backend=backend,
+            )
+        assert serial.collection.rr_sets == threaded.collection.rr_sets
+        assert serial.spread([0, 1]) == threaded.spread([0, 1])
+
+    def test_spread_bounds(self, medium_graph, medium_probabilities):
+        """Estimates live in [1, n] for a single valid seed."""
+        estimator = RRSetSpreadEstimator(
+            medium_graph, medium_probabilities, num_sets=800, seed=3
+        )
+        for node in (0, 5, 11):
+            spread = estimator.spread([node])
+            assert 0.0 <= spread <= medium_graph.num_nodes
+
+    def test_empty_seed_set_spreads_nothing(
+        self, medium_graph, medium_probabilities
+    ):
+        estimator = RRSetSpreadEstimator(
+            medium_graph, medium_probabilities, num_sets=200, seed=4
+        )
+        assert estimator.spread([]) == 0.0

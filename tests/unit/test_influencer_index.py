@@ -145,3 +145,75 @@ class TestDelayedMaterialization:
             "edges_pruned_permanently",
             "complete_sketches",
         } <= set(stats)
+
+
+class TestParallelBuild:
+    """Per-sketch RNG streams make partitioned builds exact, not approximate."""
+
+    def _fingerprint(self, index):
+        return [
+            (
+                sketch.root,
+                sorted(sketch.nodes),
+                sketch.edge_sources,
+                sketch.edge_targets,
+                sketch.edge_thresholds,
+                sketch.edges_pruned,
+            )
+            for sketch in index.sketches
+        ]
+
+    def test_backend_build_matches_serial_exactly(self, setup):
+        from repro.backend import ProcessPoolBackend, SerialBackend, ThreadPoolBackend
+
+        _graph, weights, _index = setup
+        reference = InfluencerIndex(weights, num_sketches=60, seed=71)
+        for make in (
+            SerialBackend,
+            lambda: ThreadPoolBackend(4),
+            lambda: ProcessPoolBackend(2),
+        ):
+            with make() as backend:
+                built = InfluencerIndex(
+                    weights, num_sketches=60, seed=71, backend=backend
+                )
+            assert self._fingerprint(built) == self._fingerprint(reference)
+
+    def test_delayed_materialization_continues_adopted_streams(self, setup):
+        """After a forked build, on-demand expansion must replay the serial
+        stream — the adopted RNG state is the serial state."""
+        from repro.backend import ProcessPoolBackend
+
+        _graph, weights, _index = setup
+        serial = InfluencerIndex(weights, num_sketches=40, chunk_size=5, seed=72)
+        with ProcessPoolBackend(2) as backend:
+            forked = InfluencerIndex(
+                weights, num_sketches=40, chunk_size=5, seed=72, backend=backend
+            )
+        for user in (0, 7, 50):
+            assert forked.estimate_user_spread(
+                user, GAMMA
+            ) == serial.estimate_user_spread(user, GAMMA)
+        assert self._fingerprint(forked) == self._fingerprint(serial)
+
+    def test_concurrent_queries_materialize_safely(self, setup):
+        import threading
+
+        _graph, weights, _index = setup
+        index = InfluencerIndex(weights, num_sketches=60, chunk_size=4, seed=73)
+        reference = InfluencerIndex(
+            weights, num_sketches=60, chunk_size=4, seed=73
+        )
+        users = list(range(0, 60, 3))
+        results = {}
+
+        def query(user: int) -> None:
+            results[user] = index.estimate_user_spread(user, GAMMA)
+
+        pool = [threading.Thread(target=query, args=(user,)) for user in users]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        for user in users:
+            assert results[user] == reference.estimate_user_spread(user, GAMMA)

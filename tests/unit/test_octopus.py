@@ -205,3 +205,36 @@ class TestServicesPlumbing:
         )
         result = system.find_influencers("data mining", k=3)
         assert len(result.seeds) == 3
+
+
+class TestExecutionBackends:
+    def test_config_validates_backend_name(self):
+        with pytest.raises(ValidationError):
+            OctopusConfig(execution_backend="quantum")
+        with pytest.raises(ValidationError):
+            OctopusConfig(workers=0)
+
+    def test_pooled_builds_agree_with_each_other(self, citation_dataset_module):
+        """threads and processes builds answer queries identically."""
+        answers = []
+        for backend_name in ("threads", "processes"):
+            config = OctopusConfig(
+                num_sketches=20,
+                num_topic_samples=3,
+                topic_sample_rr_sets=120,
+                oracle_samples=10,
+                execution_backend=backend_name,
+                workers=2,
+                seed=91,
+            )
+            with Octopus.from_dataset(
+                citation_dataset_module, config=config
+            ) as system:
+                result = system.find_influencers("data mining", 3)
+                answers.append((result.seeds, result.spread))
+                assert system.statistics()["execution.workers"] == 2.0
+        assert answers[0] == answers[1]
+
+    def test_serial_config_has_no_backend_object(self, system):
+        assert system.execution is None
+        assert system.statistics()["execution.workers"] == 1.0

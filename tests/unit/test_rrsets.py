@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.backend import ProcessPoolBackend, SerialBackend, ThreadPoolBackend
 from repro.propagation.ic import IndependentCascade
 from repro.propagation.rrsets import RRSetCollection, generate_rr_set
 from repro.utils.validation import ValidationError
@@ -88,3 +89,126 @@ class TestRRSetCollection:
             line_graph, np.zeros(3), 4, seed=0, roots=[3]
         )
         assert all(rr == {3} for rr in collection.rr_sets)
+
+    def test_invalid_fixed_root(self, line_graph):
+        with pytest.raises(ValidationError):
+            RRSetCollection.sample(line_graph, np.zeros(3), 4, seed=0, roots=[9])
+
+    def test_shared_generator_advances_stream(
+        self, medium_graph, medium_probabilities
+    ):
+        """Passing one Generator across calls must consume it (no rewrap)."""
+        rng = np.random.default_rng(7)
+        first = generate_rr_set(medium_graph, medium_probabilities, 0, rng)
+        second = generate_rr_set(medium_graph, medium_probabilities, 0, rng)
+        replay = np.random.default_rng(7)
+        assert first == generate_rr_set(
+            medium_graph, medium_probabilities, 0, replay
+        )
+        assert second == generate_rr_set(
+            medium_graph, medium_probabilities, 0, replay
+        )
+
+
+class TestParallelSampling:
+    """Acceptance bar: same seed ⇒ identical collection on every backend."""
+
+    def test_backends_agree_exactly(self, medium_graph, medium_probabilities):
+        serial = RRSetCollection.sample(
+            medium_graph,
+            medium_probabilities,
+            700,
+            seed=31,
+            backend=SerialBackend(),
+        )
+        with ThreadPoolBackend(4) as threads:
+            threaded = RRSetCollection.sample(
+                medium_graph, medium_probabilities, 700, seed=31, backend=threads
+            )
+        with ProcessPoolBackend(4) as processes:
+            forked = RRSetCollection.sample(
+                medium_graph,
+                medium_probabilities,
+                700,
+                seed=31,
+                backend=processes,
+            )
+        assert serial.rr_sets == threaded.rr_sets  # same sets, same order
+        assert serial.rr_sets == forked.rr_sets
+
+    def test_worker_count_does_not_matter(
+        self, medium_graph, medium_probabilities
+    ):
+        with ThreadPoolBackend(2) as two, ThreadPoolBackend(7) as seven:
+            a = RRSetCollection.sample(
+                medium_graph, medium_probabilities, 300, seed=5, backend=two
+            )
+            b = RRSetCollection.sample(
+                medium_graph, medium_probabilities, 300, seed=5, backend=seven
+            )
+        assert a.rr_sets == b.rr_sets
+
+    def test_membership_index_matches_serial(
+        self, medium_graph, medium_probabilities
+    ):
+        with ThreadPoolBackend(3) as backend:
+            parallel = RRSetCollection.sample(
+                medium_graph, medium_probabilities, 200, seed=9, backend=backend
+            )
+        rebuilt = RRSetCollection(medium_graph, list(parallel.rr_sets))
+        for node in range(medium_graph.num_nodes):
+            assert parallel.coverage_of(node) == rebuilt.coverage_of(node)
+
+    def test_parallel_roots_preserved(self, line_graph):
+        with ThreadPoolBackend(2) as backend:
+            collection = RRSetCollection.sample(
+                line_graph, np.zeros(3), 6, seed=0, roots=[2], backend=backend
+            )
+        assert all(rr == {2} for rr in collection.rr_sets)
+
+
+class TestCollectionInvariants:
+    """Structural invariants the estimators rest on."""
+
+    def test_coverage_matches_spread_estimate(
+        self, medium_graph, medium_probabilities
+    ):
+        """n · coverage_of(v) / R  ==  estimate_spread([v]) for every v."""
+        collection = RRSetCollection.sample(
+            medium_graph, medium_probabilities, 400, seed=3
+        )
+        n, total = medium_graph.num_nodes, len(collection)
+        for node in range(0, medium_graph.num_nodes, 17):
+            assert collection.estimate_spread([node]) == pytest.approx(
+                n * collection.coverage_of(node) / total
+            )
+
+    def test_every_rr_set_contains_a_node_of_the_graph(
+        self, medium_graph, medium_probabilities
+    ):
+        collection = RRSetCollection.sample(
+            medium_graph, medium_probabilities, 100, seed=4
+        )
+        for rr_set in collection.rr_sets:
+            assert rr_set
+            assert all(0 <= node < medium_graph.num_nodes for node in rr_set)
+
+    def test_greedy_spread_never_exceeds_union_bound(
+        self, medium_graph, medium_probabilities
+    ):
+        collection = RRSetCollection.sample(
+            medium_graph, medium_probabilities, 500, seed=6
+        )
+        seeds, spread = collection.greedy_max_cover(5)
+        assert spread <= medium_graph.num_nodes
+        assert spread == pytest.approx(collection.estimate_spread(seeds))
+
+    def test_spread_monotone_in_seed_set(
+        self, medium_graph, medium_probabilities
+    ):
+        collection = RRSetCollection.sample(
+            medium_graph, medium_probabilities, 300, seed=8
+        )
+        assert collection.estimate_spread([0, 1]) >= collection.estimate_spread(
+            [0]
+        )

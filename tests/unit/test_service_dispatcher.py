@@ -4,9 +4,12 @@ Covers the service-layer acceptance bar: execute() never raises (errors
 become envelopes), every live response round-trips through JSON, batch
 execution matches sequential execution, and middleware compose in the
 documented order.
+
+The whole matrix runs twice: once against the sequential dispatcher and
+once against :class:`ConcurrentOctopusService` (thread mode), which must
+be a drop-in executor with identical envelope semantics.
 """
 
-import dataclasses
 import json
 
 import pytest
@@ -14,6 +17,7 @@ import pytest
 from repro.core.octopus import Octopus, OctopusConfig
 from repro.service import (
     CompleteRequest,
+    ConcurrentOctopusService,
     ExplorePathsRequest,
     FindInfluencersRequest,
     OctopusService,
@@ -39,9 +43,14 @@ def backend(citation_dataset):
     )
 
 
-@pytest.fixture
-def service(backend):
-    return OctopusService(backend)
+@pytest.fixture(params=["sequential", "concurrent"])
+def service(request, backend):
+    if request.param == "sequential":
+        yield OctopusService(backend)
+        return
+    executor = ConcurrentOctopusService(OctopusService(backend), workers=2)
+    yield executor
+    executor.close()
 
 
 @pytest.fixture(scope="module")
@@ -397,7 +406,11 @@ class TestMiddleware:
     def test_internal_errors_become_envelopes(self, backend):
         service = OctopusService(backend)
         original = service._handlers["complete"]
-        service._handlers["complete"] = lambda request: 1 / 0
+
+        def explode(request):
+            return 1 / 0
+
+        service._handlers["complete"] = explode
         try:
             response = service.execute(CompleteRequest(prefix="da"))
         finally:

@@ -15,7 +15,6 @@ from repro.service import (
     FindInfluencersRequest,
     RadarRequest,
     TargetedInfluencersRequest,
-    ServiceError,
     ServiceResponse,
     StatsRequest,
     SuggestKeywordsRequest,

@@ -107,3 +107,57 @@ class TestQuery:
         )
         assert "l1_distance" in result.statistics
         assert "coupling_gap" in result.statistics
+
+
+class TestParallelBuild:
+    def _fingerprint(self, index):
+        return [
+            (
+                sample.gamma.tolist(),
+                sample.seeds_by_k,
+                sample.spreads_by_k,
+            )
+            for sample in index.samples
+        ]
+
+    def test_identical_across_backends_and_worker_counts(self, setup):
+        from repro.backend import ProcessPoolBackend, SerialBackend, ThreadPoolBackend
+
+        _graph, weights, _index, _be = setup
+        reference = TopicSampleIndex(
+            weights,
+            num_samples=6,
+            max_k=4,
+            num_rr_sets=200,
+            seed=51,
+            backend=SerialBackend(),
+        )
+        for make in (lambda: ThreadPoolBackend(4), lambda: ProcessPoolBackend(2)):
+            with make() as backend:
+                built = TopicSampleIndex(
+                    weights,
+                    num_samples=6,
+                    max_k=4,
+                    num_rr_sets=200,
+                    seed=51,
+                    backend=backend,
+                )
+            assert self._fingerprint(built) == self._fingerprint(reference)
+
+    def test_parallel_build_answers_queries(self, setup):
+        from repro.backend import ThreadPoolBackend
+
+        _graph, weights, _index, best_effort = setup
+        with ThreadPoolBackend(3) as backend:
+            index = TopicSampleIndex(
+                weights,
+                num_samples=8,
+                max_k=4,
+                num_rr_sets=300,
+                seed=52,
+                backend=backend,
+            )
+        gamma = index.samples[0].gamma
+        result = index.query(gamma, 3, best_effort=best_effort)
+        assert len(result.seeds) == 3
+        assert result.statistics["answered_from_sample"] == 1.0

@@ -1,6 +1,5 @@
 """Unit tests for repro.engine.workload."""
 
-import numpy as np
 import pytest
 
 from repro.engine.workload import (
