@@ -75,13 +75,13 @@ def test_process_pool_throughput_rr_heavy(benchmark, bench_system):
 
         responses = benchmark.pedantic(run, rounds=2, iterations=1)
     assert all(response.ok for response in responses)
-    concurrent_seconds = benchmark.stats.stats.mean
     benchmark.extra_info["workers"] = WORKERS
     benchmark.extra_info["cpu_count"] = os.cpu_count()
     benchmark.extra_info["serial_seconds"] = round(serial_seconds, 4)
-    benchmark.extra_info["throughput_vs_serial"] = round(
-        serial_seconds / concurrent_seconds, 3
-    )
+    if benchmark.stats is not None:  # absent under --benchmark-disable
+        benchmark.extra_info["throughput_vs_serial"] = round(
+            serial_seconds / benchmark.stats.stats.mean, 3
+        )
 
 
 @pytest.mark.benchmark(group="e14-concurrency")

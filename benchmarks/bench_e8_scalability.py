@@ -11,15 +11,27 @@ are modest (see the calibration note); the *ratio* build:query is the
 claim being reproduced.
 """
 
+import os
+
 import pytest
 
 from repro.core.octopus import Octopus, OctopusConfig
 from repro.datasets.citation import CitationNetworkGenerator
 
-SIZES = [200, 400, 800]
+_SMOKE = os.environ.get("BENCH_SMOKE") == "1"
+
+SIZES = [40, 80] if _SMOKE else [200, 400, 800]
 
 
 def _config() -> OctopusConfig:
+    if _SMOKE:
+        return OctopusConfig(
+            num_sketches=20,
+            num_topic_samples=3,
+            topic_sample_rr_sets=150,
+            oracle_samples=10,
+            seed=81,
+        )
     return OctopusConfig(
         num_sketches=150,
         num_topic_samples=8,

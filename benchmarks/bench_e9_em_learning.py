@@ -10,11 +10,16 @@ high (> 0.7) regardless of corpus size, while planted-parameter recovery
 improves with corpus density (more events per edge).
 """
 
+import os
+
 import numpy as np
 import pytest
 
 from repro.datasets.citation import CitationNetworkGenerator
 from repro.topics.em import EMConfig, TICLearner
+
+_SMOKE = os.environ.get("BENCH_SMOKE") == "1"
+_CORPUS_RESEARCHERS = 50 if _SMOKE else 200
 
 
 def _fit_quality(dataset, fitted):
@@ -56,7 +61,7 @@ def test_em_fit_vs_topics(benchmark, bench_dataset, num_topics):
 @pytest.mark.parametrize("papers_per_author", [2, 6])
 def test_em_fit_vs_corpus_density(benchmark, papers_per_author):
     dataset = CitationNetworkGenerator(
-        num_researchers=200,
+        num_researchers=_CORPUS_RESEARCHERS,
         citations_per_paper=3,
         papers_per_author=papers_per_author,
         seed=91,

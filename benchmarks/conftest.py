@@ -12,6 +12,12 @@ or ``$BENCH_JSON_PATH``) with per-benchmark stats and ``extra_info``, and
 ``$BENCH_HISTORY_PATH``) keyed by git SHA and timestamp — the overwrite
 artifact answers "how fast is it now", the history answers "how fast has
 it been across PRs".
+
+Setting ``BENCH_SMOKE=1`` shrinks every workload to smoke size: the CI
+bench-smoke job runs the whole suite that way (with ``--benchmark-disable``
+and ``BENCH_HISTORY_PATH`` pointed at a temp file) so benchmark code cannot
+rot outside tier-1 collection.  Smoke numbers are *not* comparable to real
+runs and must never be appended to the committed history.
 """
 
 from __future__ import annotations
@@ -35,11 +41,15 @@ from repro.core.octopus import Octopus, OctopusConfig
 from repro.datasets.citation import CitationNetworkGenerator
 
 
+#: Smoke mode: tiny sizes so CI can execute every benchmark module quickly.
+BENCH_SMOKE = os.environ.get("BENCH_SMOKE") == "1"
+
+
 @pytest.fixture(scope="session")
 def bench_dataset():
     """The workhorse dataset: 400-researcher synthetic ACMCite."""
     return CitationNetworkGenerator(
-        num_researchers=400,
+        num_researchers=80 if BENCH_SMOKE else 400,
         citations_per_paper=4,
         papers_per_author=3,
         seed=1001,
@@ -58,13 +68,22 @@ def bench_weights(bench_dataset):
 
 @pytest.fixture(scope="session")
 def bench_system(bench_dataset):
-    config = OctopusConfig(
-        num_sketches=200,
-        num_topic_samples=16,
-        topic_sample_rr_sets=1500,
-        oracle_samples=60,
-        seed=1002,
-    )
+    if BENCH_SMOKE:
+        config = OctopusConfig(
+            num_sketches=30,
+            num_topic_samples=4,
+            topic_sample_rr_sets=200,
+            oracle_samples=15,
+            seed=1002,
+        )
+    else:
+        config = OctopusConfig(
+            num_sketches=200,
+            num_topic_samples=16,
+            topic_sample_rr_sets=1500,
+            oracle_samples=60,
+            seed=1002,
+        )
     return Octopus.from_dataset(bench_dataset, config=config)
 
 

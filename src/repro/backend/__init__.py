@@ -17,7 +17,10 @@ or by name through :func:`resolve_backend` (what the CLI's ``--backend`` /
 Determinism contract: for a fixed seed, every backend at every worker
 count produces identical results, because work is chunked independently of
 the worker count and each chunk owns a spawned RNG stream (see
-:mod:`repro.backend.base`).
+:mod:`repro.backend.base`).  The guarantee holds per sampling kernel
+(``vectorized`` / ``legacy``); RR-set chunks travel as packed flat arrays,
+and :class:`ProcessPoolBackend` adopts the graph and edge-probability
+arrays once per worker instead of pickling them per chunk.
 """
 
 from __future__ import annotations

@@ -15,22 +15,33 @@ and each chunk receives its own RNG stream spawned from the root seed (the
 produces bit-identical results on :class:`~repro.backend.serial.SerialBackend`,
 :class:`~repro.backend.pools.ThreadPoolBackend` and
 :class:`~repro.backend.pools.ProcessPoolBackend`, at any worker count — the
-property the service layer's caching and replay guarantees rest on.
+property the service layer's caching and replay guarantees rest on.  The
+guarantee is per sampling *kernel* (vectorized or legacy; see
+:mod:`repro.propagation.kernels`): each kernel is self-deterministic, but
+the two draw in different orders and need not match each other.
 
-:meth:`~ExecutionBackend.sample_rr_sets` builds on ``map_chunks`` to give
-every backend the chunked RR-sampling strategy shared by
+:meth:`~ExecutionBackend.sample_rr_sets_packed` builds on ``map_chunks`` to
+give every backend the chunked RR-sampling strategy shared by
 :class:`~repro.propagation.rrsets.RRSetCollection`, the targeted-IM engine
-and the RR-set spread oracle.
+and the RR-set spread oracle.  Chunk workers return packed ``(nodes,
+offsets)`` arrays — two flat buffers per chunk — rather than pickled lists
+of Python sets, and process pools adopt the graph and edge-probability
+arrays once per worker (see
+:class:`~repro.backend.pools.ProcessPoolBackend`) instead of shipping them
+with every chunk.
 """
 
 from __future__ import annotations
 
 import abc
 import os
-from typing import Any, Callable, List, Optional, Sequence, Set, Tuple
+import threading
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from repro.propagation.kernels import DEFAULT_RR_KERNEL, check_rr_kernel
+from repro.propagation.packed import PackedRRSets
 from repro.utils.rng import SeedLike
 from repro.utils.validation import ValidationError, check_positive
 
@@ -66,29 +77,74 @@ def seed_to_sequence(seed: SeedLike) -> np.random.SeedSequence:
     return np.random.SeedSequence(seed)
 
 
+# ----------------------------------------------------------------------
+# Shared sampling state (graph + edge probabilities) for process pools
+# ----------------------------------------------------------------------
+#
+# In the parent, :meth:`ProcessPoolBackend._sampling_payload` registers the
+# arrays here under an integer token and ships only the token per chunk;
+# workers adopt the registry once — by fork inheritance where available,
+# and in every case through the pool initializer — and resolve tokens
+# locally.  In-memory backends never touch the registry: their chunk
+# payloads carry the object references directly.
+
+_SHARED_SAMPLING_STATE: Dict[int, Tuple[Any, np.ndarray]] = {}
+_NEXT_SHARED_TOKEN = 0
+# Tokens are allocated by backends that hold only their own instance lock,
+# so the counter and registry insert need module-level protection.
+_SHARED_STATE_LOCK = threading.Lock()
+
+
+def _publish_sampling_state(graph: Any, edge_probabilities: np.ndarray) -> int:
+    """Register ``(graph, edge_probabilities)`` in-parent; returns a token."""
+    global _NEXT_SHARED_TOKEN
+    with _SHARED_STATE_LOCK:
+        token = _NEXT_SHARED_TOKEN
+        _NEXT_SHARED_TOKEN += 1
+        _SHARED_SAMPLING_STATE[token] = (graph, edge_probabilities)
+    return token
+
+
+def _discard_sampling_state(token: int) -> None:
+    """Drop a registered payload (eviction; parent side only)."""
+    _SHARED_SAMPLING_STATE.pop(token, None)
+
+
+def _install_sampling_state(entries: Dict[int, Tuple[Any, np.ndarray]]) -> None:
+    """Pool initializer: adopt the parent's registry once per worker."""
+    _SHARED_SAMPLING_STATE.update(entries)
+
+
+def _resolve_sampling_payload(payload: Any) -> Tuple[Any, np.ndarray]:
+    """Turn a chunk payload (token or direct pair) into ``(graph, probs)``."""
+    if isinstance(payload, int):
+        try:
+            return _SHARED_SAMPLING_STATE[payload]
+        except KeyError:  # pragma: no cover — defensive; pools restart on publish
+            raise RuntimeError(
+                f"worker has no shared sampling state for token {payload}"
+            ) from None
+    return payload
+
+
 def _sample_rr_chunk(
-    task: Tuple[Any, np.ndarray, int, np.random.SeedSequence, Optional[List[int]]],
-) -> List[Set[int]]:
+    task: Tuple[Any, int, np.random.SeedSequence, Optional[List[int]], str],
+) -> Tuple[np.ndarray, np.ndarray]:
     """Sample one chunk of RR sets from its private spawned stream.
 
     Module-level (not a closure) so :class:`ProcessPoolBackend` can pickle
     it.  Roots are either pre-assigned (weighted/fixed-root sampling) or
-    drawn uniformly from the chunk's own stream.
+    drawn uniformly from the chunk's own stream.  Returns the packed
+    ``(nodes, offsets)`` arrays — flat buffers, cheap to pickle back.
     """
-    from repro.propagation.rrsets import _reverse_reachable
+    from repro.propagation.rrsets import sample_packed_rr_sets
 
-    graph, edge_probabilities, count, seed_sequence, roots = task
+    payload, count, seed_sequence, roots, kernel = task
+    graph, edge_probabilities = _resolve_sampling_payload(payload)
     rng = np.random.default_rng(seed_sequence)
-    rr_sets: List[Set[int]] = []
-    for index in range(count):
-        if roots is not None:
-            root = roots[index]
-        else:
-            root = int(rng.integers(0, graph.num_nodes))
-        rr_sets.append(
-            _reverse_reachable(graph, edge_probabilities, root, rng)
-        )
-    return rr_sets
+    return sample_packed_rr_sets(
+        graph, edge_probabilities, count, rng, roots, kernel
+    )
 
 
 class ExecutionBackend(abc.ABC):
@@ -132,7 +188,16 @@ class ExecutionBackend(abc.ABC):
     # Shared chunked-sampling strategy
     # ------------------------------------------------------------------
 
-    def sample_rr_sets(
+    def _sampling_payload(self, graph: Any, edge_probabilities: np.ndarray) -> Any:
+        """The per-chunk payload carrying the sampling inputs.
+
+        In-memory backends pass the object references straight through;
+        :class:`~repro.backend.pools.ProcessPoolBackend` overrides this to
+        publish the arrays once and ship an integer token instead.
+        """
+        return (graph, edge_probabilities)
+
+    def sample_rr_sets_packed(
         self,
         graph: Any,
         edge_probabilities: np.ndarray,
@@ -141,16 +206,19 @@ class ExecutionBackend(abc.ABC):
         *,
         roots: Optional[Sequence[int]] = None,
         chunk_size: int = DEFAULT_RR_CHUNK_SIZE,
-    ) -> List[Set[int]]:
+        kernel: str = DEFAULT_RR_KERNEL,
+    ) -> PackedRRSets:
         """Sample *num_sets* RR sets in deterministic fixed-size chunks.
 
         With explicit *roots*, chunk ``c``'s slice follows the same
         ``roots[i % len(roots)]`` cycling the serial sampler uses, so
         fixed-root semantics are preserved.  Chunk count and per-chunk
-        streams depend only on ``(num_sets, chunk_size, seed)``.
+        streams depend only on ``(num_sets, chunk_size, seed)``; results
+        are deterministic per *kernel*.
         """
         check_positive(num_sets, "num_sets")
         check_positive(chunk_size, "chunk_size")
+        check_rr_kernel(kernel)
         if graph.num_nodes == 0:
             raise ValidationError("cannot sample RR sets on an empty graph")
         root_cycle: Optional[List[int]] = None
@@ -169,6 +237,9 @@ class ExecutionBackend(abc.ABC):
             for start in range(0, num_sets, chunk_size)
         ]
         children = sequence.spawn(len(counts))
+        payload = self._sampling_payload(
+            graph, np.asarray(edge_probabilities, dtype=np.float64)
+        )
         tasks = []
         offset = 0
         for count, child in zip(counts, children):
@@ -178,11 +249,33 @@ class ExecutionBackend(abc.ABC):
                     root_cycle[(offset + index) % len(root_cycle)]
                     for index in range(count)
                 ]
-            tasks.append(
-                (graph, edge_probabilities, count, child, chunk_roots)
-            )
+            tasks.append((payload, count, child, chunk_roots, kernel))
             offset += count
-        rr_sets: List[Set[int]] = []
-        for chunk in self.map_chunks(_sample_rr_chunk, tasks):
-            rr_sets.extend(chunk)
-        return rr_sets
+        chunks = self.map_chunks(_sample_rr_chunk, tasks)
+        return PackedRRSets.from_chunks(graph.num_nodes, chunks)
+
+    def sample_rr_sets(
+        self,
+        graph: Any,
+        edge_probabilities: np.ndarray,
+        num_sets: int,
+        seed: SeedLike = None,
+        *,
+        roots: Optional[Sequence[int]] = None,
+        chunk_size: int = DEFAULT_RR_CHUNK_SIZE,
+        kernel: str = DEFAULT_RR_KERNEL,
+    ) -> List[Set[int]]:
+        """Like :meth:`sample_rr_sets_packed`, materialised as Python sets.
+
+        Compatibility surface for callers that want the legacy
+        ``List[Set[int]]`` form; the sampling itself runs packed.
+        """
+        return self.sample_rr_sets_packed(
+            graph,
+            edge_probabilities,
+            num_sets,
+            seed,
+            roots=roots,
+            chunk_size=chunk_size,
+            kernel=kernel,
+        ).to_sets()

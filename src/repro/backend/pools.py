@@ -11,23 +11,56 @@ Choosing between them:
 * :class:`ThreadPoolBackend` shares memory, so chunks carry no pickling
   cost; CPython's GIL limits its speedup for pure-Python hot loops, but
   NumPy-heavy chunks and anything releasing the GIL scale.
-* :class:`ProcessPoolBackend` sidesteps the GIL entirely; chunk arguments
-  and results cross a pickle boundary, so it wins when chunks are
-  compute-heavy relative to their payload (RR sampling at realistic set
-  counts qualifies).
+* :class:`ProcessPoolBackend` sidesteps the GIL entirely.  Chunk arguments
+  and results cross a pickle boundary, but the heavyweight sampling inputs
+  — the graph's CSR arrays and the per-edge probabilities — are adopted
+  *once per worker* through the pool initializer (plus fork inheritance
+  where available) and addressed by an integer token per chunk, so the
+  steady-state queue traffic is a few ints out and two flat packed arrays
+  back per chunk.
 """
 
 from __future__ import annotations
 
+import hashlib
 import multiprocessing
 import threading
+import weakref
+from collections import OrderedDict
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Any, Callable, List, Optional, Sequence
+from typing import Any, Callable, List, Optional, Sequence, Tuple
 
-from repro.backend.base import ExecutionBackend, default_worker_count
+import numpy as np
+
+from repro.backend.base import (
+    ExecutionBackend,
+    _discard_sampling_state,
+    _install_sampling_state,
+    _publish_sampling_state,
+    _SHARED_SAMPLING_STATE,
+    default_worker_count,
+)
 from repro.utils.validation import check_positive
 
 __all__ = ["ThreadPoolBackend", "ProcessPoolBackend"]
+
+# How many distinct (graph, edge-probability) payloads one process pool
+# keeps adopted at a time.  An index build uses one; a query stream rotates
+# through a few probability vectors.  Evicting simply forces a republish
+# (and a cheap fork-based pool restart) if an old payload comes back.
+_MAX_SHARED_PAYLOADS = 8
+
+
+def _discard_published_tokens(published: "OrderedDict[Any, int]") -> None:
+    """Release a backend's registry entries (``close()`` and GC finalizer).
+
+    Takes the live ``_published`` mapping, not the backend (a finalizer
+    callback must not reference its own object); after ``close()`` the
+    mapping is empty and this is a no-op.
+    """
+    for token in published.values():
+        _discard_sampling_state(token)
+    published.clear()
 
 
 class _PooledBackend(ExecutionBackend):
@@ -91,20 +124,95 @@ class ProcessPoolBackend(_PooledBackend):
     """Chunks run on a :class:`~concurrent.futures.ProcessPoolExecutor`.
 
     Uses the ``fork`` start method where available (cheap copy-on-write
-    worker startup; the graphs being sampled are inherited, though chunk
-    arguments still travel by pickle through the task queue).
+    worker startup).  RR-sampling inputs are *adopted* rather than shipped:
+    :meth:`_sampling_payload` registers the graph and edge-probability
+    arrays in the module-level shared registry — keyed by graph identity
+    plus a digest of the probability bytes, so repeated queries with equal
+    probabilities reuse the entry — and chunks carry only an integer
+    token.  Workers receive the registry once per worker, at pool
+    creation, through the pool initializer (free under fork's copy-on-write
+    memory; one pickle per worker under spawn).
+
+    A payload the live pool predates is handled without ever yanking the
+    pool from under concurrent callers: if the pool is idle it is retired
+    under the lock and the next dispatch re-forks with the grown registry
+    (milliseconds under fork); if maps are in flight, this one call ships
+    the arrays inline with its chunks — the pre-adoption behaviour — and
+    adoption picks up again at the next idle publish.  ``close()`` drops
+    the backend's registry entries, so discarded backends pin no arrays.
     """
 
     name = "processes"
+
+    def __init__(self, workers: Optional[int] = None) -> None:
+        super().__init__(workers)
+        # (id(graph), probability-digest) -> token, insertion-ordered for
+        # FIFO eviction.  The registry holds strong references, so the
+        # graph id stays valid for exactly as long as the mapping exists.
+        # All mutations happen under _executor_lock.
+        self._published: OrderedDict[Tuple[int, bytes], int] = OrderedDict()
+        self._executor_tokens: frozenset = frozenset()
+        self._inflight = 0
+        # A backend dropped without close() must not pin its graphs in the
+        # module registry forever.
+        self._registry_finalizer = weakref.finalize(
+            self, _discard_published_tokens, self._published
+        )
 
     def _make_executor(self) -> Executor:
         try:
             context = multiprocessing.get_context("fork")
         except ValueError:  # pragma: no cover — non-POSIX platforms
             context = multiprocessing.get_context()
+        # Workers adopt the registry as of this fork; remember which
+        # tokens they know so later publishes can tell new from adopted.
+        self._executor_tokens = frozenset(_SHARED_SAMPLING_STATE)
         return ProcessPoolExecutor(
-            max_workers=self._workers, mp_context=context
+            max_workers=self._workers,
+            mp_context=context,
+            initializer=_install_sampling_state,
+            initargs=(dict(_SHARED_SAMPLING_STATE),),
         )
+
+    def _sampling_payload(self, graph: Any, edge_probabilities: np.ndarray) -> Any:
+        """Adopt the sampling inputs once per worker; chunks get a token."""
+        key = (
+            id(graph),
+            hashlib.blake2b(edge_probabilities.tobytes(), digest_size=16).digest(),
+        )
+        with self._executor_lock:
+            token = self._published.get(key)
+            if token is None:
+                token = _publish_sampling_state(graph, edge_probabilities)
+                self._published[key] = token
+                # FIFO safety valve; in the (pathological) event a just-
+                # evicted token is still headed for a not-yet-forked pool,
+                # the worker raises rather than miscomputes.
+                while len(self._published) > _MAX_SHARED_PAYLOADS:
+                    _, stale = self._published.popitem(last=False)
+                    _discard_sampling_state(stale)
+            if self._executor is None or token in self._executor_tokens:
+                # Either the next dispatch forks with the registry as it
+                # stands now, or the live pool already adopted this token.
+                return token
+            if self._inflight == 0:
+                # Live pool predates the payload but nothing is running:
+                # retire it; the next dispatch re-forks with the token.
+                executor, self._executor = self._executor, None
+                executor.shutdown(wait=True)
+                return token
+            # Busy pool: don't disturb in-flight maps — this call ships
+            # the arrays with its chunks (the pre-adoption behaviour).
+            return (graph, edge_probabilities)
+
+    def close(self) -> None:
+        """Shut the pool down and release this backend's shared payloads."""
+        with self._executor_lock:
+            _discard_published_tokens(self._published)
+            self._executor_tokens = frozenset()
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True)
 
     def map_chunks(
         self, function: Callable[[Any], Any], chunks: Sequence[Any]
@@ -115,4 +223,15 @@ class ProcessPoolBackend(_PooledBackend):
         if len(chunks) == 1:
             return [function(chunks[0])]
         batch = max(1, len(chunks) // (self._workers * 4))
-        return list(self._pool().map(function, chunks, chunksize=batch))
+        with self._executor_lock:
+            if self._executor is None:
+                self._executor = self._make_executor()
+            executor = self._executor
+            # Publishes see _inflight > 0 and route around the live pool
+            # instead of shutting it down mid-map.
+            self._inflight += 1
+        try:
+            return list(executor.map(function, chunks, chunksize=batch))
+        finally:
+            with self._executor_lock:
+                self._inflight -= 1

@@ -30,9 +30,11 @@ and ``--workers N``: index builds and RR-set sampling run on the chosen
 execution backend.  ``threads`` and ``processes`` are deterministic and
 interchangeable — the same seed gives the same answers on either, at any
 worker count — while ``serial`` (the default) bypasses the backend layer
-and preserves the historical single-stream results exactly.  ``query
---batch`` with ``--workers > 1`` serves the batch through the concurrent
-executor.
+and keeps the single-stream draw order.  ``query --batch`` with
+``--workers > 1`` serves the batch through the concurrent executor.
+``--rr-kernel {vectorized,legacy}`` picks the RR sampling core: results
+are deterministic per kernel, and only ``legacy`` with ``--backend
+serial`` reproduces historical (pre-kernel) releases bit for bit.
 """
 
 from __future__ import annotations
@@ -104,6 +106,15 @@ def build_parser() -> argparse.ArgumentParser:
             default=None,
             help="worker count for pooled backends (default: CPU count)",
         )
+        sub.add_argument(
+            "--rr-kernel",
+            choices=("vectorized", "legacy"),
+            default="vectorized",
+            help="RR sampling kernel: the frontier-batched vectorized core "
+            "(default) or the historical node-at-a-time legacy core; each "
+            "is deterministic for a fixed seed, but they draw in different "
+            "orders and give different (equally distributed) samples",
+        )
         return sub
 
     influencers = add_system_command(
@@ -164,6 +175,7 @@ def _load_service(arguments: argparse.Namespace) -> OctopusService:
     dataset = load_dataset(arguments.dataset)
     backend = getattr(arguments, "backend", "serial")
     workers = getattr(arguments, "workers", None)
+    rr_kernel = getattr(arguments, "rr_kernel", "vectorized")
     if arguments.fast:
         config = OctopusConfig(
             num_sketches=60,
@@ -172,11 +184,15 @@ def _load_service(arguments: argparse.Namespace) -> OctopusService:
             oracle_samples=30,
             execution_backend=backend,
             workers=workers,
+            rr_kernel=rr_kernel,
             seed=arguments.seed,
         )
     else:
         config = OctopusConfig(
-            execution_backend=backend, workers=workers, seed=arguments.seed
+            execution_backend=backend,
+            workers=workers,
+            rr_kernel=rr_kernel,
+            seed=arguments.seed,
         )
     return OctopusService(Octopus.from_dataset(dataset, config=config))
 

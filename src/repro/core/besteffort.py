@@ -34,6 +34,7 @@ from repro.propagation.estimators import (
     RRSetSpreadEstimator,
     SpreadEstimator,
 )
+from repro.propagation.kernels import DEFAULT_RR_KERNEL
 from repro.topics.edges import TopicEdgeWeights
 from repro.utils.heap import LazyGreedyQueue
 from repro.utils.rng import SeedLike
@@ -91,7 +92,7 @@ def _monte_carlo_factory(num_samples: int, seed: SeedLike) -> OracleFactory:
 
 
 def _rr_set_factory(
-    num_sets: int, seed: SeedLike, backend=None
+    num_sets: int, seed: SeedLike, backend=None, kernel: str = DEFAULT_RR_KERNEL
 ) -> OracleFactory:
     entropy = _base_entropy(seed)
 
@@ -102,6 +103,7 @@ def _rr_set_factory(
             num_sets=num_sets,
             seed=_query_rng(entropy, probabilities),
             backend=backend,
+            kernel=kernel,
         )
 
     return factory
@@ -122,6 +124,8 @@ class BestEffortKeywordIM:
         ``(graph, edge_probabilities) -> SpreadEstimator``.
     num_samples / num_sets:
         Budget of the built-in oracles.
+    rr_kernel:
+        Sampling kernel of the ``"ris"`` oracle (vectorized / legacy).
     candidate_limit:
         Evaluate at most this many distinct candidates per query (best-effort
         degradation for hard latency budgets); ``None`` = unlimited.
@@ -138,6 +142,7 @@ class BestEffortKeywordIM:
         candidate_limit: Optional[int] = None,
         seed: SeedLike = None,
         backend=None,
+        rr_kernel: str = DEFAULT_RR_KERNEL,
     ) -> None:
         check_positive(num_samples, "num_samples")
         check_positive(num_sets, "num_sets")
@@ -152,7 +157,9 @@ class BestEffortKeywordIM:
                 num_samples, seed
             )
         elif oracle == "ris":
-            self._oracle_factory = _rr_set_factory(num_sets, seed, backend)
+            self._oracle_factory = _rr_set_factory(
+                num_sets, seed, backend, rr_kernel
+            )
         elif callable(oracle):
             self._oracle_factory = oracle
         else:

@@ -99,23 +99,26 @@ def _expand_sketch(
         node = sketch.frontier.pop()
         processed += 1
         start, stop = graph.in_offsets[node], graph.in_offsets[node + 1]
-        degree = stop - start
+        degree = int(stop - start)
         if degree == 0:
             continue
         thresholds = rng.random(degree)
-        sources = graph.in_sources[start:stop]
         edge_ids = graph.in_edge_ids[start:stop]
-        for offset in range(degree):
-            theta = float(thresholds[offset])
-            edge_id = int(edge_ids[offset])
-            if theta > envelope[edge_id]:
-                sketch.edges_pruned += 1  # never live under any γ
-                continue
-            source = int(sources[offset])
-            sketch.edge_sources.append(source)
-            sketch.edge_targets.append(node)
-            sketch.edge_ids.append(edge_id)
-            sketch.edge_thresholds.append(theta)
+        # Vectorized permanent pruning: an edge whose threshold exceeds the
+        # topic envelope can never be live for any γ.  The mask preserves
+        # edge order and the single rng.random(degree) block above keeps
+        # results bit-identical to the historical per-edge loop.
+        live = thresholds <= envelope[edge_ids]
+        live_count = int(np.count_nonzero(live))
+        sketch.edges_pruned += degree - live_count
+        if live_count == 0:
+            continue
+        live_sources = graph.in_sources[start:stop][live].tolist()
+        sketch.edge_sources.extend(live_sources)
+        sketch.edge_targets.extend([node] * live_count)
+        sketch.edge_ids.extend(edge_ids[live].tolist())
+        sketch.edge_thresholds.extend(thresholds[live].tolist())
+        for source in live_sources:
             if source not in sketch.nodes:
                 sketch.nodes.add(source)
                 sketch.frontier.append(source)

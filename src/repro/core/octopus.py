@@ -80,6 +80,7 @@ class OctopusConfig:
     cache_capacity: int = 128  # default capacity of the service-layer result cache
     execution_backend: str = "serial"  # serial | threads | processes
     workers: Optional[int] = None  # worker count for pooled backends
+    rr_kernel: str = "vectorized"  # vectorized | legacy (RR sampling core)
     seed: SeedLike = None
 
     def __post_init__(self) -> None:
@@ -93,6 +94,9 @@ class OctopusConfig:
                 "execution_backend must be 'serial', 'threads' or "
                 f"'processes', got {self.execution_backend!r}"
             )
+        from repro.propagation.kernels import check_rr_kernel
+
+        check_rr_kernel(self.rr_kernel)
         if self.workers is not None:
             check_positive(self.workers, "workers")
         for name in (
@@ -228,6 +232,7 @@ class Octopus:
                 num_sets=config.oracle_rr_sets,
                 seed=rngs[0],
                 backend=self.execution,
+                rr_kernel=config.rr_kernel,
             )
         self.topic_sample_index: Optional[TopicSampleIndex] = None
         if config.use_topic_samples:
@@ -239,6 +244,7 @@ class Octopus:
                     num_rr_sets=config.topic_sample_rr_sets,
                     seed=rngs[1],
                     backend=self.execution,
+                    rr_kernel=config.rr_kernel,
                 )
         with self._stopwatch.phase("build.influencer_index"):
             self.influencer_index = InfluencerIndex(
@@ -404,6 +410,7 @@ class Octopus:
             num_sets=num_sets,
             seed=self.config.seed,
             backend=self.execution,
+            rr_kernel=self.config.rr_kernel,
         )
         word_ids = self.topic_model.vocabulary.ids_of(list(audience_resolved))
         audience = engine.audience_for_keywords(word_ids)

@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.im.base import IMResult
 from repro.index.inverted import InvertedIndex
+from repro.propagation.kernels import DEFAULT_RR_KERNEL, check_rr_kernel
 from repro.propagation.rrsets import RRSetCollection
 from repro.topics.edges import TopicEdgeWeights
 
@@ -52,13 +53,16 @@ class TargetedKeywordIM:
         num_sets: int = 2000,
         seed: SeedLike = None,
         backend: Optional["ExecutionBackend"] = None,
+        rr_kernel: str = DEFAULT_RR_KERNEL,
     ) -> None:
         check_positive(num_sets, "num_sets")
+        check_rr_kernel(rr_kernel)
         self.edge_weights = edge_weights
         self.graph = edge_weights.graph
         self.inverted_index = inverted_index
         self.num_sets = num_sets
         self.backend = backend
+        self.rr_kernel = rr_kernel
         self._rng = as_generator(seed)
 
     # ------------------------------------------------------------------
@@ -136,6 +140,7 @@ class TargetedKeywordIM:
             seed=self._rng,
             roots=[int(root) for root in roots],
             backend=self.backend,
+            kernel=self.rr_kernel,
         )
         seeds, covered_fraction_spread = collection.greedy_max_cover(k)
         # greedy_max_cover scales by n; rescale to audience-weight units.

@@ -35,6 +35,7 @@ import numpy as np
 from repro.core.besteffort import BestEffortKeywordIM
 from repro.im.base import IMResult
 from repro.im.ris import ris_im
+from repro.propagation.kernels import DEFAULT_RR_KERNEL, check_rr_kernel
 from repro.topics.edges import TopicEdgeWeights
 from repro.topics.priors import sample_topic_distributions
 from repro.utils.rng import SeedLike, as_generator
@@ -76,6 +77,7 @@ def _precompute_sample(
     max_k: int,
     num_rr_sets: int,
     rng: np.random.Generator,
+    kernel: str = DEFAULT_RR_KERNEL,
 ) -> TopicSample:
     """Precompute one topic sample: IM seeds plus per-prefix spreads.
 
@@ -85,7 +87,9 @@ def _precompute_sample(
     """
     graph = edge_weights.graph
     probabilities = edge_weights.edge_probabilities(gamma)
-    result = ris_im(graph, probabilities, max_k, num_sets=num_rr_sets, seed=rng)
+    result = ris_im(
+        graph, probabilities, max_k, num_sets=num_rr_sets, seed=rng, kernel=kernel
+    )
     seeds_by_k: List[List[int]] = []
     spreads_by_k: List[float] = []
     # RR greedy returns nested prefixes; record each prefix's spread from
@@ -93,7 +97,7 @@ def _precompute_sample(
     from repro.propagation.rrsets import RRSetCollection  # local: avoid cycle
 
     collection = RRSetCollection.sample(
-        graph, probabilities, max(num_rr_sets // 2, 1), rng
+        graph, probabilities, max(num_rr_sets // 2, 1), rng, kernel=kernel
     )
     for k in range(1, len(result.seeds) + 1):
         prefix = result.seeds[:k]
@@ -108,10 +112,15 @@ def _precompute_sample(
 
 def _precompute_sample_chunk(task) -> List[TopicSample]:
     """Backend chunk worker: precompute a slice of the sample list."""
-    edge_weights, gammas, max_k, num_rr_sets, seed_sequences = task
+    edge_weights, gammas, max_k, num_rr_sets, seed_sequences, kernel = task
     return [
         _precompute_sample(
-            edge_weights, gamma, max_k, num_rr_sets, np.random.default_rng(child)
+            edge_weights,
+            gamma,
+            max_k,
+            num_rr_sets,
+            np.random.default_rng(child),
+            kernel,
         )
         for gamma, child in zip(gammas, seed_sequences)
     ]
@@ -130,9 +139,11 @@ class TopicSampleIndex:
         num_rr_sets: int = 4000,
         seed: SeedLike = None,
         backend: Optional["ExecutionBackend"] = None,
+        rr_kernel: str = DEFAULT_RR_KERNEL,
     ) -> None:
         check_positive(num_samples, "num_samples")
         check_positive(max_k, "max_k")
+        check_rr_kernel(rr_kernel)
         self.edge_weights = edge_weights
         self.graph = edge_weights.graph
         self.max_k = max_k
@@ -145,11 +156,16 @@ class TopicSampleIndex:
         self.samples: List[TopicSample] = []
         if backend is None:
             # Historical sequential build: one stream shared across samples
-            # (bit-identical to earlier releases).
+            # (with the legacy kernel, bit-identical to earlier releases).
             for gamma in gammas:
                 self.samples.append(
                     _precompute_sample(
-                        self.edge_weights, gamma, self.max_k, num_rr_sets, rng
+                        self.edge_weights,
+                        gamma,
+                        self.max_k,
+                        num_rr_sets,
+                        rng,
+                        rr_kernel,
                     )
                 )
         else:
@@ -159,7 +175,14 @@ class TopicSampleIndex:
 
             children = seed_to_sequence(rng).spawn(num_samples)
             tasks = [
-                (self.edge_weights, [gamma], self.max_k, num_rr_sets, [child])
+                (
+                    self.edge_weights,
+                    [gamma],
+                    self.max_k,
+                    num_rr_sets,
+                    [child],
+                    rr_kernel,
+                )
                 for gamma, child in zip(gammas, children)
             ]
             for chunk in backend.map_chunks(_precompute_sample_chunk, tasks):

@@ -189,11 +189,15 @@ class SocialGraph:
         return source, int(self.out_targets[edge_id])
 
     def edge_sources(self) -> np.ndarray:
-        """Source node of every edge, indexed by edge id."""
-        sources = np.empty(self.num_edges, dtype=np.int64)
-        for node in range(self.num_nodes):
-            sources[self.out_offsets[node]:self.out_offsets[node + 1]] = node
-        return sources
+        """Source node of every edge, indexed by edge id.
+
+        Each source node spans a contiguous out-CSR block, so the array is
+        one ``np.repeat`` over the out-degrees.
+        """
+        return np.repeat(
+            np.arange(self.num_nodes, dtype=np.int64),
+            np.diff(self.out_offsets),
+        )
 
     def edge_id(self, source: int, target: int) -> int:
         """Edge id of ``(source, target)``.

@@ -2,7 +2,8 @@
 
 Provides forward Monte-Carlo simulation, fixed live-edge possible worlds
 (shared-threshold coupling across topic distributions), reverse-reachable-set
-sampling [8], and the spread estimators built on them.
+sampling [8] on pluggable kernels (frontier-batched vectorized / legacy)
+with packed flat-array storage, and the spread estimators built on them.
 """
 
 from repro.propagation.estimators import (
@@ -11,7 +12,18 @@ from repro.propagation.estimators import (
     SpreadEstimator,
 )
 from repro.propagation.ic import IndependentCascade, simulate_cascade
-from repro.propagation.rrsets import RRSetCollection, generate_rr_set
+from repro.propagation.kernels import (
+    DEFAULT_RR_KERNEL,
+    RR_KERNELS,
+    check_rr_kernel,
+    reverse_reachable_frontier,
+)
+from repro.propagation.packed import PackedRRSets
+from repro.propagation.rrsets import (
+    RRSetCollection,
+    generate_rr_set,
+    sample_packed_rr_sets,
+)
 from repro.propagation.worlds import LiveEdgeWorld, WorldEnsemble
 
 __all__ = [
@@ -19,8 +31,14 @@ __all__ = [
     "simulate_cascade",
     "LiveEdgeWorld",
     "WorldEnsemble",
+    "RR_KERNELS",
+    "DEFAULT_RR_KERNEL",
+    "check_rr_kernel",
+    "reverse_reachable_frontier",
+    "PackedRRSets",
     "RRSetCollection",
     "generate_rr_set",
+    "sample_packed_rr_sets",
     "SpreadEstimator",
     "MonteCarloSpreadEstimator",
     "RRSetSpreadEstimator",

@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.graph.digraph import SocialGraph
 from repro.propagation.ic import IndependentCascade
+from repro.propagation.kernels import DEFAULT_RR_KERNEL
 from repro.propagation.rrsets import RRSetCollection
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.validation import check_positive
@@ -72,10 +73,16 @@ class RRSetSpreadEstimator:
         seed: SeedLike = None,
         collection: Optional[RRSetCollection] = None,
         backend: Optional["ExecutionBackend"] = None,
+        kernel: str = DEFAULT_RR_KERNEL,
     ) -> None:
         if collection is None:
             collection = RRSetCollection.sample(
-                graph, edge_probabilities, num_sets, seed, backend=backend
+                graph,
+                edge_probabilities,
+                num_sets,
+                seed,
+                backend=backend,
+                kernel=kernel,
             )
         self.collection = collection
 

@@ -7,22 +7,44 @@ spread, and greedy maximum coverage over RR sets yields the standard
 ``(1 − 1/e − ε)`` IM approximation.  OCTOPUS uses RR machinery both as the
 query-time IM baseline and, with fixed thresholds, inside the influencer
 index of Section II-D.
+
+Sampling runs on one of two kernels (see :mod:`repro.propagation.kernels`):
+the frontier-batched ``"vectorized"`` kernel (default) or the node-at-a-time
+``"legacy"`` kernel kept for bit-compatibility with earlier releases.
+Batches are stored packed (:class:`~repro.propagation.packed.PackedRRSets`),
+which makes every estimator below a flat array operation.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
 from repro.graph.digraph import SocialGraph
+from repro.propagation.kernels import (
+    DEFAULT_RR_KERNEL,
+    check_rr_kernel,
+    gather_csr_slices,
+    reverse_reachable_frontier,
+)
+from repro.propagation.packed import PackedRRSets
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.validation import ValidationError, check_node_id, check_positive
 
 if TYPE_CHECKING:  # pragma: no cover — import cycle guard, typing only
     from repro.backend.base import ExecutionBackend
 
-__all__ = ["generate_rr_set", "RRSetCollection"]
+__all__ = ["generate_rr_set", "sample_packed_rr_sets", "RRSetCollection"]
 
 
 def _reverse_reachable(
@@ -31,12 +53,11 @@ def _reverse_reachable(
     root: int,
     rng: np.random.Generator,
 ) -> Set[int]:
-    """The unchecked sampling core: *rng* must already be a ``Generator``.
+    """The legacy node-at-a-time sampling core (``rr_kernel="legacy"``).
 
-    Split out of :func:`generate_rr_set` so bulk samplers (the collection
-    sampler, the execution backends' chunk workers) pay neither the root
-    validation nor the seed coercion on every one of their thousands of
-    calls.
+    *rng* must already be a ``Generator``.  Kept exactly as shipped in
+    earlier releases: it draws one coin block per visited node, so a fixed
+    seed reproduces historical results bit for bit.
     """
     visited: Set[int] = {root}
     frontier: List[int] = [root]
@@ -58,46 +79,114 @@ def _reverse_reachable(
     return visited
 
 
+def sample_packed_rr_sets(
+    graph: SocialGraph,
+    edge_probabilities: np.ndarray,
+    count: int,
+    rng: np.random.Generator,
+    roots: Optional[Sequence[int]] = None,
+    kernel: str = DEFAULT_RR_KERNEL,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Sample *count* RR sets from one RNG stream into packed arrays.
+
+    The bulk-sampling core shared by the serial sampler and the execution
+    backends' chunk workers.  Roots are taken per index from *roots* when
+    given, otherwise drawn uniformly from *rng* — interleaved with the
+    sampling draws exactly as the historical sequential sampler interleaved
+    them, which is what keeps ``kernel="legacy"`` bit-compatible.
+
+    Returns the ``(nodes, offsets)`` chunk payload
+    (:meth:`PackedRRSets.chunk_payload` form).
+    """
+    edge_probabilities = np.asarray(edge_probabilities, dtype=np.float64)
+    arrays: List[np.ndarray] = []
+    if kernel == "legacy":
+        for index in range(count):
+            if roots is not None:
+                root = int(roots[index])
+            else:
+                root = int(rng.integers(0, graph.num_nodes))
+            rr_set = _reverse_reachable(graph, edge_probabilities, root, rng)
+            arrays.append(np.fromiter(rr_set, dtype=np.int64, count=len(rr_set)))
+    else:
+        # One boolean scratch array per chunk; each sample clears only the
+        # entries it touched, so the per-sample reset is O(|RR set|).
+        scratch = np.zeros(graph.num_nodes, dtype=bool)
+        for index in range(count):
+            if roots is not None:
+                root = int(roots[index])
+            else:
+                root = int(rng.integers(0, graph.num_nodes))
+            members = reverse_reachable_frontier(
+                graph, edge_probabilities, root, rng, visited=scratch
+            )
+            scratch[members] = False
+            arrays.append(members)
+    return PackedRRSets.from_node_arrays(graph.num_nodes, arrays).chunk_payload()
+
+
 def generate_rr_set(
     graph: SocialGraph,
     edge_probabilities: np.ndarray,
     root: int,
     seed: SeedLike = None,
+    kernel: str = DEFAULT_RR_KERNEL,
 ) -> Set[int]:
     """Sample one RR set rooted at *root*.
 
     Performs a reverse BFS where each in-edge is crossed with its activation
-    probability; coins are flipped lazily, edge by edge, which matches the IC
-    distribution because each edge is examined at most once per sample.
+    probability; coins are flipped lazily, so each edge is examined at most
+    once per sample, which matches the IC distribution.  *kernel* selects
+    the frontier-batched vectorized core (default) or the legacy node-at-a-
+    time core (see :mod:`repro.propagation.kernels`).
 
     A shared :class:`~numpy.random.Generator` passed as *seed* is used
     directly (no per-call re-wrapping), so hot loops can hand one stream
     across many samples at no coercion cost.
     """
     check_node_id(root, graph.num_nodes, "root")
+    check_rr_kernel(kernel)
     if isinstance(seed, np.random.Generator):
         rng = seed
     else:
         rng = as_generator(seed)
-    return _reverse_reachable(graph, edge_probabilities, root, rng)
+    edge_probabilities = np.asarray(edge_probabilities, dtype=np.float64)
+    if kernel == "legacy":
+        return _reverse_reachable(graph, edge_probabilities, root, rng)
+    members = reverse_reachable_frontier(graph, edge_probabilities, root, rng)
+    return set(members.tolist())
 
 
 class RRSetCollection:
     """A batch of RR sets with the inverted node→sets index.
 
-    Supports unbiased spread estimation and greedy maximum-coverage seed
-    selection.
+    Stored packed (flat ``nodes`` + ``offsets`` arrays with a CSR
+    node→set-membership index — see
+    :class:`~repro.propagation.packed.PackedRRSets`), so spread estimation
+    and greedy maximum-coverage seed selection are array operations.
     """
 
-    def __init__(self, graph: SocialGraph, rr_sets: List[Set[int]]) -> None:
-        if not rr_sets:
+    def __init__(
+        self,
+        graph: SocialGraph,
+        rr_sets: Union[PackedRRSets, Sequence[Iterable[int]]],
+    ) -> None:
+        if isinstance(rr_sets, PackedRRSets):
+            packed = rr_sets
+        else:
+            packed = PackedRRSets.from_sets(graph.num_nodes, rr_sets)
+        if packed.num_sets == 0:
             raise ValidationError("RRSetCollection requires at least one RR set")
         self.graph = graph
-        self.rr_sets = rr_sets
-        self._membership: Dict[int, List[int]] = {}
-        for set_index, rr_set in enumerate(rr_sets):
-            for node in rr_set:
-                self._membership.setdefault(node, []).append(set_index)
+        self.packed = packed
+        self._materialized: Optional[List[Set[int]]] = None
+
+    @property
+    def rr_sets(self) -> List[Set[int]]:
+        """The legacy ``List[Set[int]]`` view (materialised lazily)."""
+        if self._materialized is None:
+            self._materialized = self.packed.to_sets()
+        return self._materialized
 
     @classmethod
     def sample(
@@ -110,81 +199,109 @@ class RRSetCollection:
         *,
         backend: Optional["ExecutionBackend"] = None,
         chunk_size: Optional[int] = None,
+        kernel: str = DEFAULT_RR_KERNEL,
     ) -> "RRSetCollection":
         """Sample *num_sets* RR sets with uniform (or given) roots.
 
         Without a *backend* the historical single-stream sequential sampler
-        runs (bit-identical to earlier releases).  With a *backend* the work
-        is split into fixed-size chunks with per-chunk spawned RNG streams,
-        so the result is identical for every backend at every worker count —
-        serial, threads or processes (see :mod:`repro.backend`).
+        runs (with ``kernel="legacy"``, bit-identical to earlier releases).
+        With a *backend* the work is split into fixed-size chunks with
+        per-chunk spawned RNG streams, so the result is identical for every
+        backend at every worker count — serial, threads or processes (see
+        :mod:`repro.backend`).  Either way the result is deterministic per
+        kernel; the two kernels draw in different orders and need not match
+        each other.
         """
+        check_rr_kernel(kernel)
         if backend is not None:
-            sample_kwargs = {"roots": roots}
+            sample_kwargs = {"roots": roots, "kernel": kernel}
             if chunk_size is not None:
                 sample_kwargs["chunk_size"] = chunk_size
-            rr_sets = backend.sample_rr_sets(
+            packed = backend.sample_rr_sets_packed(
                 graph, edge_probabilities, num_sets, seed, **sample_kwargs
             )
-            return cls(graph, rr_sets)
+            return cls(graph, packed)
         check_positive(num_sets, "num_sets")
         if graph.num_nodes == 0:
             raise ValidationError("cannot sample RR sets on an empty graph")
+        root_cycle: Optional[List[int]] = None
         if roots is not None:
-            for root in roots:
-                check_node_id(int(root), graph.num_nodes, "root")
+            root_cycle = [int(root) for root in roots]
+            for root in root_cycle:
+                check_node_id(root, graph.num_nodes, "root")
+            root_cycle = [
+                root_cycle[index % len(root_cycle)] for index in range(num_sets)
+            ]
         rng = as_generator(seed)
-        rr_sets = []
-        for index in range(num_sets):
-            if roots is not None:
-                root = int(roots[index % len(roots)])
-            else:
-                root = int(rng.integers(0, graph.num_nodes))
-            rr_sets.append(
-                _reverse_reachable(graph, edge_probabilities, root, rng)
-            )
-        return cls(graph, rr_sets)
+        nodes, offsets = sample_packed_rr_sets(
+            graph, edge_probabilities, num_sets, rng, root_cycle, kernel
+        )
+        return cls(graph, PackedRRSets(graph.num_nodes, nodes, offsets))
 
     def __len__(self) -> int:
-        return len(self.rr_sets)
+        return self.packed.num_sets
 
     def coverage_of(self, node: int) -> int:
         """Number of RR sets containing *node*."""
-        return len(self._membership.get(node, []))
+        return int(self.packed.sets_containing(node).size)
+
+    def _covered_set_count(self, seeds: Sequence[int]) -> int:
+        """Number of RR sets intersecting *seeds* (array gather + unique)."""
+        if len(seeds) == 0:
+            return 0
+        member_offsets, member_sets = self.packed.membership()
+        seed_array = np.unique(np.asarray(list(seeds), dtype=np.int64))
+        seed_array = seed_array[
+            (seed_array >= 0) & (seed_array < self.graph.num_nodes)
+        ]
+        if seed_array.size == 0:
+            return 0
+        indices = gather_csr_slices(
+            member_offsets[seed_array], member_offsets[seed_array + 1]
+        )
+        return int(np.unique(member_sets[indices]).size)
 
     def estimate_spread(self, seeds: Sequence[int]) -> float:
         """Unbiased spread estimate: ``n · (covered sets / total sets)``."""
-        seed_set = set(int(s) for s in seeds)
-        covered = sum(
-            1 for rr_set in self.rr_sets if not seed_set.isdisjoint(rr_set)
-        )
-        return self.graph.num_nodes * covered / len(self.rr_sets)
+        covered = self._covered_set_count(seeds)
+        return self.graph.num_nodes * covered / self.packed.num_sets
 
     def greedy_max_cover(self, k: int) -> Tuple[List[int], float]:
         """Greedy maximum coverage: the TIM/IMM node-selection phase.
 
+        Runs in O(Σ|R|) total via ``np.bincount`` coverage counting: each
+        round takes the max of the per-node coverage array (ties break by
+        first appearance in the packed batch — exactly the membership-dict
+        insertion order of the historical implementation, so selections
+        reproduce earlier releases) and subtracts the member counts of the
+        newly covered sets, so no set's members are walked more than once.
         Returns the seed list and the estimated spread of the full set.
-        Runs in O(Σ|R|) via coverage counting with lazy invalidation.
         """
         check_positive(k, "k")
-        coverage = {node: len(sets) for node, sets in self._membership.items()}
-        covered = np.zeros(len(self.rr_sets), dtype=bool)
+        packed = self.packed
+        num_nodes = self.graph.num_nodes
+        member_offsets, member_sets = packed.membership()
+        first_seen = packed.first_occurrence()
+        coverage = packed.coverage_counts().astype(np.int64)
+        covered = np.zeros(packed.num_sets, dtype=bool)
         seeds: List[int] = []
-        for _ in range(min(k, self.graph.num_nodes)):
-            best_node = -1
-            best_cover = -1
-            for node, count in coverage.items():
-                if count > best_cover and node not in seeds:
-                    best_node = node
-                    best_cover = count
-            if best_node == -1 or best_cover <= 0:
+        for _ in range(min(k, num_nodes)):
+            best_cover = int(coverage.max())
+            if best_cover <= 0:
                 break
-            seeds.append(best_node)
-            for set_index in self._membership[best_node]:
-                if covered[set_index]:
-                    continue
-                covered[set_index] = True
-                for member in self.rr_sets[set_index]:
-                    coverage[member] -= 1
-        spread = self.graph.num_nodes * covered.sum() / len(self.rr_sets)
-        return seeds, float(spread)
+            candidates = np.flatnonzero(coverage == best_cover)
+            best = int(candidates[np.argmin(first_seen[candidates])])
+            seeds.append(best)
+            candidate_sets = member_sets[
+                member_offsets[best]:member_offsets[best + 1]
+            ]
+            new_sets = candidate_sets[~covered[candidate_sets]]
+            covered[new_sets] = True
+            member_indices = gather_csr_slices(
+                packed.offsets[new_sets], packed.offsets[new_sets + 1]
+            )
+            coverage -= np.bincount(
+                packed.nodes[member_indices], minlength=num_nodes
+            )
+        spread = num_nodes * float(covered.sum()) / packed.num_sets
+        return seeds, spread

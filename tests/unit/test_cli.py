@@ -208,6 +208,17 @@ class TestBackendOptions:
         with pytest.raises(SystemExit):
             parser.parse_args(["stats", "dir", "--backend", "quantum"])
 
+    def test_parser_accepts_rr_kernel(self):
+        parser = build_parser()
+        arguments = parser.parse_args(["stats", "dir", "--rr-kernel", "legacy"])
+        assert arguments.rr_kernel == "legacy"
+        assert parser.parse_args(["stats", "dir"]).rr_kernel == "vectorized"
+
+    def test_parser_rejects_unknown_rr_kernel(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["stats", "dir", "--rr-kernel", "cuda"])
+
     def test_threads_backend_answers_match_worker_counts(
         self, dataset_dir, capsys
     ):

@@ -93,6 +93,15 @@ class TestAdjacency:
         expected = [diamond_graph.edge_endpoints(e)[0] for e in range(4)]
         np.testing.assert_array_equal(sources, expected)
 
+    def test_edge_sources_with_isolated_nodes(self):
+        graph = SocialGraph.from_edges(5, [(3, 1), (3, 4), (0, 2)])
+        sources = graph.edge_sources()
+        assert sources.dtype == np.int64
+        expected = [
+            graph.edge_endpoints(e)[0] for e in range(graph.num_edges)
+        ]
+        np.testing.assert_array_equal(sources, expected)
+
     def test_edges_iteration_order(self, line_graph):
         listed = list(line_graph.edges())
         assert listed == [(0, 0, 1), (1, 1, 2), (2, 2, 3)]

@@ -214,6 +214,12 @@ class TestExecutionBackends:
         with pytest.raises(ValidationError):
             OctopusConfig(workers=0)
 
+    def test_config_validates_rr_kernel(self):
+        with pytest.raises(ValidationError):
+            OctopusConfig(rr_kernel="cuda")
+        assert OctopusConfig().rr_kernel == "vectorized"
+        assert OctopusConfig(rr_kernel="legacy").rr_kernel == "legacy"
+
     def test_pooled_builds_agree_with_each_other(self, citation_dataset_module):
         """threads and processes builds answer queries identically."""
         answers = []

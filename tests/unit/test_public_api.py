@@ -44,6 +44,8 @@ MODULES = [
     "repro.service.requests",
     "repro.service.responses",
     "repro.im.mia",
+    "repro.propagation.kernels",
+    "repro.propagation.packed",
     "repro.propagation.rrsets",
     "repro.topics.em",
     "repro.topics.model",

@@ -110,6 +110,73 @@ class TestRRSetCollection:
         )
 
 
+class TestPackedStorage:
+    """The collection is packed internally; the set view is derived."""
+
+    def test_accepts_packed_batches(self, line_graph):
+        from repro.propagation.packed import PackedRRSets
+
+        packed = PackedRRSets.from_sets(4, [{0, 1}, {1, 2}, {3}])
+        collection = RRSetCollection(line_graph, packed)
+        assert len(collection) == 3
+        assert collection.rr_sets == [{0, 1}, {1, 2}, {3}]
+        assert collection.coverage_of(1) == 2
+
+    def test_packed_and_set_construction_agree(
+        self, medium_graph, medium_probabilities
+    ):
+        collection = RRSetCollection.sample(
+            medium_graph, medium_probabilities, 150, seed=12
+        )
+        rebuilt = RRSetCollection(medium_graph, collection.rr_sets)
+        assert rebuilt.estimate_spread([0, 5]) == pytest.approx(
+            collection.estimate_spread([0, 5])
+        )
+        assert rebuilt.greedy_max_cover(4) == collection.greedy_max_cover(4)
+
+    def test_greedy_matches_reference_implementation(
+        self, medium_graph, medium_probabilities
+    ):
+        """Vectorized greedy equals a straightforward set-based greedy.
+
+        Tie-breaking contract: among max-coverage nodes, pick the one that
+        appears first in the packed batch (the membership-dict insertion
+        order of the historical implementation).
+        """
+        collection = RRSetCollection.sample(
+            medium_graph, medium_probabilities, 250, seed=21
+        )
+        rr_sets = collection.rr_sets
+        first_seen = {}
+        for position, node in enumerate(collection.packed.nodes.tolist()):
+            first_seen.setdefault(node, position)
+        chosen, remaining = [], list(range(len(rr_sets)))
+        for _ in range(5):
+            counts = {}
+            for index in remaining:
+                for node in rr_sets[index]:
+                    counts[node] = counts.get(node, 0) + 1
+            if not counts:
+                break
+            best_cover = max(counts.values())
+            best = min(
+                (node for node, count in counts.items() if count == best_cover),
+                key=first_seen.__getitem__,
+            )
+            if best_cover <= 0:
+                break
+            chosen.append(best)
+            remaining = [
+                index for index in remaining if best not in rr_sets[index]
+            ]
+        seeds, spread = collection.greedy_max_cover(5)
+        assert seeds == chosen
+        covered = len(rr_sets) - len(remaining)
+        assert spread == pytest.approx(
+            medium_graph.num_nodes * covered / len(rr_sets)
+        )
+
+
 class TestParallelSampling:
     """Acceptance bar: same seed ⇒ identical collection on every backend."""
 
