@@ -28,7 +28,10 @@ Quickstart::
     wire = response.to_json()
 
 Workloads (``repro.engine``) generate Zipf-skewed streams of typed requests
-and report latency percentiles through the same service layer.
+and report latency percentiles through the same service layer, and
+``repro.server`` puts the envelopes on a socket: an HTTP server
+(``octopus serve``) plus the :class:`~repro.server.OctopusClient` stub that
+makes a remote server indistinguishable from a local service.
 """
 
 from repro.backend import (
@@ -49,6 +52,12 @@ from repro.engine.workload import (
     run_workload,
 )
 from repro.graph.digraph import GraphBuilder, SocialGraph
+from repro.server import (
+    OctopusClient,
+    OctopusHTTPServer,
+    OctopusTransportError,
+    serve_in_background,
+)
 from repro.service import (
     CompleteRequest,
     ConcurrentOctopusService,
@@ -76,6 +85,10 @@ __all__ = [
     "OctopusConfig",
     "OctopusService",
     "ConcurrentOctopusService",
+    "OctopusHTTPServer",
+    "OctopusClient",
+    "OctopusTransportError",
+    "serve_in_background",
     "ExecutionBackend",
     "SerialBackend",
     "ThreadPoolBackend",

@@ -20,10 +20,23 @@ Commands::
     octopus complete    DIR --users PREFIX | --keywords PREFIX
     octopus stats       DIR
     octopus query       DIR REQUEST_JSON [--batch] [--pretty]
+    octopus query       --url http://HOST:PORT REQUEST_JSON [--batch]
+    octopus serve       DIR [--host H] [--port P]
+                        [--executor {serial,threads,processes}]
 
 ``query`` is the wire-level entry point: it takes a JSON request (or a JSON
 array with ``--batch``), ``@file`` to read from a file, or ``-`` for stdin,
-and prints the JSON response envelope(s).
+and prints the JSON response envelope(s).  With ``--url`` the request is
+routed to a remote ``octopus serve`` instance instead of building the
+indexes locally — same input, same output bytes (the determinism contract
+extends across the socket).
+
+``serve`` boots the HTTP wire transport over a dataset: ``POST /query``,
+``POST /batch``, ``GET /stats`` and ``GET /healthz`` speak the JSON
+envelopes.  ``--executor threads|processes`` serves requests from a
+:class:`~repro.service.ConcurrentOctopusService` worker pool (``--workers``
+sizes it); Ctrl-C shuts down gracefully — in-flight requests drain into a
+final metrics report.
 
 Every system command also accepts ``--backend {serial,threads,processes}``
 and ``--workers N``: index builds and RR-set sampling run on the chosen
@@ -82,9 +95,19 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--size", type=int, default=500, help="user count")
     generate.add_argument("--seed", type=int, default=7)
 
-    def add_system_command(name: str, help_text: str) -> argparse.ArgumentParser:
+    def add_system_command(
+        name: str, help_text: str, *, dataset_optional: bool = False
+    ) -> argparse.ArgumentParser:
         sub = commands.add_parser(name, help=help_text)
-        sub.add_argument("dataset", help="dataset directory")
+        if dataset_optional:
+            sub.add_argument(
+                "dataset",
+                nargs="?",
+                default=None,
+                help="dataset directory (omit when using --url)",
+            )
+        else:
+            sub.add_argument("dataset", help="dataset directory")
         sub.add_argument("--seed", type=int, default=0, help="engine seed")
         sub.add_argument(
             "--fast",
@@ -153,7 +176,9 @@ def build_parser() -> argparse.ArgumentParser:
     add_system_command("stats", "system and index statistics")
 
     query = add_system_command(
-        "query", "execute a JSON service request (the wire-level API)"
+        "query",
+        "execute a JSON service request (the wire-level API)",
+        dataset_optional=True,
     )
     query.add_argument(
         "request",
@@ -166,6 +191,44 @@ def build_parser() -> argparse.ArgumentParser:
     )
     query.add_argument(
         "--pretty", action="store_true", help="indent the JSON response"
+    )
+    query.add_argument(
+        "--url",
+        default=None,
+        metavar="URL",
+        help="send the request to a remote 'octopus serve' instance instead "
+        "of building the dataset's indexes locally",
+    )
+    query.add_argument(
+        "--timeout",
+        type=float,
+        default=60.0,
+        help="HTTP timeout in seconds for --url requests",
+    )
+
+    serve = add_system_command(
+        "serve", "serve the JSON envelopes over HTTP (the wire transport)"
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default loopback)"
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8642,
+        help="TCP port (0 binds an ephemeral port; default 8642)",
+    )
+    serve.add_argument(
+        "--executor",
+        choices=("serial", "threads", "processes"),
+        default="serial",
+        help="request executor: 'serial' computes on the connection's "
+        "handler thread; 'threads'/'processes' serve through a concurrent "
+        "worker pool with in-flight de-duplication (--workers sizes the "
+        "pool as well as the compute backend)",
+    )
+    serve.add_argument(
+        "--verbose", action="store_true", help="log every HTTP request"
     )
     return parser
 
@@ -335,6 +398,39 @@ def _command_stats(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(arguments: argparse.Namespace) -> int:
+    from repro.server import OctopusHTTPServer
+
+    service = _load_service(arguments)
+    if arguments.executor != "serial":
+        from repro.service import ConcurrentOctopusService
+
+        mode = "threads" if arguments.executor == "threads" else "processes"
+        service = ConcurrentOctopusService(
+            service, workers=arguments.workers, mode=mode
+        )
+    server = OctopusHTTPServer(
+        service,
+        host=arguments.host,
+        port=arguments.port,
+        verbose=arguments.verbose,
+    )
+    print(f"serving {arguments.dataset} on {server.url} "
+          f"(executor={arguments.executor})")
+    print("endpoints: POST /query  POST /batch  GET /stats  GET /healthz")
+    print("press Ctrl-C to drain and stop")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\ndraining in-flight requests ...", file=sys.stderr)
+    finally:
+        final = server.shutdown_gracefully()
+        for key in sorted(final):
+            if key.startswith(("service.", "cache.", "http.", "executor.")):
+                print(f"{key:<45s} {final[key]:.4f}")
+    return 0
+
+
 def _read_query_input(text: str) -> str:
     """Resolve the ``query`` command's request argument to raw JSON text."""
     if text == "-":
@@ -345,6 +441,35 @@ def _read_query_input(text: str) -> str:
     return text
 
 
+def _query_remote(arguments: argparse.Namespace, raw: str, entries, indent) -> int:
+    """Route the ``query`` input at a remote server via the HTTP client.
+
+    *entries* is the already-parsed batch array (``None`` without
+    ``--batch`` — the raw text then goes over the wire untouched, so the
+    server validates exactly what the user wrote).
+    """
+    from repro.server import OctopusClient, OctopusTransportError
+
+    try:
+        with OctopusClient(arguments.url, timeout=arguments.timeout) as client:
+            if entries is not None:
+                responses = client.execute_batch(entries)
+                print(
+                    json.dumps(
+                        [response.to_dict() for response in responses],
+                        sort_keys=True,
+                        indent=indent,
+                    )
+                )
+                return 0 if all(response.ok for response in responses) else 2
+            response = client.execute(raw)
+            print(response.to_json(indent=indent))
+            return 0 if response.ok else 2
+    except OctopusTransportError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
 def _command_query(arguments: argparse.Namespace) -> int:
     # Read and shape-check the input before the (expensive) index build.
     try:
@@ -353,6 +478,7 @@ def _command_query(arguments: argparse.Namespace) -> int:
         print(f"error: cannot read request: {error}", file=sys.stderr)
         return 2
     indent = 1 if arguments.pretty else None
+    entries = None
     if arguments.batch:
         try:
             entries = json.loads(raw)
@@ -362,6 +488,12 @@ def _command_query(arguments: argparse.Namespace) -> int:
         if not isinstance(entries, list):
             print("error: --batch expects a JSON array", file=sys.stderr)
             return 2
+    if arguments.url is not None:
+        return _query_remote(arguments, raw, entries, indent)
+    if arguments.dataset is None:
+        print("error: query needs a dataset directory or --url", file=sys.stderr)
+        return 2
+    if arguments.batch:
         service = _load_service(arguments)
         workers = arguments.workers or 1
         if workers > 1:
@@ -407,6 +539,7 @@ _HANDLERS = {
     "complete": _command_complete,
     "stats": _command_stats,
     "query": _command_query,
+    "serve": _command_serve,
 }
 
 

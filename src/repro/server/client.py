@@ -1,0 +1,262 @@
+"""Typed HTTP client for an :class:`~repro.server.http.OctopusHTTPServer`.
+
+:class:`OctopusClient` is the thin stub typed code and tests use to talk
+to a remote OCTOPUS server: it posts the JSON envelope forms of
+:class:`~repro.service.requests.ServiceRequest` and parses the body back
+into :class:`~repro.service.responses.ServiceResponse` — regardless of the
+HTTP status, since the server guarantees every body is a parseable
+envelope.  The result is location transparency: code written against
+``OctopusService.execute`` / ``execute_batch`` / ``stats`` runs unchanged
+against a client pointed at a server.
+
+Connections are persistent and **per thread** (a ``threading.local`` of
+``http.client.HTTPConnection``), so one shared client instance is safe to
+hammer from a multi-threaded stress harness while still reusing sockets.
+Only genuine transport faults — refused connection, timeout, a body that
+is not our protocol — raise, as :class:`OctopusTransportError`; everything
+the server itself said comes back as an envelope.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+from typing import Any, Dict, List, Optional, Sequence, Union
+from urllib.parse import urlsplit
+
+from repro.service.requests import ServiceRequest
+from repro.service.responses import ServiceResponse
+from repro.utils.validation import ValidationError
+
+__all__ = ["OctopusClient", "OctopusTransportError"]
+
+RequestLike = Union[ServiceRequest, Dict[str, Any], str]
+
+
+class OctopusTransportError(ConnectionError):
+    """The wire itself failed: no connection, timeout, or a non-protocol
+    body.  Server-side failures never raise this — they are envelopes."""
+
+
+def _encode(request: RequestLike) -> str:
+    """A request's wire body: typed → ``to_json``, dict → dumped, raw
+    strings pass through untouched (the server validates them)."""
+    if isinstance(request, ServiceRequest):
+        return request.to_json()
+    if isinstance(request, dict):
+        return json.dumps(request, sort_keys=True)
+    if isinstance(request, str):
+        return request
+    raise TypeError(
+        f"request must be a ServiceRequest, dict or JSON string, "
+        f"got {type(request).__name__}"
+    )
+
+
+class OctopusClient:
+    """Client-side stub speaking the OCTOPUS HTTP wire protocol.
+
+    Mirrors the service executor surface (:meth:`execute`,
+    :meth:`execute_batch`, :meth:`stats`) plus the wire-only
+    :meth:`health`, and is a context manager::
+
+        with OctopusClient("http://127.0.0.1:8642") as client:
+            response = client.execute(FindInfluencersRequest("data mining"))
+            assert response.ok
+    """
+
+    def __init__(self, url: str, *, timeout: float = 30.0) -> None:
+        parts = urlsplit(url if "//" in url else f"//{url}", scheme="http")
+        if parts.scheme != "http":
+            raise ValueError(f"only http:// URLs are supported, got {url!r}")
+        if not parts.hostname:
+            raise ValueError(f"URL has no host: {url!r}")
+        self.host: str = parts.hostname
+        self.port: int = parts.port if parts.port is not None else 80
+        self.prefix: str = parts.path.rstrip("/")
+        self.timeout = float(timeout)
+        self.closed = False
+        self._local = threading.local()
+        self._connections: List[http.client.HTTPConnection] = []
+        self._connections_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # The service executor surface
+    # ------------------------------------------------------------------
+
+    def execute(self, request: RequestLike) -> ServiceResponse:
+        """POST one request to ``/query`` and parse the envelope."""
+        _status, payload = self._request("POST", "/query", _encode(request))
+        return self._envelope(payload)
+
+    def execute_batch(
+        self, requests: Sequence[RequestLike]
+    ) -> List[ServiceResponse]:
+        """POST a JSON array to ``/batch``; envelopes come back in order.
+
+        Entries may be typed requests, dicts, or JSON strings (parsed
+        client-side — an array element must be a JSON value).  Per-slot
+        failures come back inside their envelopes; a whole-batch rejection
+        (which a well-formed client never triggers) raises
+        :class:`~repro.utils.validation.ValidationError`.
+        """
+        entries = [self._batch_entry(request) for request in requests]
+        body = json.dumps(entries, sort_keys=True)
+        _status, payload = self._request("POST", "/batch", body)
+        if isinstance(payload, dict) and "service" in payload:
+            envelope = ServiceResponse.from_dict(payload)
+            message = (
+                envelope.error.message if envelope.error else "batch rejected"
+            )
+            raise ValidationError(f"batch rejected by server: {message}")
+        if not isinstance(payload, list):
+            raise OctopusTransportError(
+                f"batch endpoint returned {type(payload).__name__}, "
+                f"expected a JSON array"
+            )
+        return [self._envelope(entry) for entry in payload]
+
+    def stats(self) -> Dict[str, float]:
+        """GET ``/stats``: the server's merged statistics snapshot."""
+        _status, payload = self._request("GET", "/stats")
+        if not isinstance(payload, dict):
+            raise OctopusTransportError("stats endpoint did not return an object")
+        return {str(key): float(value) for key, value in payload.items()}
+
+    def health(self) -> Dict[str, Any]:
+        """GET ``/healthz``: liveness, uptime and request count."""
+        _status, payload = self._request("GET", "/healthz")
+        if not isinstance(payload, dict):
+            raise OctopusTransportError("healthz endpoint did not return an object")
+        return payload
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Close every pooled connection (from all threads); idempotent."""
+        self.closed = True
+        with self._connections_lock:
+            connections, self._connections = self._connections, []
+        for connection in connections:
+            try:
+                connection.close()
+            except OSError:  # pragma: no cover — close is best-effort
+                pass
+        self._local = threading.local()
+
+    def __enter__(self) -> "OctopusClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _connection(self) -> "tuple[http.client.HTTPConnection, bool]":
+        """This thread's persistent connection and whether it is reused.
+
+        Freshness matters for retry safety: only a *reused* socket can be
+        a stale keep-alive the server quietly timed out.
+        """
+        connection = getattr(self._local, "connection", None)
+        if connection is not None:
+            return connection, True
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        self._local.connection = connection
+        with self._connections_lock:
+            self._connections.append(connection)
+        return connection, False
+
+    def _drop_connection(self) -> None:
+        """Discard this thread's connection after a transport fault."""
+        connection = getattr(self._local, "connection", None)
+        self._local.connection = None
+        if connection is not None:
+            with self._connections_lock:
+                if connection in self._connections:
+                    self._connections.remove(connection)
+            try:
+                connection.close()
+            except OSError:  # pragma: no cover — close is best-effort
+                pass
+
+    def _request(
+        self, method: str, path: str, body: Optional[str] = None
+    ) -> Any:
+        """One HTTP exchange → ``(status, parsed JSON body)``.
+
+        Retry policy (requests are not idempotent, so at-most-once
+        delivery matters): retry exactly once, only on a **reused**
+        keep-alive socket — the only kind that can be stale — and only
+        when the request provably never got an answer: the send itself
+        failed (the server's idle timeout closed the socket before our
+        bytes reached a handler), or the connection closed without a
+        single response byte (``RemoteDisconnected``).  A fresh
+        connection failing, or a connection dying mid-response (when the
+        server may already have executed the request), raises
+        :class:`OctopusTransportError` instead of silently re-executing.
+        """
+        if self.closed:
+            raise OctopusTransportError("client is closed")
+        url = self.prefix + path
+        data = body.encode("utf-8") if body is not None else None
+        headers = {"Content-Type": "application/json"} if data else {}
+        for attempt in (0, 1):
+            connection, reused = self._connection()
+            sending = True
+            try:
+                connection.request(method, url, body=data, headers=headers)
+                sending = False
+                response = connection.getresponse()
+                raw = response.read()
+            except (ConnectionError, http.client.HTTPException, OSError) as error:
+                self._drop_connection()
+                stale = reused and (
+                    sending
+                    or isinstance(error, http.client.RemoteDisconnected)
+                )
+                if attempt == 0 and stale:
+                    continue  # stale keep-alive: one fresh-socket retry
+                raise OctopusTransportError(
+                    f"{method} {self.host}:{self.port}{url} failed: "
+                    f"{type(error).__name__}: {error}"
+                ) from error
+            try:
+                payload = json.loads(raw.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as error:
+                raise OctopusTransportError(
+                    f"server returned a non-JSON body "
+                    f"(status {response.status}): {error}"
+                ) from error
+            return response.status, payload
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    @staticmethod
+    def _batch_entry(request: RequestLike) -> Any:
+        """One batch slot as a JSON value (strings are parsed client-side)."""
+        if isinstance(request, ServiceRequest):
+            return request.to_dict()
+        if isinstance(request, str):
+            try:
+                return json.loads(request)
+            except json.JSONDecodeError as error:
+                raise ValidationError(
+                    f"batch entry is not valid JSON: {error}"
+                ) from None
+        return request
+
+    @staticmethod
+    def _envelope(payload: Any) -> ServiceResponse:
+        """Parse one envelope dict, guarding against non-protocol bodies."""
+        if not isinstance(payload, dict) or "service" not in payload:
+            raise OctopusTransportError(
+                "server body is not a ServiceResponse envelope"
+            )
+        return ServiceResponse.from_dict(payload)

@@ -1,0 +1,463 @@
+"""HTTP wire transport over the typed OCTOPUS service envelopes.
+
+:class:`OctopusHTTPServer` is a threaded stdlib HTTP server (no external
+dependencies) that speaks exactly the JSON request/response envelopes of
+:mod:`repro.service` — the same bytes ``octopus query`` reads and writes:
+
+============  ======  ====================================================
+path          method  body
+============  ======  ====================================================
+``/query``    POST    one JSON request object → one response envelope
+``/batch``    POST    JSON array of requests → JSON array of envelopes
+                      (served through ``execute_batch``, so duplicates are
+                      shared; per-slot failures stay in their envelope and
+                      the HTTP status is 200)
+``/stats``    GET     merged service/cache/backend/HTTP counters
+``/healthz``  GET     liveness: status, uptime, requests served
+============  ======  ====================================================
+
+The dispatcher behind the socket is anything with the service executor
+shape — a plain :class:`~repro.service.OctopusService` or a
+:class:`~repro.service.ConcurrentOctopusService` worker pool — so the
+serving semantics (caching, metrics, validation, in-flight de-duplication)
+are whatever the chosen executor already provides; this module adds the
+wire, not new semantics.
+
+Structured errors map onto HTTP statuses through
+:data:`HTTP_STATUS_BY_ERROR_CODE` (client mistakes are 4xx, only genuine
+``internal_error`` envelopes are 5xx), and every body — success or failure
+— is a parseable envelope, so clients never scrape HTML error pages.
+
+Shutdown is graceful: :meth:`OctopusHTTPServer.shutdown_gracefully` stops
+accepting, drains in-flight handler threads, closes the executor's worker
+pool and folds the last requests into a final statistics snapshot —
+nothing served is ever dropped from the metrics.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Union
+from urllib.parse import urlsplit
+
+from repro.service.concurrent import ConcurrentOctopusService
+from repro.service.dispatcher import OctopusService
+from repro.service.responses import ServiceResponse, jsonify
+
+__all__ = [
+    "HTTP_STATUS_BY_ERROR_CODE",
+    "OctopusHTTPServer",
+    "serve_in_background",
+    "status_for_response",
+]
+
+ServiceExecutor = Union[OctopusService, ConcurrentOctopusService]
+
+#: Structured error code → HTTP status.  Client mistakes are 4xx so a
+#: load balancer or the stress harness can tell "you sent garbage" from
+#: "the server broke"; only ``internal_error`` (and codes this table does
+#: not know, conservatively) surface as 5xx.
+HTTP_STATUS_BY_ERROR_CODE: Dict[str, int] = {
+    "malformed_request": 400,
+    "invalid_request": 400,
+    "unknown_service": 400,
+    "payload_too_large": 413,
+    "rate_limited": 429,
+    "not_found": 404,
+    "method_not_allowed": 405,
+    "internal_error": 500,
+}
+
+#: The paths the server actually serves; anything else is bucketed under
+#: one ``http.path.other`` counter so a URL scanner cannot grow the
+#: per-path stats dict without bound.
+KNOWN_PATHS = ("/query", "/batch", "/stats", "/healthz")
+
+
+def status_for_response(response: ServiceResponse) -> int:
+    """The HTTP status carrying *response*: 200 on success, mapped 4xx/5xx
+    via :data:`HTTP_STATUS_BY_ERROR_CODE` on failure (unknown codes are
+    conservatively 500)."""
+    if response.ok:
+        return 200
+    assert response.error is not None
+    return HTTP_STATUS_BY_ERROR_CODE.get(response.error.code, 500)
+
+
+class _HTTPCounters:
+    """Thread-safe request/response counters for the ``http.*`` stats."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._by_path: Dict[str, int] = {}
+        self._by_status_class: Dict[str, int] = {}
+        self._total = 0
+
+    def record(self, path: str, status: int) -> None:
+        """Fold one served HTTP exchange into the counters."""
+        if path not in KNOWN_PATHS:
+            path = "other"  # bound the per-path dict against URL scanners
+        bucket = f"{status // 100}xx"
+        with self._lock:
+            self._total += 1
+            self._by_path[path] = self._by_path.get(path, 0) + 1
+            self._by_status_class[bucket] = (
+                self._by_status_class.get(bucket, 0) + 1
+            )
+
+    def snapshot(self) -> Dict[str, float]:
+        """Flat counter dict keyed ``http.<metric>``."""
+        with self._lock:
+            stats: Dict[str, float] = {"http.requests": float(self._total)}
+            for path, count in sorted(self._by_path.items()):
+                stats[f"http.path.{path.lstrip('/') or 'root'}"] = float(count)
+            for bucket, count in sorted(self._by_status_class.items()):
+                stats[f"http.responses.{bucket}"] = float(count)
+            return stats
+
+
+class _OctopusRequestHandler(BaseHTTPRequestHandler):
+    """Routes the four endpoints onto the server's service executor."""
+
+    protocol_version = "HTTP/1.1"  # keep-alive: clients reuse connections
+
+    # Headers and body go out as separate writes; with Nagle enabled the
+    # second write stalls behind the peer's delayed ACK (~40 ms per
+    # response on loopback).  TCP_NODELAY sends both immediately.
+    disable_nagle_algorithm = True
+
+    # Mypy-friendly narrowing: the ThreadingHTTPServer we run under.
+    server: "OctopusHTTPServer"
+
+    def setup(self) -> None:
+        # Bound every socket read so an idle keep-alive connection cannot
+        # pin a handler thread forever (the graceful drain joins them).
+        self.timeout = self.server.request_timeout
+        super().setup()
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 — http.server's casing
+        path = urlsplit(self.path).path
+        if path == "/healthz":
+            self._send_json(200, self.server.health())
+        elif path == "/stats":
+            self._send_json(200, jsonify(self.server.stats()))
+        else:
+            if self.headers.get("Content-Length"):
+                # An unconsumed body would be parsed as the next request
+                # line on this keep-alive connection; don't reuse it.
+                self.close_connection = True
+            self._send_envelope(self._route_error(path, ("/query", "/batch")))
+
+    def do_POST(self) -> None:  # noqa: N802 — http.server's casing
+        path = urlsplit(self.path).path
+        if path == "/query":
+            self._handle_query()
+        elif path == "/batch":
+            self._handle_batch()
+        else:
+            # The POST body is never read on this path; close so its
+            # bytes cannot poison the next keep-alive request.
+            self.close_connection = True
+            self._send_envelope(self._route_error(path, ("/stats", "/healthz")))
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+
+    def _handle_query(self) -> None:
+        """One JSON request in, one envelope out; the dispatcher does the
+        coercion so malformed bodies become ``malformed_request`` envelopes."""
+        body = self._read_body()
+        if body is None:
+            return
+        response = self.server.service.execute(body)
+        self._send_envelope(response)
+
+    def _handle_batch(self) -> None:
+        """A JSON array in, an array of envelopes out (HTTP 200 even when
+        individual slots failed — per-slot status lives in each envelope)."""
+        body = self._read_body()
+        if body is None:
+            return
+        try:
+            entries = json.loads(body)
+        except json.JSONDecodeError as error:
+            self._send_envelope(
+                ServiceResponse.failure(
+                    "batch", "malformed_request", f"batch is not valid JSON: {error}"
+                )
+            )
+            return
+        if not isinstance(entries, list):
+            self._send_envelope(
+                ServiceResponse.failure(
+                    "batch",
+                    "malformed_request",
+                    f"batch must be a JSON array, got {type(entries).__name__}",
+                )
+            )
+            return
+        responses = self.server.service.execute_batch(entries)
+        text = json.dumps(
+            [response.to_dict() for response in responses], sort_keys=True
+        )
+        self._send_json(200, text)
+
+    @staticmethod
+    def _route_error(path: str, hint_paths: tuple) -> ServiceResponse:
+        """404 for unknown paths, 405 for a known path with the wrong verb."""
+        if path in hint_paths:
+            return ServiceResponse.failure(
+                "http",
+                "method_not_allowed",
+                f"wrong method for {path}; see GET /healthz, GET /stats, "
+                f"POST /query, POST /batch",
+            )
+        return ServiceResponse.failure(
+            "http",
+            "not_found",
+            f"unknown path {path!r}; endpoints are GET /healthz, "
+            f"GET /stats, POST /query, POST /batch",
+        )
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+
+    def _read_body(self) -> Optional[str]:
+        """The request body as text, or ``None`` after sending an error."""
+        length_header = self.headers.get("Content-Length")
+        try:
+            length = int(length_header)
+        except (TypeError, ValueError):
+            # Without a length we cannot drain whatever body follows, so
+            # the connection must not be reused.
+            self.close_connection = True
+            self._send_envelope(
+                ServiceResponse.failure(
+                    "http",
+                    "malformed_request",
+                    "POST requires a Content-Length header",
+                )
+            )
+            return None
+        if length > self.server.max_body_bytes:
+            # Don't buffer a body the declared size of which no envelope
+            # could legitimately reach; the connection is dropped because
+            # the unread body would otherwise poison the next keep-alive
+            # request on it.
+            self.close_connection = True
+            self._send_envelope(
+                ServiceResponse.failure(
+                    "http",
+                    "payload_too_large",
+                    f"request body of {length} bytes exceeds the "
+                    f"{self.server.max_body_bytes}-byte limit",
+                )
+            )
+            return None
+        raw = self.rfile.read(max(0, length))
+        try:
+            return raw.decode("utf-8")
+        except UnicodeDecodeError as error:
+            self._send_envelope(
+                ServiceResponse.failure(
+                    "http", "malformed_request", f"body is not UTF-8: {error}"
+                )
+            )
+            return None
+
+    def _send_envelope(self, response: ServiceResponse) -> None:
+        """Send one envelope with its mapped HTTP status."""
+        self._send_json(status_for_response(response), response.to_json())
+
+    def _send_json(self, status: int, payload: Any) -> None:
+        """Send *payload* (JSON text or a JSON-able object) with *status*."""
+        if not isinstance(payload, str):
+            payload = json.dumps(payload, sort_keys=True)
+        body = payload.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if self.server.draining:
+            # Ask clients off persistent connections so the drain finishes
+            # without waiting out idle keep-alive timeouts.
+            self.close_connection = True
+        if self.close_connection:
+            # Announce the close (set above, or by an error path that left
+            # the body unread) so well-behaved clients reconnect instead
+            # of tripping over an unexpected disconnect.
+            self.send_header("Connection", "close")
+        self.end_headers()
+        self.wfile.write(body)
+        self.server.http_counters.record(urlsplit(self.path).path, status)
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        """Quiet by default; flip ``server.verbose`` for stderr access logs."""
+        if self.server.verbose:
+            super().log_message(format, *args)
+
+
+class OctopusHTTPServer(ThreadingHTTPServer):
+    """Threaded HTTP server over an OCTOPUS service executor.
+
+    Each connection is handled on its own thread; the executor underneath
+    decides how requests are actually scheduled (a serial dispatcher
+    computes on the handler thread, a concurrent executor hands off to its
+    worker pool).  ``port=0`` binds an ephemeral port — the test harness's
+    way of running many servers without collisions; the bound address is
+    on :attr:`url`.
+    """
+
+    # Drain semantics: handler threads are tracked (non-daemon) and joined
+    # by ``server_close()``, so close == every in-flight request finished.
+    daemon_threads = False
+    block_on_close = True
+
+    def __init__(
+        self,
+        service: ServiceExecutor,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        request_timeout: float = 10.0,
+        max_body_bytes: int = 8 * 1024 * 1024,
+        verbose: bool = False,
+    ) -> None:
+        self.service = service
+        self.request_timeout = float(request_timeout)
+        self.max_body_bytes = int(max_body_bytes)
+        self.verbose = verbose
+        self.draining = False
+        self.http_counters = _HTTPCounters()
+        self.final_stats: Optional[Dict[str, float]] = None
+        self._started_at = time.monotonic()
+        self._serve_thread: Optional[threading.Thread] = None
+        self._accept_loop_entered = threading.Event()
+        # Serializes the loop-started / drain-started decision so a drain
+        # racing a background serve thread can never leave the loop
+        # running (or starting) against a closed socket.
+        self._lifecycle_lock = threading.Lock()
+        # Serializes whole shutdowns: concurrent callers drain once and
+        # all receive the same final snapshot.
+        self._shutdown_lock = threading.Lock()
+        super().__init__((host, port), _OctopusRequestHandler)
+
+    def serve_forever(self, poll_interval: float = 0.5) -> None:
+        """The accept loop; tracked so a graceful shutdown knows whether
+        ``BaseServer.shutdown`` has a loop to signal (calling it when the
+        loop never ran would wait forever on the is-shut-down event).
+
+        A drain that already began wins the race against a background
+        serve thread still starting up: the loop then never runs against
+        the closed socket.
+        """
+        with self._lifecycle_lock:
+            if self.draining:
+                return
+            self._accept_loop_entered.set()
+        super().serve_forever(poll_interval)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def url(self) -> str:
+        """Base URL of the bound socket (ephemeral port resolved)."""
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def health(self) -> Dict[str, Any]:
+        """The ``/healthz`` body: liveness, uptime and request count."""
+        snapshot = self.http_counters.snapshot()
+        return {
+            "status": "draining" if self.draining else "ok",
+            "uptime_seconds": round(time.monotonic() - self._started_at, 3),
+            "requests_served": snapshot["http.requests"],
+            "executor": type(self.service).__name__,
+        }
+
+    def stats(self) -> Dict[str, float]:
+        """Service + backend + HTTP counters in one flat dict."""
+        stats = dict(self.service.stats())
+        stats.update(self.http_counters.snapshot())
+        return stats
+
+    def handle_error(self, request: Any, client_address: Any) -> None:
+        """Keep client disconnects quiet; defer to the base otherwise.
+
+        A client dropping its socket mid-response (or an idle keep-alive
+        connection timing out) is normal serving weather, not a stack
+        trace.
+        """
+        exc_type = sys.exc_info()[0]
+        if exc_type is not None and issubclass(
+            exc_type, (ConnectionError, TimeoutError)
+        ):
+            return
+        if self.verbose:
+            super().handle_error(request, client_address)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def shutdown_gracefully(self) -> Dict[str, float]:
+        """Stop accepting, drain in-flight requests, close the executor.
+
+        Safe to call from any thread (including after ``serve_forever``
+        was interrupted) and idempotent.  Returns the final statistics
+        snapshot — taken *after* the drain, so every served request is in
+        the counters — which is also kept on :attr:`final_stats`.
+        """
+        with self._shutdown_lock:
+            if self.final_stats is not None:
+                return self.final_stats
+            with self._lifecycle_lock:
+                self.draining = True
+                loop_started = self._accept_loop_entered.is_set()
+            if loop_started:
+                self.shutdown()  # stop the accept loop
+            self.server_close()  # joins every in-flight handler thread
+            if self._serve_thread is not None and self._serve_thread.is_alive():
+                self._serve_thread.join(timeout=self.request_timeout)
+            stats = self.stats()  # snapshot before the pool goes away
+            close = getattr(self.service, "close", None)
+            if callable(close):
+                close()  # drain the concurrent executor's worker pool
+            self.final_stats = stats
+            return stats
+
+
+def serve_in_background(
+    service: ServiceExecutor,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    **server_kwargs: Any,
+) -> OctopusHTTPServer:
+    """Boot a server on its own thread and return it once it accepts.
+
+    The pattern tests, benchmarks and examples share: bind (ephemeral port
+    by default), start ``serve_forever`` on a daemon thread, hand back the
+    server so the caller can read :attr:`~OctopusHTTPServer.url` and later
+    :meth:`~OctopusHTTPServer.shutdown_gracefully`.
+    """
+    server = OctopusHTTPServer(service, host, port, **server_kwargs)
+    thread = threading.Thread(
+        target=server.serve_forever, name="octopus-http", daemon=True
+    )
+    thread.start()
+    server._serve_thread = thread
+    # Hand the server back only once the accept loop is committed, so an
+    # immediate shutdown_gracefully() signals a loop that really exists.
+    server._accept_loop_entered.wait(timeout=5.0)
+    return server

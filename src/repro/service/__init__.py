@@ -49,7 +49,12 @@ from repro.service.requests import (
     request_from_dict,
     request_from_json,
 )
-from repro.service.responses import ServiceError, ServiceResponse, jsonify
+from repro.service.responses import (
+    ServiceError,
+    ServiceResponse,
+    deterministic_form,
+    jsonify,
+)
 
 __all__ = [
     "OctopusService",
@@ -73,5 +78,6 @@ __all__ = [
     "request_from_dict",
     "request_from_json",
     "known_services",
+    "deterministic_form",
     "jsonify",
 ]

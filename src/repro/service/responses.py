@@ -17,7 +17,54 @@ import numpy as np
 
 from repro.utils.validation import ValidationError
 
-__all__ = ["ServiceError", "ServiceResponse", "jsonify"]
+__all__ = [
+    "ServiceError",
+    "ServiceResponse",
+    "deterministic_form",
+    "jsonify",
+]
+
+#: Payload keys that carry wall-clock measurements rather than computed
+#: content.  Everything else in a payload is covered by the determinism
+#: contract (fixed seed ⇒ identical bytes on any executor or transport).
+VOLATILE_PAYLOAD_KEYS = frozenset({"elapsed_seconds"})
+
+
+def _strip_volatile(value: Any) -> Any:
+    """Deep-copy *value* with volatile measurement keys removed."""
+    if isinstance(value, dict):
+        return {
+            key: _strip_volatile(item)
+            for key, item in value.items()
+            if key not in VOLATILE_PAYLOAD_KEYS
+        }
+    if isinstance(value, list):
+        return [_strip_volatile(item) for item in value]
+    return value
+
+
+def deterministic_form(response: "ServiceResponse") -> str:
+    """The response's deterministic content as canonical JSON text.
+
+    Serving-time measurements — the envelope's ``latency_ms`` and
+    ``cache_hit`` flags, and wall-clock ``elapsed_seconds`` fields at any
+    depth inside the payload — are stripped; what remains is exactly what
+    the determinism contract promises to reproduce bit-for-bit for a fixed
+    seed, on any executor, over any transport.  Two responses to the same
+    query therefore compare **byte-identical** here whether they were
+    computed in-process, on a worker pool, or across an HTTP socket.
+    """
+    return json.dumps(
+        {
+            "service": response.service,
+            "ok": response.ok,
+            "payload": _strip_volatile(response.payload)
+            if response.payload is not None
+            else None,
+            "error": response.error.to_dict() if response.error is not None else None,
+        },
+        sort_keys=True,
+    )
 
 
 def jsonify(value: Any) -> Any:

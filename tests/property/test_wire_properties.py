@@ -1,0 +1,147 @@
+"""Property-based tests of the HTTP wire round-trip.
+
+For every request type, randomized field values must survive the full
+serving path losslessly::
+
+    request.to_json() → HTTP POST → dispatch coercion → ServiceResponse
+    → from_json
+
+The server here runs a real socket (ephemeral port) but an *echo*
+dispatcher: it coerces the wire body exactly like
+:class:`~repro.service.OctopusService` does and returns the typed
+request's dict form as the payload — so the properties isolate the
+transport + envelope layers from (expensive, already-tested) index
+compute.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+import pytest
+
+from repro.server import OctopusClient, serve_in_background
+from repro.service import (
+    CompleteRequest,
+    ExplorePathsRequest,
+    FindInfluencersRequest,
+    OctopusService,
+    RadarRequest,
+    ServiceResponse,
+    StatsRequest,
+    SuggestKeywordsRequest,
+    TargetedInfluencersRequest,
+    request_from_dict,
+)
+from repro.utils.validation import ValidationError
+
+
+class _EchoService:
+    """Coerces wire requests like the real dispatcher, echoes their dict."""
+
+    def execute(self, request):
+        try:
+            typed = OctopusService._coerce(request)
+        except ValidationError as error:
+            return ServiceResponse.failure("echo", "malformed_request", str(error))
+        return ServiceResponse.success(typed.service, {"request": typed.to_dict()})
+
+    def execute_batch(self, requests):
+        return [self.execute(request) for request in requests]
+
+    def stats(self):
+        return {"echo.service": 1.0}
+
+
+@pytest.fixture(scope="module")
+def echo_client():
+    """One echo server + client shared by every example of the module."""
+    server = serve_in_background(_EchoService(), request_timeout=30.0)
+    client = OctopusClient(server.url, timeout=15.0)
+    yield client
+    client.close()
+    server.shutdown_gracefully()
+
+
+# --- strategies -------------------------------------------------------
+# Values are drawn already-canonical (keywords without separators or edge
+# whitespace) so request construction is the identity on them; what the
+# properties then prove is that the wire changes nothing either.
+
+WORDS = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789", min_size=1, max_size=8
+)
+KEYWORDS = st.lists(WORDS, min_size=1, max_size=4).map(tuple)
+USERS = st.one_of(st.integers(min_value=0, max_value=10**9), WORDS)
+
+REQUEST_STRATEGIES = {
+    "influencers": st.builds(
+        FindInfluencersRequest,
+        keywords=KEYWORDS,
+        k=st.none() | st.integers(min_value=1, max_value=50),
+    ),
+    "targeted": st.builds(
+        TargetedInfluencersRequest,
+        keywords=KEYWORDS,
+        k=st.none() | st.integers(min_value=1, max_value=50),
+        audience_keywords=st.none() | KEYWORDS,
+        num_sets=st.integers(min_value=1, max_value=5000),
+    ),
+    "suggest": st.builds(
+        SuggestKeywordsRequest,
+        user=USERS,
+        k=st.integers(min_value=1, max_value=20),
+        method=st.sampled_from(["greedy", "exact"]),
+    ),
+    "paths": st.builds(
+        ExplorePathsRequest,
+        user=USERS,
+        keywords=st.none() | KEYWORDS,
+        threshold=st.none()
+        | st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        direction=st.sampled_from(["influences", "influenced_by"]),
+        max_nodes=st.none() | st.integers(min_value=1, max_value=1000),
+    ),
+    "complete": st.builds(
+        CompleteRequest,
+        prefix=WORDS,
+        kind=st.sampled_from(["keywords", "users"]),
+        limit=st.integers(min_value=1, max_value=100),
+    ),
+    "radar": st.builds(RadarRequest, keywords=KEYWORDS),
+    "stats": st.just(StatsRequest()),
+}
+
+
+@pytest.mark.parametrize("service_name", sorted(REQUEST_STRATEGIES))
+@given(data=st.data())
+@settings(max_examples=40, deadline=None)
+def test_every_request_type_round_trips_the_wire(
+    service_name, data, echo_client
+):
+    """to_json → HTTP → dispatch → ServiceResponse → from_json is lossless."""
+    request = data.draw(REQUEST_STRATEGIES[service_name])
+    response = echo_client.execute(request)
+    assert response.ok, response.error
+    assert response.service == request.service
+
+    # The dispatcher-side coercion saw exactly the fields we sent ...
+    rebuilt = request_from_dict(response.payload["request"])
+    assert rebuilt == request
+    assert rebuilt.cache_key() == request.cache_key()
+
+    # ... and the response envelope itself re-parses to an equal object.
+    assert ServiceResponse.from_json(response.to_json()) == response
+
+
+@pytest.mark.parametrize("service_name", sorted(REQUEST_STRATEGIES))
+@given(data=st.data())
+@settings(max_examples=25, deadline=None)
+def test_batch_wire_round_trip_preserves_order(service_name, data, echo_client):
+    """Batches of randomized requests come back lossless and in order."""
+    requests = data.draw(
+        st.lists(REQUEST_STRATEGIES[service_name], min_size=1, max_size=5)
+    )
+    responses = echo_client.execute_batch(requests)
+    assert len(responses) == len(requests)
+    for request, response in zip(requests, responses):
+        assert response.ok
+        assert request_from_dict(response.payload["request"]) == request

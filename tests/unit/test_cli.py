@@ -42,6 +42,27 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["complete", "dir"])
 
+    def test_serve_args(self):
+        arguments = build_parser().parse_args(
+            ["serve", "dir", "--port", "0", "--executor", "threads"]
+        )
+        assert arguments.executor == "threads"
+        assert arguments.port == 0
+        assert arguments.host == "127.0.0.1"
+
+    def test_query_url_without_dataset(self):
+        """With --url the dataset positional may be omitted entirely."""
+        arguments = build_parser().parse_args(
+            ["query", "--url", "http://127.0.0.1:1", '{"service": "stats"}']
+        )
+        assert arguments.dataset is None
+        assert arguments.request == '{"service": "stats"}'
+
+    def test_query_with_dataset_still_parses(self):
+        arguments = build_parser().parse_args(["query", "dir", "req"])
+        assert arguments.dataset == "dir"
+        assert arguments.request == "req"
+
 
 class TestGenerate:
     def test_generate_social(self, tmp_path, capsys):

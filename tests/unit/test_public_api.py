@@ -22,6 +22,7 @@ PACKAGES = [
     "repro.viz",
     "repro.engine",
     "repro.service",
+    "repro.server",
 ]
 
 MODULES = [
@@ -39,6 +40,8 @@ MODULES = [
     "repro.datasets.loaders",
     "repro.engine.workload",
     "repro.graph.digraph",
+    "repro.server.client",
+    "repro.server.http",
     "repro.service.dispatcher",
     "repro.service.middleware",
     "repro.service.requests",
@@ -117,4 +120,14 @@ def test_top_level_service_and_engine_names():
         request_from_dict,
         request_from_json,
         run_workload,
+    )
+
+
+def test_top_level_server_names():
+    """The HTTP wire transport is reachable without deep imports."""
+    from repro import (  # noqa: F401
+        OctopusClient,
+        OctopusHTTPServer,
+        OctopusTransportError,
+        serve_in_background,
     )

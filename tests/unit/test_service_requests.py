@@ -193,6 +193,55 @@ class TestResponseRoundTrip:
         assert response.raise_for_error() is response
 
 
+class TestDeterministicForm:
+    def test_strips_wall_clock_fields_at_any_depth(self):
+        from repro.service import deterministic_form
+
+        slow = ServiceResponse.success(
+            "influencers",
+            {
+                "seeds": [1, 2],
+                "elapsed_seconds": 0.123,
+                "statistics": {"exact_evaluations": 3.0, "elapsed_seconds": 9.9},
+            },
+        )
+        fast = ServiceResponse(
+            service="influencers",
+            ok=True,
+            payload={
+                "seeds": [1, 2],
+                "elapsed_seconds": 0.456,
+                "statistics": {"exact_evaluations": 3.0, "elapsed_seconds": 0.1},
+            },
+            latency_ms=42.0,
+            cache_hit=True,
+        )
+        assert deterministic_form(slow) == deterministic_form(fast)
+        assert "elapsed_seconds" not in deterministic_form(slow)
+
+    def test_distinguishes_different_content(self):
+        from repro.service import deterministic_form
+
+        one = ServiceResponse.success("complete", {"completions": [["a", 1]]})
+        two = ServiceResponse.success("complete", {"completions": [["b", 1]]})
+        assert deterministic_form(one) != deterministic_form(two)
+
+    def test_errors_are_part_of_the_form(self):
+        from repro.service import deterministic_form
+
+        failure = ServiceResponse.failure("complete", "invalid_request", "bad")
+        success = ServiceResponse.success("complete", {})
+        assert deterministic_form(failure) != deterministic_form(success)
+        assert "invalid_request" in deterministic_form(failure)
+
+    def test_form_is_canonical_json(self):
+        from repro.service import deterministic_form
+
+        form = deterministic_form(ServiceResponse.success("stats", {"b": 1, "a": 2}))
+        assert json.loads(form)  # parseable
+        assert form.index('"a"') < form.index('"b"')  # sorted keys
+
+
 class TestJsonify:
     def test_numpy_conversion(self):
         import numpy as np
