@@ -32,6 +32,9 @@ and report latency percentiles through the same service layer, and
 ``repro.server`` puts the envelopes on a socket: an HTTP server
 (``octopus serve``) plus the :class:`~repro.server.OctopusClient` stub that
 makes a remote server indistinguishable from a local service.
+``repro.cluster`` shards the system across long-lived worker processes
+behind the same executor surface (``octopus serve --executor cluster``);
+shard count never changes answer bytes.
 """
 
 from repro.backend import (
@@ -41,6 +44,7 @@ from repro.backend import (
     ThreadPoolBackend,
     resolve_backend,
 )
+from repro.cluster import ClusterCoordinator
 from repro.core.octopus import Octopus, OctopusConfig
 from repro.core.query import InfluencerResult, KeywordQuery, KeywordSuggestionResult
 from repro.datasets.citation import CitationNetworkGenerator
@@ -85,6 +89,7 @@ __all__ = [
     "OctopusConfig",
     "OctopusService",
     "ConcurrentOctopusService",
+    "ClusterCoordinator",
     "OctopusHTTPServer",
     "OctopusClient",
     "OctopusTransportError",

@@ -49,6 +49,7 @@ __all__ = [
     "DEFAULT_RR_CHUNK_SIZE",
     "ExecutionBackend",
     "default_worker_count",
+    "rr_chunk_plan",
     "seed_to_sequence",
 ]
 
@@ -61,6 +62,43 @@ DEFAULT_RR_CHUNK_SIZE = 256
 def default_worker_count() -> int:
     """Worker count to use when the caller doesn't specify one."""
     return max(os.cpu_count() or 1, 1)
+
+
+def rr_chunk_plan(
+    num_sets: int,
+    chunk_size: int,
+    sequence: np.random.SeedSequence,
+    root_cycle: Optional[List[int]] = None,
+) -> List[Tuple[int, np.random.SeedSequence, Optional[List[int]]]]:
+    """The deterministic chunk decomposition of one RR-sampling call.
+
+    Returns ``(count, seed_sequence, roots)`` per chunk.  This is *the*
+    determinism seam of the backend layer: the chunk count and the
+    per-chunk spawned streams depend only on ``(num_sets, chunk_size,
+    sequence)`` — never on worker or shard counts — so any scheduler
+    (a worker pool mapping chunks, or a cluster coordinator handing
+    contiguous chunk ranges to shard processes) reproduces the exact
+    sample batch as long as it concatenates chunk results in plan order.
+    With *root_cycle*, chunk ``c``'s slice follows the same
+    ``roots[i % len(roots)]`` cycling the serial sampler uses.
+    """
+    counts = [
+        min(chunk_size, num_sets - start)
+        for start in range(0, num_sets, chunk_size)
+    ]
+    children = sequence.spawn(len(counts))
+    plan: List[Tuple[int, np.random.SeedSequence, Optional[List[int]]]] = []
+    offset = 0
+    for count, child in zip(counts, children):
+        chunk_roots = None
+        if root_cycle is not None:
+            chunk_roots = [
+                root_cycle[(offset + index) % len(root_cycle)]
+                for index in range(count)
+            ]
+        plan.append((count, child, chunk_roots))
+        offset += count
+    return plan
 
 
 def seed_to_sequence(seed: SeedLike) -> np.random.SeedSequence:
@@ -232,25 +270,15 @@ class ExecutionBackend(abc.ABC):
                         f"root must be in [0, {graph.num_nodes}), got {root}"
                     )
         sequence = seed_to_sequence(seed)
-        counts = [
-            min(chunk_size, num_sets - start)
-            for start in range(0, num_sets, chunk_size)
-        ]
-        children = sequence.spawn(len(counts))
         payload = self._sampling_payload(
             graph, np.asarray(edge_probabilities, dtype=np.float64)
         )
-        tasks = []
-        offset = 0
-        for count, child in zip(counts, children):
-            chunk_roots = None
-            if root_cycle is not None:
-                chunk_roots = [
-                    root_cycle[(offset + index) % len(root_cycle)]
-                    for index in range(count)
-                ]
-            tasks.append((payload, count, child, chunk_roots, kernel))
-            offset += count
+        tasks = [
+            (payload, count, child, chunk_roots, kernel)
+            for count, child, chunk_roots in rr_chunk_plan(
+                num_sets, chunk_size, sequence, root_cycle
+            )
+        ]
         chunks = self.map_chunks(_sample_rr_chunk, tasks)
         return PackedRRSets.from_chunks(graph.num_nodes, chunks)
 

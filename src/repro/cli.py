@@ -21,8 +21,9 @@ Commands::
     octopus stats       DIR
     octopus query       DIR REQUEST_JSON [--batch] [--pretty]
     octopus query       --url http://HOST:PORT REQUEST_JSON [--batch]
-    octopus serve       DIR [--host H] [--port P]
-                        [--executor {serial,threads,processes}]
+    octopus serve       DIR [--host H] [--port P] [--auth-token TOKEN]
+                        [--executor {serial,threads,processes,cluster}]
+                        [--shards N]
 
 ``query`` is the wire-level entry point: it takes a JSON request (or a JSON
 array with ``--batch``), ``@file`` to read from a file, or ``-`` for stdin,
@@ -35,8 +36,12 @@ extends across the socket).
 ``POST /batch``, ``GET /stats`` and ``GET /healthz`` speak the JSON
 envelopes.  ``--executor threads|processes`` serves requests from a
 :class:`~repro.service.ConcurrentOctopusService` worker pool (``--workers``
-sizes it); Ctrl-C shuts down gracefully — in-flight requests drain into a
-final metrics report.
+sizes it); ``--executor cluster`` serves from ``--shards`` long-lived shard
+processes behind a :class:`~repro.cluster.ClusterCoordinator` — answers
+are byte-identical at any shard count.  ``--auth-token`` requires
+``Authorization: Bearer`` on every endpoint except ``/healthz`` (pass the
+same token to ``query --url --auth-token``).  Ctrl-C shuts down gracefully
+— in-flight requests drain into a final metrics report.
 
 Every system command also accepts ``--backend {serial,threads,processes}``
 and ``--workers N``: index builds and RR-set sampling run on the chosen
@@ -205,6 +210,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=60.0,
         help="HTTP timeout in seconds for --url requests",
     )
+    query.add_argument(
+        "--auth-token",
+        default=None,
+        metavar="TOKEN",
+        help="bearer token for --url requests against a server started "
+        "with --auth-token",
+    )
 
     serve = add_system_command(
         "serve", "serve the JSON envelopes over HTTP (the wire transport)"
@@ -220,12 +232,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--executor",
-        choices=("serial", "threads", "processes"),
+        choices=("serial", "threads", "processes", "cluster"),
         default="serial",
         help="request executor: 'serial' computes on the connection's "
         "handler thread; 'threads'/'processes' serve through a concurrent "
         "worker pool with in-flight de-duplication (--workers sizes the "
-        "pool as well as the compute backend)",
+        "pool as well as the compute backend); 'cluster' serves through "
+        "long-lived shard processes (--shards sizes the cluster) with "
+        "deterministic fan-out — shard count never changes answer bytes",
+    )
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=2,
+        help="shard-process count for --executor cluster (default 2)",
+    )
+    serve.add_argument(
+        "--auth-token",
+        default=None,
+        metavar="TOKEN",
+        help="require 'Authorization: Bearer TOKEN' on every endpoint "
+        "except /healthz (shared-secret auth for non-loopback serving)",
     )
     serve.add_argument(
         "--verbose", action="store_true", help="log every HTTP request"
@@ -394,15 +421,26 @@ def _command_stats(arguments: argparse.Namespace) -> int:
     if not response.ok:
         return _render_error(response)
     for key, value in sorted(response.payload.items()):
-        print(f"{key:<45s} {value:.4f}")
+        print(_render_stat(key, value))
     return 0
+
+
+def _render_stat(key: str, value) -> str:
+    """One aligned stats line (floats as numbers, identity keys as text)."""
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return f"{key:<45s} {value:.4f}"
+    return f"{key:<45s} {value}"
 
 
 def _command_serve(arguments: argparse.Namespace) -> int:
     from repro.server import OctopusHTTPServer
 
     service = _load_service(arguments)
-    if arguments.executor != "serial":
+    if arguments.executor == "cluster":
+        from repro.cluster import ClusterCoordinator
+
+        service = ClusterCoordinator(service, shards=arguments.shards)
+    elif arguments.executor != "serial":
         from repro.service import ConcurrentOctopusService
 
         mode = "threads" if arguments.executor == "threads" else "processes"
@@ -413,6 +451,7 @@ def _command_serve(arguments: argparse.Namespace) -> int:
         service,
         host=arguments.host,
         port=arguments.port,
+        auth_token=arguments.auth_token,
         verbose=arguments.verbose,
     )
     print(f"serving {arguments.dataset} on {server.url} "
@@ -426,8 +465,10 @@ def _command_serve(arguments: argparse.Namespace) -> int:
     finally:
         final = server.shutdown_gracefully()
         for key in sorted(final):
-            if key.startswith(("service.", "cache.", "http.", "executor.")):
-                print(f"{key:<45s} {final[key]:.4f}")
+            if key.startswith(
+                ("service.", "cache.", "http.", "executor.", "cluster.")
+            ):
+                print(_render_stat(key, final[key]))
     return 0
 
 
@@ -451,7 +492,11 @@ def _query_remote(arguments: argparse.Namespace, raw: str, entries, indent) -> i
     from repro.server import OctopusClient, OctopusTransportError
 
     try:
-        with OctopusClient(arguments.url, timeout=arguments.timeout) as client:
+        with OctopusClient(
+            arguments.url,
+            timeout=arguments.timeout,
+            auth_token=getattr(arguments, "auth_token", None),
+        ) as client:
             if entries is not None:
                 responses = client.execute_batch(entries)
                 print(

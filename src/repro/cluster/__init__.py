@@ -1,0 +1,53 @@
+"""Sharded multi-process serving for the OCTOPUS service layer.
+
+The cluster package keeps partitioned graph/index state resident in
+long-lived shard worker processes and merges per-shard answers behind the
+standard service-executor surface:
+
+* :mod:`repro.cluster.worker` — the :class:`~repro.cluster.worker.ShardWorker`
+  process: a forked full-service replica plus a node-range partition and
+  session-local packed RR batches, speaking the typed shard protocol
+  (:mod:`repro.cluster.protocol`) over its pipe;
+* :mod:`repro.cluster.merge` — the exact integer arithmetic that makes
+  greedy max-cover decompose losslessly across contiguous shard slices;
+* :mod:`repro.cluster.coordinator` — the
+  :class:`~repro.cluster.coordinator.ClusterCoordinator` implementing
+  ``execute`` / ``execute_batch`` / ``stats`` / ``close`` by routing or
+  fanning out, with every wait bounded and dead shards degrading (never
+  hanging) the cluster.
+
+Determinism contract: shard count is a pure execution detail.
+``deterministic_form()`` of every response is byte-identical for 1, 2 and
+4 shards and identical to the single-process ``OctopusService`` with the
+same configuration (``tests/cluster/`` proves it three ways).
+"""
+
+from repro.cluster.coordinator import (
+    ClusterCoordinator,
+    ShardCommandError,
+    ShardDeadError,
+    ShardError,
+    ShardTimeoutError,
+)
+from repro.cluster.merge import (
+    ShardCoverState,
+    merge_coverage,
+    merge_first_seen,
+    partition_contiguous,
+    pick_cover_seed,
+)
+from repro.cluster.worker import ShardWorker
+
+__all__ = [
+    "ClusterCoordinator",
+    "ShardCommandError",
+    "ShardCoverState",
+    "ShardDeadError",
+    "ShardError",
+    "ShardTimeoutError",
+    "ShardWorker",
+    "merge_coverage",
+    "merge_first_seen",
+    "partition_contiguous",
+    "pick_cover_seed",
+]

@@ -1,0 +1,878 @@
+"""The cluster coordinator: the service-executor surface over shard fan-out.
+
+:class:`ClusterCoordinator` implements the executor contract the rest of
+the system already speaks — ``execute`` / ``execute_batch`` / ``stats`` /
+``close`` — on top of long-lived :mod:`~repro.cluster.worker` shard
+processes, so it drops into :class:`~repro.server.OctopusHTTPServer` and
+the CLI exactly where :class:`~repro.service.OctopusService` or
+:class:`~repro.service.ConcurrentOctopusService` would.
+
+Execution model
+---------------
+
+The coordinator forks ``shards`` worker processes at construction; each
+inherits the fully built service (graph, indexes, middleware) copy-on-write
+and owns a contiguous **node range** of the graph.  Requests then take one
+of two paths:
+
+* **Routing** — user-affine queries (suggestion, path exploration) go to
+  the shard owning the resolved user's node range, so mutable per-user
+  index state (delayed sketch materialization) accumulates only on the
+  owner; everything else load-balances round-robin over live shards.
+  Every shard replica is seed-identical to the single-process service, so
+  the response bytes do not depend on the chosen shard.
+* **Distributed max-cover** — targeted-IM queries, when the configured
+  execution backend uses the chunked sampling scheme (``execution_backend
+  != "serial"``), fan out: the coordinator draws the query's audience-
+  weighted roots and builds the exact chunk plan
+  (:func:`repro.backend.base.rr_chunk_plan`) the single-process backend
+  would build, hands each shard a contiguous chunk range to sample and
+  hold resident, then runs the greedy seed-selection loop over the wire —
+  each round every shard reports its marginal-gain (coverage) vector, the
+  coordinator picks the argmax with the serial tie-break rule
+  (:func:`repro.cluster.merge.pick_cover_seed`) and broadcasts the chosen
+  seed.  Because chunk streams are keyed by chunk index — never by shard
+  — the sampled batch, the greedy selections and every float in the
+  response are **byte-identical** for 1, 2 or 4 shards and to the
+  single-process service: shard count is a pure execution detail.
+
+Failure model
+-------------
+
+Every wait is bounded.  A shard that dies mid-request surfaces as a
+structured ``internal_error`` envelope within the pipe timeout (never a
+hang, never an unparseable body); later requests route around dead shards
+and :meth:`health` reports the cluster degraded.  A distributed query that
+loses a shard mid-session falls back to whole-query routing on a live
+replica — which computes the same bytes — before giving up.
+"""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+import itertools
+import multiprocessing
+import threading
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.backend.base import DEFAULT_RR_CHUNK_SIZE, rr_chunk_plan, seed_to_sequence
+from repro.cluster.merge import (
+    merge_coverage,
+    merge_first_seen,
+    partition_contiguous,
+    pick_cover_seed,
+)
+from repro.cluster.protocol import (
+    ChunkSpec,
+    CoverInit,
+    CoverRound,
+    DropSession,
+    ExecuteRequest,
+    Ping,
+    SampleShard,
+    ShardStatsCmd,
+    Shutdown,
+)
+from repro.cluster.worker import shard_main
+from repro.core.octopus import Octopus
+from repro.core.query import KeywordQuery
+from repro.core.targeted import TargetedKeywordIM
+from repro.service.dispatcher import OctopusService, RequestLike
+from repro.service.middleware import RateLimitMiddleware
+from repro.service.requests import (
+    ExplorePathsRequest,
+    ServiceRequest,
+    StatsRequest,
+    SuggestKeywordsRequest,
+    TargetedInfluencersRequest,
+)
+from repro.service.responses import ServiceResponse, jsonify
+from repro.utils.validation import ValidationError, check_positive, check_simplex
+
+__all__ = [
+    "ClusterCoordinator",
+    "ShardCommandError",
+    "ShardDeadError",
+    "ShardError",
+    "ShardTimeoutError",
+]
+
+
+class ShardError(Exception):
+    """Base of shard-communication failures (never leaves the coordinator
+    as an exception — callers receive structured envelopes)."""
+
+
+class ShardDeadError(ShardError):
+    """The shard process exited or its pipe closed."""
+
+
+class ShardTimeoutError(ShardError):
+    """The shard did not answer (or free its pipe) within the bound."""
+
+
+class ShardCommandError(ShardError):
+    """The shard answered, but with a protocol-level error reply."""
+
+
+class _ShardHandle:
+    """Parent-side endpoint of one shard: pipe, process, lock, liveness.
+
+    The pipe carries ``(sequence, ...)`` frames; a bounded wait that
+    expires records its sequence as abandoned so the late reply is
+    discarded instead of being matched to the next command — one slow
+    answer can never poison the exchanges that follow.
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        process: multiprocessing.Process,
+        connection,
+        node_range: Tuple[int, int],
+    ) -> None:
+        self.shard_id = shard_id
+        self.process = process
+        self.connection = connection
+        self.node_range = node_range
+        self.lock = threading.Lock()
+        self.dead_reason = ""
+        self._alive = True
+        self._sequence = 0
+        self._abandoned: set = set()
+
+    def is_alive(self) -> bool:
+        """Liveness: not marked dead *and* the process is still running."""
+        if not self._alive:
+            return False
+        if not self.process.is_alive():
+            self.mark_dead("process exited")
+            return False
+        return True
+
+    def mark_dead(self, reason: str) -> None:
+        """Take the shard out of rotation (idempotent, keeps first cause)."""
+        self._alive = False
+        if not self.dead_reason:
+            self.dead_reason = reason
+
+    # -- locked-pipe primitives (caller holds ``self.lock``) ------------
+
+    def send_locked(self, command: Any) -> int:
+        """Ship one command frame; returns its sequence number."""
+        if not self.is_alive():
+            raise ShardDeadError(
+                f"shard {self.shard_id} is dead ({self.dead_reason})"
+            )
+        self._sequence += 1
+        sequence = self._sequence
+        try:
+            self.connection.send((sequence, command))
+        except (BrokenPipeError, OSError) as error:
+            self.mark_dead(f"pipe send failed: {error}")
+            raise ShardDeadError(
+                f"shard {self.shard_id} died while receiving a command"
+            ) from error
+        return sequence
+
+    def receive_locked(self, sequence: int, timeout: float) -> Any:
+        """Wait (bounded) for the reply to *sequence*; discard stale ones."""
+        deadline = time.monotonic() + timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                # The reply may still arrive; remember to discard it.
+                self._abandoned.add(sequence)
+                raise ShardTimeoutError(
+                    f"shard {self.shard_id} did not answer within "
+                    f"{timeout:.1f}s"
+                )
+            try:
+                if not self.connection.poll(remaining):
+                    continue  # deadline re-checked at the top
+                frame_sequence, reply = self.connection.recv()
+            except (EOFError, OSError) as error:
+                self.mark_dead(f"pipe closed: {type(error).__name__}")
+                raise ShardDeadError(
+                    f"shard {self.shard_id} died mid-request"
+                ) from error
+            if frame_sequence == sequence:
+                if not reply.ok:
+                    raise ShardCommandError(reply.error)
+                return reply.value
+            if frame_sequence in self._abandoned:
+                self._abandoned.discard(frame_sequence)
+                continue  # late answer to a timed-out exchange
+            self.mark_dead(
+                f"protocol desync (expected frame {sequence}, "
+                f"got {frame_sequence})"
+            )
+            raise ShardDeadError(f"shard {self.shard_id} desynchronised")
+
+    # -- whole exchanges -------------------------------------------------
+
+    def call(
+        self,
+        command: Any,
+        timeout: float,
+        lock_timeout: Optional[float] = None,
+    ) -> Any:
+        """One lock + send + receive exchange with bounded waits."""
+        wait = lock_timeout if lock_timeout is not None else timeout
+        if not self.lock.acquire(timeout=wait):
+            raise ShardTimeoutError(
+                f"shard {self.shard_id} is busy (lock not free within "
+                f"{wait:.1f}s)"
+            )
+        try:
+            sequence = self.send_locked(command)
+            return self.receive_locked(sequence, timeout)
+        finally:
+            self.lock.release()
+
+    def shutdown(self, timeout: float) -> None:
+        """Graceful stop: ask, join, then terminate if it lingers."""
+        if self._alive and self.process.is_alive():
+            try:
+                self.call(Shutdown(), timeout=timeout, lock_timeout=timeout)
+            except ShardError:
+                pass  # we are tearing it down either way
+        self._alive = False
+        try:
+            self.connection.close()
+        except OSError:  # pragma: no cover — close is best-effort
+            pass
+        self.process.join(timeout=timeout)
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(timeout=2.0)
+
+
+class ClusterCoordinator:
+    """Sharded multi-process service executor (see module docstring).
+
+    Accepts an :class:`OctopusService` or a bare :class:`Octopus` backend
+    (wrapped with *service_kwargs*), mirroring the concurrent executor's
+    construction surface.  The coordinator keeps the authoritative result
+    cache and metrics; shard replicas run with their caches disabled.
+    """
+
+    def __init__(
+        self,
+        service: Union[OctopusService, Octopus],
+        *,
+        shards: int = 2,
+        shard_timeout: float = 60.0,
+        **service_kwargs: Any,
+    ) -> None:
+        if isinstance(service, OctopusService):
+            if service_kwargs:
+                raise ValidationError(
+                    "service_kwargs only apply when wrapping a bare Octopus"
+                )
+            self.service = service
+        elif isinstance(service, Octopus):
+            self.service = OctopusService(service, **service_kwargs)
+        else:
+            raise ValidationError(
+                f"service must be an OctopusService or Octopus, "
+                f"got {type(service).__name__}"
+            )
+        if "fork" not in multiprocessing.get_all_start_methods():
+            raise ValidationError(
+                "the cluster executor needs the 'fork' start method "
+                "(POSIX only)"
+            )
+        self.shards = int(shards)
+        check_positive(self.shards, "shards")
+        self.shard_timeout = float(shard_timeout)
+        check_positive(self.shard_timeout, "shard_timeout")
+        self.closed = False
+        num_nodes = self.service.backend.graph.num_nodes
+        node_ranges = partition_contiguous(num_nodes, self.shards)
+        context = multiprocessing.get_context("fork")
+        self._handles: List[_ShardHandle] = []
+        for shard_id in range(self.shards):
+            parent_end, child_end = context.Pipe(duplex=True)
+            process = context.Process(
+                target=shard_main,
+                args=(
+                    child_end,
+                    self.service,
+                    shard_id,
+                    self.shards,
+                    node_ranges[shard_id],
+                ),
+                name=f"octopus-shard-{shard_id}",
+                daemon=True,
+            )
+            process.start()
+            child_end.close()  # the parent keeps only its end
+            self._handles.append(
+                _ShardHandle(shard_id, process, parent_end, node_ranges[shard_id])
+            )
+        self._round_robin = itertools.count()
+        self._session_ids = itertools.count()
+        # The coordinator is the authoritative serving layer (like its
+        # cache and metrics): a configured rate limit is enforced here,
+        # once, for every path — distributed, routed, or cache hit.  The
+        # shard replicas' forked limiter copies are neutralised at fork
+        # (see worker.shard_main), exactly like their result caches.
+        self._rate_limiter: Optional[RateLimitMiddleware] = next(
+            (
+                layer
+                for layer in self.service.middleware
+                if isinstance(layer, RateLimitMiddleware)
+            ),
+            None,
+        )
+
+    # ------------------------------------------------------------------
+    # The executor surface
+    # ------------------------------------------------------------------
+
+    def execute(self, request: RequestLike) -> ServiceResponse:
+        """Serve one request across the cluster; never raises."""
+        try:
+            typed = OctopusService._coerce(request)
+        except ValidationError as error:
+            return ServiceResponse.failure(
+                OctopusService._service_name_of(request),
+                "malformed_request",
+                str(error),
+            )
+        started = time.perf_counter()
+        if self.closed:
+            return self._finish(
+                ServiceResponse.failure(
+                    typed.service, "internal_error", "cluster coordinator is closed"
+                ),
+                started,
+                None,
+            )
+        if self._rate_limiter is not None:
+            # Mirror the dispatcher's stack order: the limiter sits above
+            # the cache, so over-limit requests never consult it.  With a
+            # token available the middleware returns call_next's value.
+            verdict = self._rate_limiter(typed, lambda _request: None)
+            if verdict is not None:
+                return self._finish(verdict, started, None)
+        if isinstance(typed, StatsRequest):
+            # Live cluster-wide counters: always computed here, never cached.
+            return self._finish(
+                ServiceResponse.success(typed.service, self.stats()),
+                started,
+                None,
+            )
+        key = self._safe_cache_key(typed)
+        if key is not None:
+            cached = self.service.cache.get(key)
+            if cached is not None:
+                response = dataclasses.replace(
+                    cached,
+                    cache_hit=True,
+                    payload=copy.deepcopy(cached.payload),
+                    latency_ms=(time.perf_counter() - started) * 1e3,
+                )
+                self.service.metrics.record(response)
+                return response
+        return self._finish(self._compute(typed), started, key)
+
+    def execute_batch(
+        self, requests: Sequence[RequestLike]
+    ) -> List[ServiceResponse]:
+        """Serve many requests, sharing duplicates like the dispatcher.
+
+        Same grouping/de-duplication semantics as
+        :meth:`OctopusService.execute_batch`: each distinct cacheable query
+        computes once and duplicates receive its payload with
+        ``cache_hit=True``; a bad request fails only its own slot.
+        """
+        responses: List[Optional[ServiceResponse]] = [None] * len(requests)
+        groups: Dict[str, List[Tuple[int, ServiceRequest]]] = {}
+        for position, raw in enumerate(requests):
+            try:
+                typed = OctopusService._coerce(raw)
+            except ValidationError as error:
+                responses[position] = ServiceResponse.failure(
+                    OctopusService._service_name_of(raw),
+                    "malformed_request",
+                    str(error),
+                )
+                continue
+            groups.setdefault(typed.service, []).append((position, typed))
+        for _service, members in groups.items():
+            shared: Dict[Any, ServiceResponse] = {}
+            for position, typed in members:
+                key = self._safe_cache_key(typed)
+                original = shared.get(key) if key is not None else None
+                if original is not None:
+                    started = time.perf_counter()
+                    duplicate = dataclasses.replace(
+                        original,
+                        cache_hit=True,
+                        payload=copy.deepcopy(original.payload),
+                        latency_ms=(time.perf_counter() - started) * 1e3,
+                    )
+                    responses[position] = duplicate
+                    self.service.metrics.record(duplicate)
+                    continue
+                response = self.execute(typed)
+                responses[position] = response
+                if key is not None and response.ok:
+                    shared[key] = response
+        assert all(response is not None for response in responses)
+        return list(responses)  # type: ignore[arg-type]
+
+    def stats(self) -> Dict[str, Any]:
+        """Coordinator + per-shard statistics, self-describing.
+
+        ``executor.*`` identifies the executor (kind, shard count,
+        liveness); ``cluster.shard<i>.*`` carries per-shard counters
+        (skipped, not blocked on, when a shard is busy with a long
+        exchange).  ``service.*`` / ``cache.*`` are the coordinator's
+        authoritative serving metrics.
+        """
+        stats: Dict[str, Any] = dict(self.service.stats())
+        stats["executor.kind"] = "cluster"
+        stats["executor.workers"] = float(self.shards)
+        stats["executor.shards"] = float(self.shards)
+        alive = 0
+        for handle in self._handles:
+            prefix = f"cluster.shard{handle.shard_id}"
+            if not handle.is_alive():
+                stats[f"{prefix}.alive"] = 0.0
+                continue
+            alive += 1
+            stats[f"{prefix}.alive"] = 1.0
+            try:
+                info = handle.call(
+                    Ping(),
+                    timeout=min(self.shard_timeout, 5.0),
+                    lock_timeout=1.0,
+                )
+            except ShardError:
+                continue  # busy or just died; liveness above still stands
+            stats[f"{prefix}.commands"] = float(info["commands"])
+            stats[f"{prefix}.requests"] = float(info["requests"])
+        stats["executor.shards_alive"] = float(alive)
+        return stats
+
+    def health(self) -> Dict[str, Any]:
+        """Per-shard liveness for ``/healthz`` (degraded when any is dead)."""
+        liveness = []
+        alive = 0
+        for handle in self._handles:
+            ok = handle.is_alive()
+            alive += int(ok)
+            entry: Dict[str, Any] = {
+                "shard": handle.shard_id,
+                "alive": bool(ok),
+                "node_range": list(handle.node_range),
+            }
+            if not ok and handle.dead_reason:
+                entry["reason"] = handle.dead_reason
+            liveness.append(entry)
+        return {
+            "kind": "cluster",
+            "shards": self.shards,
+            "shards_alive": alive,
+            "degraded": alive < self.shards,
+            "shard_liveness": liveness,
+        }
+
+    def close(self) -> None:
+        """Drain and stop every shard process; idempotent."""
+        if self.closed:
+            return
+        self.closed = True
+        for handle in self._handles:
+            handle.shutdown(timeout=min(self.shard_timeout, 10.0))
+
+    def __enter__(self) -> "ClusterCoordinator":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # -- convenience delegation (drop-in dispatcher, like the executors) --
+
+    @property
+    def backend(self) -> Octopus:
+        """The compute backend of the wrapped (coordinator-side) service."""
+        return self.service.backend
+
+    @property
+    def cache(self):
+        """The authoritative result cache (shard replicas run uncached)."""
+        return self.service.cache
+
+    @property
+    def metrics(self):
+        """The authoritative metrics collector."""
+        return self.service.metrics
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+
+    def _live_handles(self) -> List[_ShardHandle]:
+        return [handle for handle in self._handles if handle.is_alive()]
+
+    def _owner_shard(self, node: int) -> Optional[_ShardHandle]:
+        """The shard whose node range contains *node*."""
+        for handle in self._handles:
+            low, high = handle.node_range
+            if low <= node < high:
+                return handle
+        return None
+
+    def _pick_routed(self, typed: ServiceRequest) -> Optional[_ShardHandle]:
+        """Owner shard for user-affine requests, else round-robin over live
+        shards; ``None`` when the whole cluster is down."""
+        if isinstance(typed, (SuggestKeywordsRequest, ExplorePathsRequest)):
+            try:
+                node = self.service.backend.resolve_user(typed.user)
+            except Exception:  # noqa: BLE001 — shard produces the exact error
+                node = None
+            if node is not None:
+                owner = self._owner_shard(node)
+                if owner is not None and owner.is_alive():
+                    return owner
+        live = self._live_handles()
+        if not live:
+            return None
+        return live[next(self._round_robin) % len(live)]
+
+    # ------------------------------------------------------------------
+    # Execution paths
+    # ------------------------------------------------------------------
+
+    def _finish(
+        self,
+        response: ServiceResponse,
+        started: float,
+        key: Optional[Tuple],
+    ) -> ServiceResponse:
+        """Stamp latency, record metrics, populate the parent cache."""
+        response = dataclasses.replace(
+            response, latency_ms=(time.perf_counter() - started) * 1e3
+        )
+        self.service.metrics.record(response)
+        if key is not None and response.ok and not response.cache_hit:
+            self.service.cache.put(
+                key,
+                dataclasses.replace(
+                    response, payload=copy.deepcopy(response.payload)
+                ),
+            )
+        return response
+
+    @staticmethod
+    def _safe_cache_key(typed: ServiceRequest) -> Optional[Tuple]:
+        try:
+            key = typed.cache_key()
+            if key is not None:
+                hash(key)
+            return key
+        except TypeError:
+            return None  # unhashable values fail validation downstream
+
+    def _distributable(self, typed: ServiceRequest) -> bool:
+        """Whether the distributed max-cover path reproduces this config.
+
+        Chunk-partitioned sampling is the semantics of the pooled backends;
+        with ``execution_backend="serial"`` the config pins the historical
+        single-stream draw order, which only a whole-query replica
+        reproduces — so serial configs always route.  A degraded cluster
+        also routes: the fan-out needs every shard's chunk range.
+        """
+        if not isinstance(typed, TargetedInfluencersRequest):
+            return False
+        if self.service.backend.execution is None:
+            return False
+        return all(handle.is_alive() for handle in self._handles)
+
+    def _compute(self, typed: ServiceRequest) -> ServiceResponse:
+        if self._distributable(typed):
+            try:
+                return self._execute_targeted_distributed(typed)
+            except ShardError:
+                # A shard died or stalled mid-session.  Whole-query routing
+                # on a live replica computes the identical bytes.
+                pass
+        handle = self._pick_routed(typed)
+        if handle is None:
+            return ServiceResponse.failure(
+                typed.service, "internal_error", "no live shards in the cluster"
+            )
+        try:
+            return handle.call(ExecuteRequest(typed), timeout=self.shard_timeout)
+        except ShardDeadError as error:
+            return ServiceResponse.failure(
+                typed.service,
+                "internal_error",
+                f"shard {handle.shard_id} died while serving the request: "
+                f"{error}",
+            )
+        except ShardTimeoutError as error:
+            return ServiceResponse.failure(
+                typed.service,
+                "internal_error",
+                f"shard {handle.shard_id} did not answer in time: {error}",
+            )
+        except ShardCommandError as error:
+            return ServiceResponse.failure(
+                typed.service,
+                "internal_error",
+                f"shard {handle.shard_id} failed: {error}",
+            )
+
+    # ------------------------------------------------------------------
+    # Distributed targeted IM (the fan-out max-cover pipeline)
+    # ------------------------------------------------------------------
+
+    def _execute_targeted_distributed(
+        self, request: TargetedInfluencersRequest
+    ) -> ServiceResponse:
+        """Mirror of the single-process targeted handler, fanned out.
+
+        Every validation, draw and float operation replays the serial code
+        path on the coordinator's replica; only the chunk sampling and the
+        per-round coverage bookkeeping run on the shards.  Raises
+        :class:`ShardError` (only) when the fan-out itself fails, so the
+        caller can fall back to whole-query routing.
+        """
+        backend = self.service.backend
+        config = backend.config
+        try:
+            request.validate()  # the ValidationMiddleware step, mirrored
+        except ValidationError as error:
+            return ServiceResponse.failure(
+                request.service, "invalid_request", str(error)
+            )
+        try:
+            k = request.k if request.k is not None else config.default_k
+            check_positive(k, "k")
+            resolved = backend.parse_keywords(request.keywords)
+            audience_resolved = (
+                backend.parse_keywords(request.audience_keywords)
+                if request.audience_keywords is not None
+                else resolved
+            )
+            started = time.perf_counter()
+            gamma = backend.topic_model.keyword_topic_posterior(list(resolved))
+            query = KeywordQuery(keywords=resolved, gamma=gamma, k=k)
+            engine = TargetedKeywordIM(
+                backend.edge_weights,
+                backend.inverted_index,
+                num_sets=request.num_sets,
+                seed=config.seed,
+                backend=backend.execution,
+                rr_kernel=config.rr_kernel,
+            )
+            word_ids = backend.topic_model.vocabulary.ids_of(
+                list(audience_resolved)
+            )
+            audience = engine.audience_for_keywords(word_ids)
+            seeds, weighted_spread, statistics = self._distributed_cover_query(
+                engine, gamma, k, audience
+            )
+            payload = {
+                "keywords": list(query.keywords),
+                "k": query.k,
+                "gamma": jsonify(query.gamma),
+                "seeds": list(seeds),
+                "labels": [backend.graph.label_of(node) for node in seeds],
+                "spread": float(weighted_spread),
+                "marginal_gains": [],
+                "elapsed_seconds": float(time.perf_counter() - started),
+                "statistics": jsonify(statistics),
+            }
+            return ServiceResponse.success(request.service, payload)
+        except ShardError:
+            raise
+        except ValidationError as error:
+            return ServiceResponse.failure(
+                request.service, "invalid_request", str(error)
+            )
+        except Exception as error:  # noqa: BLE001 — envelope contract
+            return ServiceResponse.failure(
+                request.service,
+                "internal_error",
+                f"{type(error).__name__}: {error}",
+            )
+
+    def _distributed_cover_query(
+        self,
+        engine: TargetedKeywordIM,
+        gamma: np.ndarray,
+        k: int,
+        audience: np.ndarray,
+    ) -> Tuple[List[int], float, Dict[str, float]]:
+        """The fanned-out body of :meth:`TargetedKeywordIM.query`.
+
+        Prelude (audience checks, root draws, chunk plan) replays the
+        serial engine draw-for-draw on the coordinator; shards sample their
+        contiguous chunk ranges and answer greedy cover rounds; the merge
+        arithmetic (:mod:`repro.cluster.merge`) recombines them exactly.
+        """
+        gamma = check_simplex(gamma, "gamma")
+        check_positive(k, "k")
+        weights = engine._check_audience(audience)
+        num_sets = engine.num_sets
+        check_positive(num_sets, "num_sets")
+        num_nodes = engine.graph.num_nodes
+        total_weight = float(weights.sum())
+        root_distribution = weights / total_weight
+        roots = engine._rng.choice(
+            num_nodes, size=num_sets, p=root_distribution
+        )
+        root_cycle = [int(root) for root in roots]
+        sequence = seed_to_sequence(engine._rng)
+        plan = rr_chunk_plan(
+            num_sets, DEFAULT_RR_CHUNK_SIZE, sequence, root_cycle
+        )
+        session = f"cover-{next(self._session_ids)}"
+        handles = self._handles
+        bounds = partition_contiguous(len(plan), len(handles))
+        sample_commands = [
+            SampleShard(
+                session=session,
+                gamma=gamma,
+                chunks=tuple(
+                    ChunkSpec(
+                        count=count,
+                        seed=child,
+                        roots=tuple(chunk_roots)
+                        if chunk_roots is not None
+                        else None,
+                    )
+                    for count, child, chunk_roots in plan[low:high]
+                ),
+                kernel=engine.rr_kernel,
+            )
+            for low, high in bounds
+        ]
+        acquired: List[_ShardHandle] = []
+        try:
+            for handle in handles:
+                if not handle.lock.acquire(timeout=self.shard_timeout):
+                    raise ShardTimeoutError(
+                        f"shard {handle.shard_id} is busy (lock not free "
+                        f"within {self.shard_timeout:.1f}s)"
+                    )
+                acquired.append(handle)
+            sample_infos = self._exchange_all(handles, sample_commands)
+            # Place each shard's member array inside the global
+            # concatenation: bases are prefix sums over shard order.
+            total_members = 0
+            bases: List[int] = []
+            for info in sample_infos:
+                bases.append(total_members)
+                total_members += int(info["num_members"])
+            init_replies = self._exchange_all(
+                handles,
+                [
+                    CoverInit(
+                        session=session, base=base, total_members=total_members
+                    )
+                    for base in bases
+                ],
+            )
+            total_coverage = merge_coverage(
+                [reply["coverage"] for reply in init_replies]
+            )
+            first_seen = merge_first_seen(
+                [reply["first_seen"] for reply in init_replies]
+            )
+            seeds: List[int] = []
+            covered_total = 0
+            for _ in range(min(k, num_nodes)):
+                best = pick_cover_seed(total_coverage, first_seen)
+                if best is None:
+                    break
+                seeds.append(best)
+                round_replies = self._exchange_all(
+                    handles,
+                    [CoverRound(session=session, seed_node=best)] * len(handles),
+                )
+                total_coverage = merge_coverage(
+                    [reply["coverage"] for reply in round_replies]
+                )
+                covered_total = sum(
+                    int(reply["covered"]) for reply in round_replies
+                )
+        finally:
+            # Even when the fan-out aborts (a shard died mid-session and
+            # the caller falls back to routing), the survivors must not
+            # keep the session's packed arrays resident forever.
+            self._drop_session(acquired, session)
+            for handle in acquired:
+                handle.lock.release()
+        # Exactly the serial estimator arithmetic, applied to the same
+        # integers: greedy's n-scaled spread, then the audience rescale.
+        covered_fraction_spread = (
+            num_nodes * float(covered_total) / num_sets
+        )
+        covered_fraction = covered_fraction_spread / num_nodes
+        weighted_spread = total_weight * covered_fraction
+        statistics = {
+            "audience_total_weight": total_weight,
+            "audience_users": float(np.count_nonzero(weights)),
+            "covered_fraction": covered_fraction,
+            "num_rr_sets": float(num_sets),
+        }
+        return seeds, weighted_spread, statistics
+
+    def _exchange_all(
+        self, handles: Sequence[_ShardHandle], commands: Sequence[Any]
+    ) -> List[Any]:
+        """Send to every shard, then collect every reply (locks held).
+
+        Sends go out before any receive so shards compute concurrently;
+        each receive is individually bounded by the shard timeout.
+        """
+        sequences = [
+            handle.send_locked(command)
+            for handle, command in zip(handles, commands)
+        ]
+        return [
+            handle.receive_locked(sequence, self.shard_timeout)
+            for handle, sequence in zip(handles, sequences)
+        ]
+
+    def _drop_session(
+        self, handles: Sequence[_ShardHandle], session: str
+    ) -> None:
+        """Best-effort session cleanup on every still-live shard."""
+        for handle in handles:
+            if not handle.is_alive():
+                continue
+            try:
+                sequence = handle.send_locked(DropSession(session=session))
+                handle.receive_locked(sequence, min(self.shard_timeout, 5.0))
+            except ShardError:
+                continue
+
+    # ------------------------------------------------------------------
+    # Introspection helpers (tests, benchmarks)
+    # ------------------------------------------------------------------
+
+    def shard_stats(self) -> List[Dict[str, Any]]:
+        """Full per-shard statistics snapshots (live shards only)."""
+        snapshots = []
+        for handle in self._handles:
+            if not handle.is_alive():
+                continue
+            try:
+                snapshots.append(
+                    handle.call(ShardStatsCmd(), timeout=self.shard_timeout)
+                )
+            except ShardError:
+                continue
+        return snapshots

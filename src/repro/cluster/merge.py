@@ -1,0 +1,160 @@
+"""Pure shard-merge arithmetic of the distributed max-cover loop.
+
+The cluster's headline invariant — shard count is a pure execution detail —
+rests on a piece of exact integer arithmetic: greedy maximum coverage over a
+packed batch of RR sets decomposes *losslessly* across any contiguous
+partition of the batch.  This module holds that arithmetic, free of any
+process or pipe machinery, so it can be exercised in-process (the hypothesis
+property suite drives it directly against
+:meth:`~repro.propagation.rrsets.RRSetCollection.greedy_max_cover`).
+
+Decomposition.  Split a packed batch of ``R`` RR sets into ``S`` contiguous
+slices (shard ``s`` holds sets ``[lo_s, hi_s)``, concatenated in shard
+order).  Then, at every greedy round:
+
+* the global per-node coverage array is the elementwise **sum** of the
+  shards' local coverage arrays (each set lives in exactly one shard);
+* the global first-occurrence tie-break array is the elementwise **min**
+  of the shards' local arrays shifted by their member-offset *base* (the
+  packed ``nodes`` array is the concatenation of the shard-local arrays);
+* the number of covered sets is the **sum** of the shards' local counts.
+
+So the coordinator can pick ``argmax`` over summed coverage (ties broken by
+min shifted first-occurrence — byte-for-byte the serial rule), broadcast the
+chosen seed, and let each shard subtract its own newly-covered member counts
+locally.  No floating point is involved until the final spread estimate,
+which applies the exact expression serial code applies to the same integers.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.propagation.kernels import gather_csr_slices
+from repro.propagation.packed import PackedRRSets
+
+__all__ = [
+    "ShardCoverState",
+    "merge_coverage",
+    "merge_first_seen",
+    "partition_contiguous",
+    "pick_cover_seed",
+]
+
+
+def partition_contiguous(total: int, parts: int) -> List[Tuple[int, int]]:
+    """Balanced contiguous split of ``range(total)`` into *parts* slices.
+
+    Earlier slices take the remainder, matching ``np.array_split``.  Used
+    both for chunk→shard assignment (the sampling partition) and for
+    node-range ownership (the index partition); slices may be empty when
+    ``parts > total``.
+    """
+    if parts <= 0:
+        raise ValueError(f"parts must be positive, got {parts}")
+    if total < 0:
+        raise ValueError(f"total must be >= 0, got {total}")
+    base, remainder = divmod(total, parts)
+    bounds: List[Tuple[int, int]] = []
+    start = 0
+    for part in range(parts):
+        size = base + (1 if part < remainder else 0)
+        bounds.append((start, start + size))
+        start += size
+    return bounds
+
+
+class ShardCoverState:
+    """One shard's slice of a greedy max-cover computation.
+
+    Mirrors the per-round update of
+    :meth:`~repro.propagation.rrsets.RRSetCollection.greedy_max_cover`
+    exactly, restricted to the shard's local packed batch.  ``base`` is the
+    shard's offset into the *global* concatenated member array (the sum of
+    ``len(packed.nodes)`` over all earlier shards) and ``total_members``
+    the global member count — together they turn the local first-occurrence
+    array into the global tie-break values the serial greedy uses.
+    """
+
+    def __init__(
+        self, packed: PackedRRSets, base: int, total_members: int
+    ) -> None:
+        self.packed = packed
+        self.member_offsets, self.member_sets = packed.membership()
+        self.coverage = packed.coverage_counts().astype(np.int64)
+        self.covered = np.zeros(packed.num_sets, dtype=bool)
+        first_local = packed.first_occurrence()
+        # Local sentinel (len(local nodes)) → global sentinel (total
+        # member count), so a node absent from this shard can never win a
+        # tie against a real occurrence in another shard.
+        self.first_seen_global = np.where(
+            first_local < len(packed.nodes),
+            first_local + base,
+            total_members,
+        ).astype(np.int64)
+
+    @property
+    def covered_count(self) -> int:
+        """Number of locally covered RR sets."""
+        return int(self.covered.sum())
+
+    def apply_seed(self, seed: int) -> None:
+        """Fold one selected seed into the local coverage/covered state.
+
+        Identical arithmetic to the serial greedy's inner update: mark the
+        seed's not-yet-covered sets covered and subtract their members'
+        counts from the coverage array, so no set's members are walked
+        more than once over the whole loop.
+        """
+        packed = self.packed
+        candidate_sets = self.member_sets[
+            self.member_offsets[seed]:self.member_offsets[seed + 1]
+        ]
+        new_sets = candidate_sets[~self.covered[candidate_sets]]
+        if new_sets.size == 0:
+            return
+        self.covered[new_sets] = True
+        member_indices = gather_csr_slices(
+            packed.offsets[new_sets], packed.offsets[new_sets + 1]
+        )
+        self.coverage -= np.bincount(
+            packed.nodes[member_indices], minlength=packed.num_nodes
+        )
+
+
+def merge_coverage(local_coverages: Sequence[np.ndarray]) -> np.ndarray:
+    """Global per-node coverage: elementwise sum of the shard arrays."""
+    if not local_coverages:
+        raise ValueError("merge_coverage needs at least one shard array")
+    total = np.zeros_like(np.asarray(local_coverages[0], dtype=np.int64))
+    for local in local_coverages:
+        total = total + np.asarray(local, dtype=np.int64)
+    return total
+
+
+def merge_first_seen(first_seens: Sequence[np.ndarray]) -> np.ndarray:
+    """Global tie-break array: elementwise min of shifted shard arrays."""
+    if not first_seens:
+        raise ValueError("merge_first_seen needs at least one shard array")
+    merged = np.asarray(first_seens[0], dtype=np.int64)
+    for local in first_seens[1:]:
+        merged = np.minimum(merged, np.asarray(local, dtype=np.int64))
+    return merged
+
+
+def pick_cover_seed(
+    total_coverage: np.ndarray, first_seen: np.ndarray
+) -> Optional[int]:
+    """One greedy round's selection over merged shard reports.
+
+    Byte-for-byte the serial rule: the node with maximum remaining
+    coverage, ties broken by earliest global first occurrence; ``None``
+    when no node covers anything new (the serial loop's break condition).
+    """
+    best_cover = int(total_coverage.max())
+    if best_cover <= 0:
+        return None
+    candidates = np.flatnonzero(total_coverage == best_cover)
+    return int(candidates[np.argmin(first_seen[candidates])])

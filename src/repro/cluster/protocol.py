@@ -1,0 +1,152 @@
+"""The typed shard protocol spoken over each shard's pipe.
+
+Small frozen dataclasses, one per operation, pickled over a
+:mod:`multiprocessing` duplex pipe.  Every command travels as
+``(sequence_number, command)`` and every reply as
+``(sequence_number, ShardReply)``; the coordinator discards replies whose
+sequence number it has already given up on (a bounded wait that expired),
+so one slow answer can never desynchronise the pipe for the commands that
+follow it.
+
+The protocol is deliberately minimal — the four verbs the ISSUE names plus
+lifecycle plumbing:
+
+=================  ====================================================
+command            shard action
+=================  ====================================================
+``ExecuteRequest`` serve one full :class:`ServiceRequest` on the shard's
+                   forked service replica (routing path)
+``SampleShard``    sample the shard's contiguous chunk range of one RR
+                   batch (per-chunk spawned streams; the sampling path)
+``CoverInit``      build the local greedy state; report the initial
+                   coverage and global-shifted first-occurrence arrays
+``CoverRound``     fold one selected seed in; report updated coverage
+                   and the local covered-set count (marginal-gain report)
+``EstimateCover``  covered-set count of an arbitrary seed set
+``DropSession``    free one sampling session's arrays
+``ShardStatsCmd``  serving counters of the shard replica
+``Ping``           liveness probe (pid + per-shard request counters)
+``Shutdown``       reply, close the pipe, exit the process
+=================  ====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Tuple
+
+import numpy as np
+
+from repro.service.requests import ServiceRequest
+
+__all__ = [
+    "ChunkSpec",
+    "CoverInit",
+    "CoverRound",
+    "DropSession",
+    "EstimateCover",
+    "ExecuteRequest",
+    "Ping",
+    "SampleShard",
+    "ShardReply",
+    "ShardStatsCmd",
+    "Shutdown",
+]
+
+
+@dataclass(frozen=True)
+class ChunkSpec:
+    """One fixed-size sampling chunk of the global plan.
+
+    Carries exactly what :func:`repro.backend.base.rr_chunk_plan` emits for
+    the chunk: its set count, its private spawned seed sequence, and its
+    slice of the root cycle (``None`` for uniform roots).
+    """
+
+    count: int
+    seed: np.random.SeedSequence
+    roots: Optional[Tuple[int, ...]] = None
+
+
+@dataclass(frozen=True)
+class ExecuteRequest:
+    """Serve one whole typed request on the shard's service replica."""
+
+    request: ServiceRequest
+
+
+@dataclass(frozen=True)
+class SampleShard:
+    """Sample this shard's chunk range of one RR batch under *gamma*."""
+
+    session: str
+    gamma: Any  # np.ndarray; Any keeps the dataclass eq/pickle simple
+    chunks: Tuple[ChunkSpec, ...]
+    kernel: str
+
+
+@dataclass(frozen=True)
+class CoverInit:
+    """Build greedy state for a sampled session.
+
+    ``base``/``total_members`` place the shard's member array inside the
+    global concatenation (see :class:`repro.cluster.merge.ShardCoverState`).
+    """
+
+    session: str
+    base: int
+    total_members: int
+
+
+@dataclass(frozen=True)
+class CoverRound:
+    """Fold the coordinator's chosen seed into the local cover state."""
+
+    session: str
+    seed_node: int
+
+
+@dataclass(frozen=True)
+class EstimateCover:
+    """Covered-set count of *seeds* over the session's local batch."""
+
+    session: str
+    seeds: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class DropSession:
+    """Release a session's packed arrays and cover state."""
+
+    session: str
+
+
+@dataclass(frozen=True)
+class ShardStatsCmd:
+    """Snapshot the shard replica's serving statistics."""
+
+
+@dataclass(frozen=True)
+class Ping:
+    """Liveness probe."""
+
+
+@dataclass(frozen=True)
+class Shutdown:
+    """Acknowledge, close the pipe, exit the worker process."""
+
+
+@dataclass(frozen=True)
+class ShardReply:
+    """Uniform reply envelope: a value on success, a message on failure.
+
+    A failed command never kills the worker — the error crosses the pipe
+    and the coordinator turns it into a structured ``internal_error``
+    service envelope (or a fallback), mirroring the service layer's
+    "the envelope is the contract" rule.
+    """
+
+    ok: bool
+    value: Any = None
+    error: str = ""
+    details: dict = field(default_factory=dict)

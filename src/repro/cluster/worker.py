@@ -1,0 +1,276 @@
+"""The long-lived shard worker process.
+
+A :class:`ShardWorker` owns one partition of the cluster's state for the
+whole server lifetime — unlike a process-pool task, it keeps mutable index
+state (delayed sketch materialization, session-local packed RR batches)
+resident between requests:
+
+* a **full service replica**, inherited copy-on-write from the coordinator
+  fork, with the fork-hygiene adjustments of the process-pool executor
+  (pooled compute backend dropped, result cache disabled — the
+  coordinator's cache is the authoritative one);
+* a **node-range partition** ``[node_lo, node_hi)``: user-affine queries
+  (suggestion, path exploration) are routed here by the coordinator, so
+  only this shard ever materializes the influencer-index sketches its
+  users touch;
+* a **chunk-range share** of each distributed sampling session: the shard
+  samples exactly the chunks the coordinator assigns (per-chunk spawned
+  RNG streams from :func:`repro.backend.base.rr_chunk_plan`), keeps the
+  packed batch resident, and answers greedy cover rounds over it.
+
+The worker is single-threaded and command-at-a-time: the coordinator holds
+the shard's pipe lock for each exchange, so no locking is needed here.  A
+failed command becomes an error :class:`~repro.cluster.protocol.ShardReply`
+— the process only exits on ``Shutdown`` or a closed pipe.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.cluster.merge import ShardCoverState
+from repro.cluster.protocol import (
+    CoverInit,
+    CoverRound,
+    DropSession,
+    EstimateCover,
+    ExecuteRequest,
+    Ping,
+    SampleShard,
+    ShardReply,
+    ShardStatsCmd,
+    Shutdown,
+)
+from repro.propagation.kernels import gather_csr_slices
+from repro.propagation.packed import PackedRRSets
+from repro.propagation.rrsets import sample_packed_rr_sets
+from repro.service.concurrent import _adopt_worker_service
+from repro.service.dispatcher import OctopusService
+
+__all__ = ["ShardWorker", "shard_main"]
+
+
+class ShardWorker:
+    """Executes shard protocol commands against this process's replica."""
+
+    def __init__(
+        self,
+        service: OctopusService,
+        shard_id: int,
+        num_shards: int,
+        node_range: Tuple[int, int],
+    ) -> None:
+        self.service = service
+        self.shard_id = int(shard_id)
+        self.num_shards = int(num_shards)
+        self.node_range = (int(node_range[0]), int(node_range[1]))
+        self._sessions: Dict[str, Dict[str, Any]] = {}
+        self.commands_served = 0
+        self.requests_executed = 0
+
+    # ------------------------------------------------------------------
+    # Command dispatch
+    # ------------------------------------------------------------------
+
+    def handle(self, command: Any) -> ShardReply:
+        """Execute one command; never raises (errors become replies)."""
+        self.commands_served += 1
+        try:
+            if isinstance(command, ExecuteRequest):
+                return self._handle_execute(command)
+            if isinstance(command, SampleShard):
+                return self._handle_sample(command)
+            if isinstance(command, CoverInit):
+                return self._handle_cover_init(command)
+            if isinstance(command, CoverRound):
+                return self._handle_cover_round(command)
+            if isinstance(command, EstimateCover):
+                return self._handle_estimate(command)
+            if isinstance(command, DropSession):
+                self._sessions.pop(command.session, None)
+                return ShardReply(ok=True)
+            if isinstance(command, ShardStatsCmd):
+                return self._handle_stats()
+            if isinstance(command, Ping):
+                return ShardReply(
+                    ok=True,
+                    value={
+                        "shard": self.shard_id,
+                        "pid": os.getpid(),
+                        "commands": self.commands_served,
+                        "requests": self.requests_executed,
+                        "node_range": list(self.node_range),
+                        "sessions": len(self._sessions),
+                    },
+                )
+            if isinstance(command, Shutdown):
+                return ShardReply(ok=True, value="bye")
+            return ShardReply(
+                ok=False, error=f"unknown command {type(command).__name__}"
+            )
+        except Exception as error:  # noqa: BLE001 — the reply is the contract
+            return ShardReply(
+                ok=False, error=f"{type(error).__name__}: {error}"
+            )
+
+    # ------------------------------------------------------------------
+    # Handlers
+    # ------------------------------------------------------------------
+
+    def _handle_execute(self, command: ExecuteRequest) -> ShardReply:
+        """Run a whole request on the replica's full middleware stack."""
+        self.requests_executed += 1
+        return ShardReply(ok=True, value=self.service.execute(command.request))
+
+    def _handle_sample(self, command: SampleShard) -> ShardReply:
+        """Sample this shard's chunk range into a resident packed batch.
+
+        Each chunk draws from its own pre-spawned stream, exactly as a
+        pooled backend's chunk worker would — the shard boundary adds
+        scheduling, never different randomness.
+        """
+        backend = self.service.backend
+        graph = backend.graph
+        gamma = np.asarray(command.gamma, dtype=np.float64)
+        probabilities = backend.edge_weights.edge_probabilities(gamma)
+        chunks = []
+        for spec in command.chunks:
+            rng = np.random.default_rng(spec.seed)
+            roots = list(spec.roots) if spec.roots is not None else None
+            chunks.append(
+                sample_packed_rr_sets(
+                    graph, probabilities, spec.count, rng, roots, command.kernel
+                )
+            )
+        packed = PackedRRSets.from_chunks(graph.num_nodes, chunks)
+        self._sessions[command.session] = {"packed": packed}
+        return ShardReply(
+            ok=True,
+            value={
+                "num_sets": packed.num_sets,
+                "num_members": int(len(packed.nodes)),
+            },
+        )
+
+    def _session(self, session: str) -> Dict[str, Any]:
+        state = self._sessions.get(session)
+        if state is None:
+            raise KeyError(f"no sampling session {session!r} on this shard")
+        return state
+
+    def _handle_cover_init(self, command: CoverInit) -> ShardReply:
+        """Build the greedy state; report coverage + tie-break arrays."""
+        state = self._session(command.session)
+        cover = ShardCoverState(
+            state["packed"], command.base, command.total_members
+        )
+        state["cover"] = cover
+        return ShardReply(
+            ok=True,
+            value={
+                "coverage": cover.coverage.copy(),
+                "first_seen": cover.first_seen_global,
+            },
+        )
+
+    def _handle_cover_round(self, command: CoverRound) -> ShardReply:
+        """One marginal-gain round: fold the chosen seed, report state."""
+        state = self._session(command.session)
+        cover: Optional[ShardCoverState] = state.get("cover")
+        if cover is None:
+            raise KeyError(
+                f"session {command.session!r} has no cover state (CoverInit "
+                f"not run)"
+            )
+        cover.apply_seed(int(command.seed_node))
+        return ShardReply(
+            ok=True,
+            value={
+                "coverage": cover.coverage.copy(),
+                "covered": cover.covered_count,
+            },
+        )
+
+    def _handle_estimate(self, command: EstimateCover) -> ShardReply:
+        """Covered-set count for an arbitrary seed set (no state change)."""
+        state = self._session(command.session)
+        packed: PackedRRSets = state["packed"]
+        seeds = np.unique(np.asarray(list(command.seeds), dtype=np.int64))
+        seeds = seeds[(seeds >= 0) & (seeds < packed.num_nodes)]
+        if seeds.size == 0 or packed.num_sets == 0:
+            return ShardReply(ok=True, value={"covered": 0})
+        member_offsets, member_sets = packed.membership()
+        indices = gather_csr_slices(
+            member_offsets[seeds], member_offsets[seeds + 1]
+        )
+        covered = int(np.unique(member_sets[indices]).size)
+        return ShardReply(ok=True, value={"covered": covered})
+
+    def _handle_stats(self) -> ShardReply:
+        """The replica's serving stats plus shard-local counters."""
+        stats = dict(self.service.stats())
+        stats["shard.id"] = float(self.shard_id)
+        stats["shard.commands"] = float(self.commands_served)
+        stats["shard.requests"] = float(self.requests_executed)
+        stats["shard.sessions"] = float(len(self._sessions))
+        stats["shard.node_lo"] = float(self.node_range[0])
+        stats["shard.node_hi"] = float(self.node_range[1])
+        return ShardReply(ok=True, value=stats)
+
+
+def shard_main(
+    connection,
+    service: OctopusService,
+    shard_id: int,
+    num_shards: int,
+    node_range: Tuple[int, int],
+) -> None:
+    """Entry point of a forked shard process.
+
+    Applies the same fork hygiene as the process-pool executor's worker
+    initializer (drop the inherited pool, disable the replica's result
+    cache — the coordinator's cache is authoritative), then serves
+    ``(sequence, command)`` frames until ``Shutdown`` or a closed pipe.
+
+    The shard ignores ``SIGINT``: a terminal Ctrl-C hits the whole
+    foreground process group, and shards must survive it so the
+    coordinator's graceful drain can finish in-flight work and stop them
+    through the ``Shutdown`` command (a wedged shard is still covered —
+    the coordinator escalates to ``terminate()`` after its bounded join).
+    """
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    _adopt_worker_service(service)
+    # The coordinator enforces the configured rate limit once, for every
+    # path; a forked private limiter here would add a second, skewed
+    # budget on routed requests.  The layer object is referenced by the
+    # replica's pre-composed middleware chain, so it is neutralised in
+    # place (an infinite bucket) rather than removed.
+    from repro.service.middleware import RateLimitMiddleware
+
+    for layer in service.middleware:
+        if isinstance(layer, RateLimitMiddleware):
+            layer.burst = float("inf")
+            layer._tokens = float("inf")
+    worker = ShardWorker(service, shard_id, num_shards, node_range)
+    try:
+        while True:
+            try:
+                sequence, command = connection.recv()
+            except (EOFError, OSError):
+                break  # coordinator went away; nothing left to serve
+            reply = worker.handle(command)
+            try:
+                connection.send((sequence, reply))
+            except (BrokenPipeError, OSError):
+                break
+            if isinstance(command, Shutdown):
+                break
+    finally:
+        try:
+            connection.close()
+        except OSError:  # pragma: no cover — close is best-effort
+            pass

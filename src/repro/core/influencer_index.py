@@ -124,6 +124,84 @@ def _expand_sketch(
                 sketch.frontier.append(source)
 
 
+def _expand_sketch_frontier(
+    graph: SocialGraph,
+    envelope: np.ndarray,
+    sketch: Sketch,
+    rng: np.random.Generator,
+    budget: int,
+) -> None:
+    """Frontier-batched expansion: whole pending batches per iteration.
+
+    The frontier is consumed as a FIFO queue; each iteration takes the
+    longest budget-permitted prefix, gathers every taken node's in-CSR
+    slice with one fancy-indexing pass and draws **one** threshold array
+    for the whole batch instead of one ``rng.random`` call per node.
+
+    Determinism: the queue order is a pure function of the sketch state, a
+    batch's thresholds are assigned in (queue order × CSR edge order), and
+    ``Generator.random`` concatenates — ``random(a)`` then ``random(b)``
+    equals ``random(a + b)`` split — so results are independent of where
+    budget boundaries fall (chunked builds and delayed materialization
+    replay the eager build exactly; the seed-stability suite proves it).
+    The draw order differs from the node-at-a-time discipline, so the two
+    expansion modes are each self-deterministic but not inter-compatible —
+    the same contract the RR sampling kernels follow.
+    """
+    from repro.propagation.kernels import gather_csr_slices
+
+    processed = 0
+    while sketch.frontier and processed < budget:
+        take = min(budget - processed, len(sketch.frontier))
+        batch = sketch.frontier[:take]
+        del sketch.frontier[:take]
+        processed += take
+        batch_array = np.asarray(batch, dtype=np.int64)
+        starts = graph.in_offsets[batch_array]
+        stops = graph.in_offsets[batch_array + 1]
+        degrees = stops - starts
+        total = int(degrees.sum())
+        if total == 0:
+            continue
+        thresholds = rng.random(total)
+        positions = gather_csr_slices(starts, stops)
+        edge_ids = graph.in_edge_ids[positions]
+        live = thresholds <= envelope[edge_ids]
+        live_count = int(np.count_nonzero(live))
+        sketch.edges_pruned += total - live_count
+        if live_count == 0:
+            continue
+        live_sources = graph.in_sources[positions][live].tolist()
+        sketch.edge_sources.extend(live_sources)
+        sketch.edge_targets.extend(
+            np.repeat(batch_array, degrees)[live].tolist()
+        )
+        sketch.edge_ids.extend(edge_ids[live].tolist())
+        sketch.edge_thresholds.extend(thresholds[live].tolist())
+        for source in live_sources:
+            if source not in sketch.nodes:
+                sketch.nodes.add(source)
+                sketch.frontier.append(source)
+
+
+#: Expansion disciplines: ``node`` is the historical node-at-a-time loop
+#: (bit-identical to earlier releases), ``frontier`` the batched kernel.
+_EXPANSION_FUNCTIONS = {
+    "node": _expand_sketch,
+    "frontier": _expand_sketch_frontier,
+}
+
+
+def check_expansion(expansion: str) -> str:
+    """Validate an expansion-mode name."""
+    if expansion not in _EXPANSION_FUNCTIONS:
+        raise ValidationError(
+            f"expansion must be one of {sorted(_EXPANSION_FUNCTIONS)}, "
+            f"got {expansion!r}"
+        )
+    return expansion
+
+
 def _build_sketch_chunk(task) -> Tuple[List[Sketch], List[np.random.Generator]]:
     """Backend chunk worker: build a slice of sketches from their streams.
 
@@ -131,11 +209,12 @@ def _build_sketch_chunk(task) -> Tuple[List[Sketch], List[np.random.Generator]]:
     boundary the parent must adopt the returned RNG state so later delayed
     materialization continues each stream exactly where the build left it.
     """
-    graph, envelope, roots, rngs, budget = task
+    graph, envelope, roots, rngs, budget, expansion = task
+    expand = _EXPANSION_FUNCTIONS[expansion]
     sketches: List[Sketch] = []
     for root, rng in zip(roots, rngs):
         sketch = Sketch(root=int(root), nodes={int(root)}, frontier=[int(root)])
-        _expand_sketch(graph, envelope, sketch, rng, budget)
+        expand(graph, envelope, sketch, rng, budget)
         sketches.append(sketch)
     return sketches, list(rngs)
 
@@ -151,9 +230,12 @@ class InfluencerIndex:
         chunk_size: int = 100_000,
         seed: SeedLike = None,
         backend: Optional["ExecutionBackend"] = None,
+        expansion: str = "node",
     ) -> None:
         check_positive(num_sketches, "num_sketches")
         check_positive(chunk_size, "chunk_size")
+        self.expansion = check_expansion(expansion)
+        self._expand_function = _EXPANSION_FUNCTIONS[self.expansion]
         self.edge_weights = edge_weights
         self.graph = edge_weights.graph
         if self.graph.num_nodes == 0:
@@ -175,7 +257,7 @@ class InfluencerIndex:
                 sketch = Sketch(
                     root=int(root), nodes={int(root)}, frontier=[int(root)]
                 )
-                _expand_sketch(
+                self._expand_function(
                     self.graph, self._envelope, sketch, self._sketch_rngs[index],
                     budget=chunk_size,
                 )
@@ -192,6 +274,7 @@ class InfluencerIndex:
                     [int(root) for root in roots[start : start + span]],
                     self._sketch_rngs[start : start + span],
                     chunk_size,
+                    self.expansion,
                 )
                 for start in range(0, num_sketches, span)
             ]
@@ -213,7 +296,7 @@ class InfluencerIndex:
 
     def _expand(self, sketch_index: int, sketch: Sketch, budget: int) -> None:
         """Examine in-edges of up to *budget* frontier nodes."""
-        _expand_sketch(
+        self._expand_function(
             self.graph,
             self._envelope,
             sketch,

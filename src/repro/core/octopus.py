@@ -81,6 +81,7 @@ class OctopusConfig:
     execution_backend: str = "serial"  # serial | threads | processes
     workers: Optional[int] = None  # worker count for pooled backends
     rr_kernel: str = "vectorized"  # vectorized | legacy (RR sampling core)
+    sketch_expansion: str = "node"  # node | frontier (sketch build core)
     seed: SeedLike = None
 
     def __post_init__(self) -> None:
@@ -97,6 +98,9 @@ class OctopusConfig:
         from repro.propagation.kernels import check_rr_kernel
 
         check_rr_kernel(self.rr_kernel)
+        from repro.core.influencer_index import check_expansion
+
+        check_expansion(self.sketch_expansion)
         if self.workers is not None:
             check_positive(self.workers, "workers")
         for name in (
@@ -253,6 +257,7 @@ class Octopus:
                 chunk_size=config.sketch_chunk_size,
                 seed=rngs[2],
                 backend=self.execution,
+                expansion=config.sketch_expansion,
             )
         with self._stopwatch.phase("build.suggester"):
             self.suggester = KeywordSuggester(
@@ -496,10 +501,12 @@ class Octopus:
         resolved = self.parse_keywords(keywords)
         return radar_chart_data(self.topic_model, list(resolved), self.topic_names)
 
-    def statistics(self) -> Dict[str, float]:
+    def statistics(self) -> Dict[str, object]:
         """Build/query timings and index sizes (cache stats live in the
-        service layer, where the cache now lives)."""
-        stats: Dict[str, float] = {}
+        service layer, where the cache now lives).  Values are floats
+        except ``execution.backend``, which names the compute backend so
+        snapshots are self-describing."""
+        stats: Dict[str, object] = {}
         for name, total in self._stopwatch.totals().items():
             stats[f"seconds.{name}"] = total
         for key, value in self.influencer_index.statistics().items():
@@ -508,6 +515,9 @@ class Octopus:
             stats["topic_samples.count"] = float(len(self.topic_sample_index))
         if hasattr(self.bound_estimator, "index_size"):
             stats["bounds.index_size"] = float(self.bound_estimator.index_size)
+        stats["execution.backend"] = (
+            self.execution.name if self.execution is not None else "serial"
+        )
         stats["execution.workers"] = float(
             self.execution.workers if self.execution is not None else 1
         )

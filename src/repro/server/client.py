@@ -66,7 +66,13 @@ class OctopusClient:
             assert response.ok
     """
 
-    def __init__(self, url: str, *, timeout: float = 30.0) -> None:
+    def __init__(
+        self,
+        url: str,
+        *,
+        timeout: float = 30.0,
+        auth_token: Optional[str] = None,
+    ) -> None:
         parts = urlsplit(url if "//" in url else f"//{url}", scheme="http")
         if parts.scheme != "http":
             raise ValueError(f"only http:// URLs are supported, got {url!r}")
@@ -76,6 +82,7 @@ class OctopusClient:
         self.port: int = parts.port if parts.port is not None else 80
         self.prefix: str = parts.path.rstrip("/")
         self.timeout = float(timeout)
+        self.auth_token = auth_token
         self.closed = False
         self._local = threading.local()
         self._connections: List[http.client.HTTPConnection] = []
@@ -117,12 +124,24 @@ class OctopusClient:
             )
         return [self._envelope(entry) for entry in payload]
 
-    def stats(self) -> Dict[str, float]:
-        """GET ``/stats``: the server's merged statistics snapshot."""
+    def stats(self) -> Dict[str, Any]:
+        """GET ``/stats``: the server's merged statistics snapshot.
+
+        Numeric counters come back as floats; the executor/backend
+        identity strings (``executor.kind``, ``execution.backend``) pass
+        through untouched.
+        """
         _status, payload = self._request("GET", "/stats")
         if not isinstance(payload, dict):
             raise OctopusTransportError("stats endpoint did not return an object")
-        return {str(key): float(value) for key, value in payload.items()}
+        return {
+            str(key): (
+                float(value)
+                if isinstance(value, (int, float)) and not isinstance(value, bool)
+                else value
+            )
+            for key, value in payload.items()
+        }
 
     def health(self) -> Dict[str, Any]:
         """GET ``/healthz``: liveness, uptime and request count."""
@@ -208,6 +227,8 @@ class OctopusClient:
         url = self.prefix + path
         data = body.encode("utf-8") if body is not None else None
         headers = {"Content-Type": "application/json"} if data else {}
+        if self.auth_token is not None:
+            headers["Authorization"] = f"Bearer {self.auth_token}"
         for attempt in (0, 1):
             connection, reused = self._connection()
             sending = True

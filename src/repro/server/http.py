@@ -36,6 +36,7 @@ nothing served is ever dropped from the metrics.
 
 from __future__ import annotations
 
+import hmac
 import json
 import sys
 import threading
@@ -63,6 +64,7 @@ ServiceExecutor = Union[OctopusService, ConcurrentOctopusService]
 #: not know, conservatively) surface as 5xx.
 HTTP_STATUS_BY_ERROR_CODE: Dict[str, int] = {
     "malformed_request": 400,
+    "unauthorized": 401,
     "invalid_request": 400,
     "unknown_service": 400,
     "payload_too_large": 413,
@@ -146,7 +148,11 @@ class _OctopusRequestHandler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 — http.server's casing
         path = urlsplit(self.path).path
         if path == "/healthz":
+            # Liveness stays open even behind auth: probes and load
+            # balancers must not need the shared secret to see "alive".
             self._send_json(200, self.server.health())
+        elif not self._authorized():
+            pass  # 401 envelope already sent
         elif path == "/stats":
             self._send_json(200, jsonify(self.server.stats()))
         else:
@@ -158,6 +164,8 @@ class _OctopusRequestHandler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:  # noqa: N802 — http.server's casing
         path = urlsplit(self.path).path
+        if not self._authorized():
+            return  # 401 envelope already sent
         if path == "/query":
             self._handle_query()
         elif path == "/batch":
@@ -210,6 +218,37 @@ class _OctopusRequestHandler(BaseHTTPRequestHandler):
             [response.to_dict() for response in responses], sort_keys=True
         )
         self._send_json(200, text)
+
+    def _authorized(self) -> bool:
+        """Shared-secret check: ``Authorization: Bearer <token>``.
+
+        Only enforced when the server was given an ``auth_token``.  A
+        missing or wrong token gets a structured 401 envelope (code
+        ``unauthorized``) — parseable like every other body — and the
+        connection is closed, since any request body stays unread.
+        """
+        token = self.server.auth_token
+        if token is None:
+            return True
+        header = self.headers.get("Authorization", "")
+        # Compare as bytes: compare_digest raises TypeError on non-ASCII
+        # str input, and header bytes arrive latin-1-decoded — a garbage
+        # token must yield a 401 envelope, not a handler crash.
+        if header.startswith("Bearer ") and hmac.compare_digest(
+            header[len("Bearer "):].encode("utf-8", "surrogateescape"),
+            token.encode("utf-8"),
+        ):
+            return True
+        self.close_connection = True  # the body (if any) is never drained
+        self._send_envelope(
+            ServiceResponse.failure(
+                "http",
+                "unauthorized",
+                "missing or invalid bearer token; send "
+                "'Authorization: Bearer <token>'",
+            )
+        )
+        return False
 
     @staticmethod
     def _route_error(path: str, hint_paths: tuple) -> ServiceResponse:
@@ -330,15 +369,17 @@ class OctopusHTTPServer(ThreadingHTTPServer):
         *,
         request_timeout: float = 10.0,
         max_body_bytes: int = 8 * 1024 * 1024,
+        auth_token: Optional[str] = None,
         verbose: bool = False,
     ) -> None:
         self.service = service
         self.request_timeout = float(request_timeout)
         self.max_body_bytes = int(max_body_bytes)
+        self.auth_token = auth_token
         self.verbose = verbose
         self.draining = False
         self.http_counters = _HTTPCounters()
-        self.final_stats: Optional[Dict[str, float]] = None
+        self.final_stats: Optional[Dict[str, Any]] = None
         self._started_at = time.monotonic()
         self._serve_thread: Optional[threading.Thread] = None
         self._accept_loop_entered = threading.Event()
@@ -377,17 +418,32 @@ class OctopusHTTPServer(ThreadingHTTPServer):
         return f"http://{host}:{port}"
 
     def health(self) -> Dict[str, Any]:
-        """The ``/healthz`` body: liveness, uptime and request count."""
+        """The ``/healthz`` body: liveness, uptime and request count.
+
+        When the executor exposes its own ``health()`` (the cluster
+        coordinator's per-shard liveness), the details are merged in and a
+        degraded executor flips ``status`` to ``"degraded"`` — load
+        balancers see a sharded deployment losing shards without parsing
+        executor internals.
+        """
         snapshot = self.http_counters.snapshot()
-        return {
+        payload: Dict[str, Any] = {
             "status": "draining" if self.draining else "ok",
             "uptime_seconds": round(time.monotonic() - self._started_at, 3),
             "requests_served": snapshot["http.requests"],
             "executor": type(self.service).__name__,
         }
+        describe = getattr(self.service, "health", None)
+        if callable(describe):
+            details = describe()
+            payload["cluster"] = details
+            if details.get("degraded") and not self.draining:
+                payload["status"] = "degraded"
+        return payload
 
-    def stats(self) -> Dict[str, float]:
-        """Service + backend + HTTP counters in one flat dict."""
+    def stats(self) -> Dict[str, Any]:
+        """Service + backend + HTTP counters in one flat dict (floats plus
+        the executor/backend identity strings)."""
         stats = dict(self.service.stats())
         stats.update(self.http_counters.snapshot())
         return stats
@@ -411,7 +467,7 @@ class OctopusHTTPServer(ThreadingHTTPServer):
     # Lifecycle
     # ------------------------------------------------------------------
 
-    def shutdown_gracefully(self) -> Dict[str, float]:
+    def shutdown_gracefully(self) -> Dict[str, Any]:
         """Stop accepting, drain in-flight requests, close the executor.
 
         Safe to call from any thread (including after ``serve_forever``

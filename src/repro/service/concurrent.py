@@ -204,9 +204,10 @@ class ConcurrentOctopusService:
             self._shared_inflight += 1
         return self._attach_follower(leader, typed)
 
-    def stats(self) -> Dict[str, float]:
+    def stats(self) -> Dict[str, Any]:
         """Service + backend statistics plus executor-level counters."""
         stats = self.service.stats()
+        stats["executor.kind"] = self.mode
         stats["executor.workers"] = float(self.workers)
         stats["executor.process_mode"] = float(self.mode == "processes")
         with self._inflight_lock:

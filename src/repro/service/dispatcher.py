@@ -172,18 +172,22 @@ class OctopusService:
         assert all(response is not None for response in responses)
         return list(responses)  # type: ignore[arg-type]
 
-    def stats(self) -> Dict[str, float]:
+    def stats(self) -> Dict[str, Any]:
         """Merged serving + backend statistics.
 
         Service-level metrics (``service.*``), result-cache counters
-        (``cache.*``) and the backend's build/index statistics in one flat
-        dict.
+        (``cache.*``), the backend's build/index statistics, and the
+        executor identity (``executor.kind`` / ``executor.workers``) in one
+        flat dict — values are floats except the identity strings, so
+        bench output and ops snapshots are self-describing.
         """
-        stats: Dict[str, float] = {}
+        stats: Dict[str, Any] = {}
         stats.update(self.metrics.snapshot())
         for key, value in self.cache.stats().items():
             stats[f"cache.{key}"] = float(value)
         stats.update(self.backend.statistics())
+        stats["executor.kind"] = "serial"
+        stats["executor.workers"] = 1.0
         return stats
 
     # ------------------------------------------------------------------

@@ -1,0 +1,63 @@
+"""Fixtures of the cluster test suite.
+
+Every fixture builds *small* systems (tiny index budgets) because each
+golden comparison constructs several full replicas plus forked shard
+processes.  Shard-process waits are short and bounded — a wedged shard
+fails a test in seconds, it never hangs the suite.
+"""
+
+from __future__ import annotations
+
+import contextlib
+
+import pytest
+
+from repro.cluster import ClusterCoordinator
+from repro.core.octopus import Octopus, OctopusConfig
+from repro.service import OctopusService
+
+#: Every shard-pipe wait in this package is bounded by this (seconds).
+CLUSTER_TIMEOUT = 20.0
+
+
+def small_config(execution_backend: str = "serial") -> OctopusConfig:
+    """Tiny index budgets; chunked or serial sampling semantics."""
+    return OctopusConfig(
+        num_sketches=30,
+        num_topic_samples=3,
+        topic_sample_rr_sets=150,
+        oracle_samples=15,
+        execution_backend=execution_backend,
+        workers=1 if execution_backend != "serial" else None,
+        seed=29,
+    )
+
+
+@pytest.fixture(scope="module")
+def make_service(citation_dataset):
+    """Factory: a fresh small service over the shared dataset."""
+
+    def build(execution_backend: str = "serial") -> OctopusService:
+        return OctopusService(
+            Octopus.from_dataset(
+                citation_dataset, config=small_config(execution_backend)
+            )
+        )
+
+    return build
+
+
+@contextlib.contextmanager
+def _running_cluster(service, shards: int, **kwargs):
+    kwargs.setdefault("shard_timeout", CLUSTER_TIMEOUT)
+    cluster = ClusterCoordinator(service, shards=shards, **kwargs)
+    try:
+        yield cluster
+    finally:
+        cluster.close()
+
+
+@pytest.fixture
+def running_cluster():
+    """The cluster-booting context manager (always closed afterwards)."""
+    return _running_cluster

@@ -1,0 +1,205 @@
+"""The cluster determinism contract: shard count is a pure execution detail.
+
+The golden three-way test the tentpole promises: ``deterministic_form()``
+of every response is **byte-identical** across the single-process
+``OctopusService`` and a ``ClusterCoordinator`` with 1, 2 and 4 shards —
+for both sampling semantics:
+
+* chunked configs (``execution_backend != "serial"``) exercise the
+  **distributed max-cover** path — targeted queries fan out, shards sample
+  chunk ranges and the coordinator's greedy loop merges marginal-gain
+  reports;
+* serial configs exercise the **whole-query routing** path — the config
+  pins the historical single-stream draw order, which every forked replica
+  reproduces.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import (
+    CompleteRequest,
+    ExplorePathsRequest,
+    FindInfluencersRequest,
+    RadarRequest,
+    StatsRequest,
+    SuggestKeywordsRequest,
+    TargetedInfluencersRequest,
+    deterministic_form,
+)
+
+#: Every deterministic service, duplicates included (duplicate slots ride
+#: the cache/de-duplication paths, which must not change payload bytes).
+GOLDEN_WORKLOAD = [
+    CompleteRequest(prefix="da", limit=5),
+    FindInfluencersRequest("data mining", k=3),
+    RadarRequest("data mining"),
+    SuggestKeywordsRequest(user=0, k=2),
+    ExplorePathsRequest(user=0, threshold=0.02),
+    TargetedInfluencersRequest("data mining", k=2, num_sets=150),
+    FindInfluencersRequest("data mining", k=3),  # duplicate
+    TargetedInfluencersRequest("data mining", k=2, num_sets=150),  # duplicate
+]
+
+
+def golden_forms(responses):
+    return [deterministic_form(response) for response in responses]
+
+
+class TestThreeWayShardDeterminism:
+    """1, 2 and 4 shards must serve the serial service's exact bytes."""
+
+    @pytest.fixture(scope="class", params=["threads", "serial"])
+    def semantics(self, request):
+        """Both sampling semantics: chunked (distributed) and serial
+        (routed)."""
+        return request.param
+
+    @pytest.fixture(scope="class")
+    def reference_forms(self, make_service, semantics):
+        service = make_service(semantics)
+        return golden_forms([service.execute(r) for r in GOLDEN_WORKLOAD])
+
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    def test_cluster_matches_serial_service(
+        self, make_service, running_cluster, reference_forms, semantics, shards
+    ):
+        with running_cluster(make_service(semantics), shards=shards) as cluster:
+            served = cluster.execute_batch(GOLDEN_WORKLOAD)
+        assert golden_forms(served) == reference_forms
+        assert all(response.ok for response in served)
+
+    def test_single_executes_match_batch(
+        self, make_service, running_cluster, reference_forms, semantics
+    ):
+        with running_cluster(make_service(semantics), shards=2) as cluster:
+            one_by_one = [cluster.execute(r) for r in GOLDEN_WORKLOAD]
+        assert golden_forms(one_by_one) == reference_forms
+
+
+class TestDistributedPathIsReallyDistributed:
+    """With chunked semantics, targeted queries must use the fan-out
+    protocol — not fall back to whole-query routing on one shard."""
+
+    def test_targeted_query_routes_to_no_shard(
+        self, make_service, running_cluster
+    ):
+        request = TargetedInfluencersRequest("data mining", k=2, num_sets=150)
+        with running_cluster(make_service("threads"), shards=2) as cluster:
+            response = cluster.execute(request)
+            assert response.ok
+            stats = cluster.stats()
+            # The shard protocol served commands, but no shard executed a
+            # whole routed request.
+            assert stats["executor.kind"] == "cluster"
+            for shard in (0, 1):
+                assert stats[f"cluster.shard{shard}.requests"] == 0.0
+                assert stats[f"cluster.shard{shard}.commands"] > 0.0
+
+    def test_serial_semantics_route_instead(
+        self, make_service, running_cluster
+    ):
+        request = TargetedInfluencersRequest("data mining", k=2, num_sets=150)
+        with running_cluster(make_service("serial"), shards=2) as cluster:
+            response = cluster.execute(request)
+            assert response.ok
+            stats = cluster.stats()
+            routed = sum(
+                stats[f"cluster.shard{shard}.requests"] for shard in (0, 1)
+            )
+            assert routed == 1.0
+
+
+class TestCoordinatorServingSemantics:
+    """Cache, duplicate-sharing and metrics live on the coordinator."""
+
+    def test_repeat_is_a_parent_cache_hit_with_identical_bytes(
+        self, make_service, running_cluster
+    ):
+        request = FindInfluencersRequest("data mining", k=3)
+        with running_cluster(make_service("serial"), shards=2) as cluster:
+            first = cluster.execute(request)
+            second = cluster.execute(request)
+            assert first.ok and second.ok
+            assert not first.cache_hit
+            assert second.cache_hit
+            assert deterministic_form(first) == deterministic_form(second)
+            assert cluster.stats()["service.influencers.cache_hits"] == 1.0
+
+    def test_batch_duplicates_are_shared(self, make_service, running_cluster):
+        request = CompleteRequest(prefix="da", limit=5)
+        with running_cluster(make_service("serial"), shards=2) as cluster:
+            responses = cluster.execute_batch([request, request, request])
+            assert [r.cache_hit for r in responses] == [False, True, True]
+            assert len({deterministic_form(r) for r in responses}) == 1
+
+    def test_user_affine_routing_hits_the_owner_shard(
+        self, make_service, running_cluster
+    ):
+        with running_cluster(make_service("serial"), shards=2) as cluster:
+            # Users from both halves of the node range; each query must
+            # land on (and only on) its owner.
+            num_nodes = cluster.backend.graph.num_nodes
+            low_user, high_user = 0, num_nodes - 1
+            assert cluster.execute(SuggestKeywordsRequest(user=low_user, k=2)).ok
+            assert cluster.execute(SuggestKeywordsRequest(user=high_user, k=2)).ok
+            stats = cluster.stats()
+            assert stats["cluster.shard0.requests"] == 1.0
+            assert stats["cluster.shard1.requests"] == 1.0
+
+    def test_malformed_and_invalid_requests_match_serial_bytes(
+        self, make_service, running_cluster
+    ):
+        service = make_service("serial")
+        bad_wire = '{"service": "influencers", "keywords": "data mining", "k": -1}'
+        unknown = {"service": "no_such_service"}
+        serial_forms = golden_forms(
+            [service.execute(bad_wire), service.execute(unknown)]
+        )
+        with running_cluster(make_service("serial"), shards=2) as cluster:
+            cluster_forms = golden_forms(
+                [cluster.execute(bad_wire), cluster.execute(unknown)]
+            )
+        assert cluster_forms == serial_forms
+
+    def test_stats_request_reports_cluster_identity(
+        self, make_service, running_cluster
+    ):
+        with running_cluster(make_service("serial"), shards=2) as cluster:
+            response = cluster.execute(StatsRequest())
+            assert response.ok
+            assert response.payload["executor.kind"] == "cluster"
+            assert response.payload["executor.shards"] == 2.0
+            assert response.payload["executor.shards_alive"] == 2.0
+            assert response.payload["execution.backend"] == "serial"
+
+    def test_rate_limit_is_enforced_at_the_coordinator(
+        self, make_service, running_cluster
+    ):
+        """The configured limiter runs once, cluster-wide — not per shard."""
+        backend = make_service("serial").backend
+        with running_cluster(
+            backend, shards=2, rate_limit=2.0, clock=lambda: 0.0
+        ) as cluster:
+            # burst = 2 tokens, frozen clock = no refill: two distinct
+            # requests pass (whichever shard serves them), the third is
+            # shed with a structured 429 envelope.
+            first = cluster.execute(CompleteRequest(prefix="da"))
+            second = cluster.execute(CompleteRequest(prefix="cl"))
+            third = cluster.execute(CompleteRequest(prefix="fe"))
+            assert first.ok and second.ok
+            assert not third.ok
+            assert third.error.code == "rate_limited"
+            assert cluster.stats()["service.complete.errors"] == 1.0
+
+    def test_close_is_idempotent_and_ends_serving(
+        self, make_service, running_cluster
+    ):
+        with running_cluster(make_service("serial"), shards=2) as cluster:
+            assert cluster.execute(CompleteRequest(prefix="da")).ok
+            cluster.close()
+            cluster.close()
+            response = cluster.execute(CompleteRequest(prefix="da"))
+            assert not response.ok
+            assert response.error.code == "internal_error"

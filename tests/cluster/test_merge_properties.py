@@ -1,0 +1,160 @@
+"""Hypothesis properties of the shard-merge arithmetic.
+
+The distributed max-cover loop is exact, not approximate: for *any* batch
+of RR sets, *any* contiguous split into shards, and *any* k, replaying the
+coordinator's merge (sum coverage → argmax with min-first-seen tie-break →
+broadcast seed) over per-shard :class:`~repro.cluster.merge.ShardCoverState`
+slices must reproduce
+:meth:`~repro.propagation.rrsets.RRSetCollection.greedy_max_cover`
+byte-for-byte — seeds, order, and spread.  Hypothesis hunts the edge cases
+(empty shards, empty sets, ties everywhere, k past exhaustion).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.merge import (
+    ShardCoverState,
+    merge_coverage,
+    merge_first_seen,
+    partition_contiguous,
+    pick_cover_seed,
+)
+from repro.graph.digraph import SocialGraph
+from repro.propagation.packed import PackedRRSets
+from repro.propagation.rrsets import RRSetCollection
+
+
+@st.composite
+def packed_batches(draw):
+    """A random packed RR batch: member lists over a small node universe."""
+    num_nodes = draw(st.integers(min_value=1, max_value=12))
+    num_sets = draw(st.integers(min_value=1, max_value=24))
+    sets: List[List[int]] = []
+    for _ in range(num_sets):
+        members = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=num_nodes - 1),
+                min_size=0,
+                max_size=num_nodes,
+                unique=True,
+            )
+        )
+        sets.append(members)
+    return num_nodes, sets
+
+
+def shard_states(num_nodes: int, sets, num_shards: int):
+    """Cut the batch into contiguous shard slices, like the coordinator."""
+    bounds = partition_contiguous(len(sets), num_shards)
+    shard_packed = [
+        PackedRRSets.from_sets(num_nodes, sets[low:high])
+        for low, high in bounds
+    ]
+    total_members = sum(len(packed.nodes) for packed in shard_packed)
+    states = []
+    base = 0
+    for packed in shard_packed:
+        states.append(ShardCoverState(packed, base, total_members))
+        base += len(packed.nodes)
+    return states
+
+
+def distributed_greedy(num_nodes: int, sets, num_shards: int, k: int):
+    """The coordinator's loop, replayed in-process over shard states."""
+    states = shard_states(num_nodes, sets, num_shards)
+    total_coverage = merge_coverage([state.coverage for state in states])
+    first_seen = merge_first_seen(
+        [state.first_seen_global for state in states]
+    )
+    seeds: List[int] = []
+    for _ in range(min(k, num_nodes)):
+        best = pick_cover_seed(total_coverage, first_seen)
+        if best is None:
+            break
+        seeds.append(best)
+        for state in states:
+            state.apply_seed(best)
+        total_coverage = merge_coverage([state.coverage for state in states])
+    covered_total = sum(state.covered_count for state in states)
+    spread = num_nodes * float(covered_total) / len(sets)
+    return seeds, spread
+
+
+@given(batch=packed_batches(), shards=st.integers(1, 5), k=st.integers(1, 8))
+@settings(max_examples=120, deadline=None)
+def test_distributed_greedy_equals_serial_greedy(batch, shards, k):
+    num_nodes, sets = batch
+    graph = SocialGraph.from_edges(num_nodes, [])
+    packed = PackedRRSets.from_sets(num_nodes, sets)
+    serial_seeds, serial_spread = RRSetCollection(
+        graph, packed
+    ).greedy_max_cover(k)
+    shard_seeds, shard_spread = distributed_greedy(num_nodes, sets, shards, k)
+    assert shard_seeds == serial_seeds
+    assert shard_spread == serial_spread  # identical floats, not approx
+
+
+@given(batch=packed_batches(), shards=st.integers(1, 5))
+@settings(max_examples=80, deadline=None)
+def test_shard_count_never_changes_the_merge(batch, shards):
+    """1-shard and S-shard replays agree with each other at every k."""
+    num_nodes, sets = batch
+    for k in (1, 3, num_nodes):
+        assert distributed_greedy(num_nodes, sets, 1, k) == distributed_greedy(
+            num_nodes, sets, shards, k
+        )
+
+
+@given(
+    batch=packed_batches(),
+    shards=st.integers(1, 5),
+    data=st.data(),
+)
+@settings(max_examples=80, deadline=None)
+def test_covered_counts_decompose_for_any_seed_set(batch, shards, data):
+    """Spread estimation merges exactly: Σ local covered == global covered."""
+    num_nodes, sets = batch
+    seeds = data.draw(
+        st.lists(
+            st.integers(min_value=0, max_value=num_nodes - 1),
+            min_size=1,
+            max_size=num_nodes,
+            unique=True,
+        )
+    )
+    graph = SocialGraph.from_edges(num_nodes, [])
+    collection = RRSetCollection(graph, PackedRRSets.from_sets(num_nodes, sets))
+    states = shard_states(num_nodes, sets, shards)
+    local_total = 0
+    for state in states:
+        for seed in seeds:
+            state.apply_seed(seed)
+        local_total += state.covered_count
+    assert local_total == collection._covered_set_count(seeds)
+
+
+@given(total=st.integers(0, 60), parts=st.integers(1, 9))
+def test_partition_contiguous_is_a_partition(total, parts):
+    bounds = partition_contiguous(total, parts)
+    assert len(bounds) == parts
+    assert bounds[0][0] == 0 and bounds[-1][1] == total
+    for (_, previous_high), (low, high) in zip(bounds, bounds[1:]):
+        assert previous_high == low
+        assert high >= low
+    sizes = [high - low for low, high in bounds]
+    assert max(sizes) - min(sizes) <= 1
+
+
+def test_first_seen_sentinel_cannot_win_a_tie():
+    """A node absent from one shard must not beat a real occurrence."""
+    num_nodes = 3
+    sets = [[2], [0, 1], [1]]
+    states = shard_states(num_nodes, sets, 2)
+    merged = merge_first_seen([state.first_seen_global for state in states])
+    packed = PackedRRSets.from_sets(num_nodes, sets)
+    assert merged.tolist() == packed.first_occurrence().tolist()

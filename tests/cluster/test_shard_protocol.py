@@ -1,0 +1,176 @@
+"""The shard protocol, exercised directly against a ShardWorker.
+
+:class:`~repro.cluster.worker.ShardWorker` is a plain object — the pipe
+loop is a thin shell around :meth:`~repro.cluster.worker.ShardWorker.handle`
+— so every command verb can be driven in-process: the sampling session
+lifecycle (sample → cover-init → cover rounds → estimate → drop), the
+introspection verbs (ping / stats), and the error replies that keep a
+worker alive through bad commands.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backend.base import DEFAULT_RR_CHUNK_SIZE, rr_chunk_plan
+from repro.cluster.protocol import (
+    ChunkSpec,
+    CoverInit,
+    CoverRound,
+    DropSession,
+    EstimateCover,
+    Ping,
+    SampleShard,
+    ShardStatsCmd,
+)
+from repro.cluster.worker import ShardWorker
+from repro.propagation.packed import PackedRRSets
+from repro.propagation.rrsets import RRSetCollection
+from repro.service import CompleteRequest
+from repro.cluster.protocol import ExecuteRequest
+
+
+@pytest.fixture
+def worker(make_service):
+    service = make_service("threads")
+    num_nodes = service.backend.graph.num_nodes
+    return ShardWorker(service, shard_id=0, num_shards=1, node_range=(0, num_nodes))
+
+
+def _sample_session(worker, session: str, num_sets: int = 200):
+    """Run one full sampling session; returns the equivalent local batch."""
+    backend = worker.service.backend
+    gamma = backend.derive_gamma("data mining")
+    plan = rr_chunk_plan(
+        num_sets, DEFAULT_RR_CHUNK_SIZE, np.random.SeedSequence(7), None
+    )
+    reply = worker.handle(
+        SampleShard(
+            session=session,
+            gamma=gamma,
+            chunks=tuple(
+                ChunkSpec(count=count, seed=child, roots=None)
+                for count, child, _roots in plan
+            ),
+            kernel=backend.config.rr_kernel,
+        )
+    )
+    assert reply.ok
+    assert reply.value["num_sets"] == num_sets
+    probabilities = backend.edge_weights.edge_probabilities(gamma)
+    chunks = []
+    for count, child, _roots in plan:
+        from repro.propagation.rrsets import sample_packed_rr_sets
+
+        chunks.append(
+            sample_packed_rr_sets(
+                backend.graph,
+                probabilities,
+                count,
+                np.random.default_rng(child),
+                None,
+                backend.config.rr_kernel,
+            )
+        )
+    return RRSetCollection(
+        backend.graph, PackedRRSets.from_chunks(backend.graph.num_nodes, chunks)
+    )
+
+
+class TestSamplingSessionVerbs:
+    def test_estimate_matches_the_serial_collection(self, worker):
+        collection = _sample_session(worker, "proto-1")
+        init = worker.handle(
+            CoverInit(
+                session="proto-1",
+                base=0,
+                total_members=int(len(collection.packed.nodes)),
+            )
+        )
+        assert init.ok
+        coverage = init.value["coverage"]
+        assert coverage.tolist() == collection.packed.coverage_counts().tolist()
+        for seeds in ((0,), (0, 5, 9), tuple(range(12))):
+            reply = worker.handle(EstimateCover(session="proto-1", seeds=seeds))
+            assert reply.ok
+            assert reply.value["covered"] == collection._covered_set_count(
+                list(seeds)
+            )
+
+    def test_cover_rounds_replay_the_serial_greedy(self, worker):
+        collection = _sample_session(worker, "proto-2")
+        expected_seeds, expected_spread = collection.greedy_max_cover(3)
+        init = worker.handle(
+            CoverInit(
+                session="proto-2",
+                base=0,
+                total_members=int(len(collection.packed.nodes)),
+            )
+        )
+        assert init.ok
+        coverage = init.value["coverage"]
+        first_seen = init.value["first_seen"]
+        seeds = []
+        covered = 0
+        for _ in range(3):
+            best_cover = int(coverage.max())
+            if best_cover <= 0:
+                break
+            candidates = np.flatnonzero(coverage == best_cover)
+            best = int(candidates[np.argmin(first_seen[candidates])])
+            seeds.append(best)
+            reply = worker.handle(CoverRound(session="proto-2", seed_node=best))
+            assert reply.ok
+            coverage = reply.value["coverage"]
+            covered = reply.value["covered"]
+        assert seeds == expected_seeds
+        num_nodes = worker.service.backend.graph.num_nodes
+        assert num_nodes * float(covered) / len(collection) == expected_spread
+
+    def test_drop_session_frees_the_state(self, worker):
+        _sample_session(worker, "proto-3", num_sets=50)
+        assert worker.handle(DropSession(session="proto-3")).ok
+        reply = worker.handle(EstimateCover(session="proto-3", seeds=(0,)))
+        assert not reply.ok
+        assert "proto-3" in reply.error
+
+    def test_estimate_without_a_session_is_an_error_reply(self, worker):
+        reply = worker.handle(EstimateCover(session="nope", seeds=(0,)))
+        assert not reply.ok
+        assert "nope" in reply.error
+
+
+class TestIntrospectionVerbs:
+    def test_ping_reports_identity(self, worker):
+        reply = worker.handle(Ping())
+        assert reply.ok
+        assert reply.value["shard"] == 0
+        assert reply.value["node_range"] == list(worker.node_range)
+
+    def test_stats_reports_shard_counters_and_replica_stats(self, worker):
+        assert worker.handle(ExecuteRequest(CompleteRequest(prefix="da"))).ok
+        reply = worker.handle(ShardStatsCmd())
+        assert reply.ok
+        stats = reply.value
+        assert stats["shard.id"] == 0.0
+        assert stats["shard.requests"] == 1.0
+        assert stats["shard.commands"] >= 2.0
+        assert stats["service.complete.requests"] == 1.0
+
+    def test_unknown_commands_do_not_kill_the_worker(self, worker):
+        reply = worker.handle(object())
+        assert not reply.ok
+        assert "unknown command" in reply.error
+        assert worker.handle(Ping()).ok
+
+
+class TestCoordinatorIntrospection:
+    def test_shard_stats_snapshots_every_live_shard(
+        self, make_service, running_cluster
+    ):
+        with running_cluster(make_service("serial"), shards=2) as cluster:
+            assert cluster.execute(CompleteRequest(prefix="da")).ok
+            snapshots = cluster.shard_stats()
+            assert [entry["shard.id"] for entry in snapshots] == [0.0, 1.0]
+            assert sum(entry["shard.requests"] for entry in snapshots) == 1.0

@@ -1,0 +1,132 @@
+"""Shared-secret auth on the wire: ``Authorization: Bearer <token>``.
+
+With ``auth_token`` set on the server, every endpoint except ``/healthz``
+(liveness probes must not need secrets) demands the bearer token and
+rejects everything else with a **structured 401 envelope** — parseable
+like every other body, so clients and load balancers never scrape an HTML
+error page.  Without the option, behaviour is untouched.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.service import CompleteRequest, OctopusService
+
+TOKEN = "repro-secret-token"
+
+
+@pytest.fixture
+def auth_server(backend, running_server):
+    """A server requiring the bearer token (context-managed)."""
+    import contextlib
+
+    @contextlib.contextmanager
+    def boot():
+        with running_server(OctopusService(backend), auth_token=TOKEN) as server:
+            yield server
+
+    return boot
+
+
+class TestServerSideAuth:
+    def test_missing_token_is_a_structured_401(self, auth_server):
+        with auth_server() as server:
+            body = CompleteRequest(prefix="da").to_json().encode()
+            request = urllib.request.Request(
+                f"{server.url}/query",
+                data=body,
+                headers={"Content-Type": "application/json"},
+            )
+            with pytest.raises(urllib.error.HTTPError) as caught:
+                urllib.request.urlopen(request, timeout=10.0)
+            assert caught.value.code == 401
+            envelope = json.loads(caught.value.read().decode())
+            assert envelope["ok"] is False
+            assert envelope["error"]["code"] == "unauthorized"
+
+    def test_wrong_token_is_rejected(self, auth_server, connected_client):
+        with auth_server() as server:
+            with connected_client(server, auth_token="not-the-token") as client:
+                response = client.execute(CompleteRequest(prefix="da"))
+            assert not response.ok
+            assert response.error.code == "unauthorized"
+
+    def test_non_ascii_token_is_a_401_not_a_crash(self, auth_server):
+        """compare_digest rejects non-ASCII str; the server must compare
+        bytes so a garbage header still gets the structured envelope."""
+        with auth_server() as server:
+            request = urllib.request.Request(
+                f"{server.url}/stats",
+                headers={"Authorization": "Bearer café-token"},
+            )
+            with pytest.raises(urllib.error.HTTPError) as caught:
+                urllib.request.urlopen(request, timeout=10.0)
+            assert caught.value.code == 401
+            envelope = json.loads(caught.value.read().decode())
+            assert envelope["error"]["code"] == "unauthorized"
+
+    def test_stats_is_protected_but_healthz_is_open(self, auth_server):
+        with auth_server() as server:
+            with pytest.raises(urllib.error.HTTPError) as caught:
+                urllib.request.urlopen(f"{server.url}/stats", timeout=10.0)
+            assert caught.value.code == 401
+            with urllib.request.urlopen(
+                f"{server.url}/healthz", timeout=10.0
+            ) as reply:
+                assert json.loads(reply.read().decode())["status"] == "ok"
+
+
+class TestClientSideAuth:
+    def test_client_with_token_round_trips(self, auth_server, connected_client):
+        with auth_server() as server:
+            with connected_client(server, auth_token=TOKEN) as client:
+                response = client.execute(CompleteRequest(prefix="da", limit=3))
+                assert response.ok
+                batch = client.execute_batch(
+                    [CompleteRequest(prefix="da"), CompleteRequest(prefix="cl")]
+                )
+                assert all(entry.ok for entry in batch)
+                stats = client.stats()
+            assert stats["http.responses.2xx"] >= 2.0
+            assert stats["executor.kind"] == "serial"
+
+    def test_cli_query_url_with_token(self, auth_server, capsys):
+        from repro.cli import main
+
+        with auth_server() as server:
+            code = main(
+                [
+                    "query",
+                    "--url",
+                    server.url,
+                    "--auth-token",
+                    TOKEN,
+                    CompleteRequest(prefix="da").to_json(),
+                ]
+            )
+            output = capsys.readouterr().out
+        assert code == 0
+        assert json.loads(output)["ok"] is True
+
+    def test_cli_query_url_without_token_reports_the_envelope(
+        self, auth_server, capsys
+    ):
+        from repro.cli import main
+
+        with auth_server() as server:
+            code = main(
+                [
+                    "query",
+                    "--url",
+                    server.url,
+                    CompleteRequest(prefix="da").to_json(),
+                ]
+            )
+            output = capsys.readouterr().out
+        assert code == 2
+        assert json.loads(output)["error"]["code"] == "unauthorized"

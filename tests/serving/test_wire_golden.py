@@ -159,7 +159,9 @@ class TestCLIGoldenReplay:
         assert code == 0
         return json.loads(stdout.getvalue())
 
-    @pytest.mark.parametrize("executor", ["serial", "threads", "processes"])
+    @pytest.mark.parametrize(
+        "executor", ["serial", "threads", "processes", "cluster"]
+    )
     def test_remote_replay_is_byte_identical(
         self, dataset_dir, workload_file, local_replay, executor, capsys
     ):
@@ -179,7 +181,11 @@ class TestCLIGoldenReplay:
             rr_kernel="vectorized",
         )
         service = _load_service(arguments)
-        if executor != "serial":
+        if executor == "cluster":
+            from repro.cluster import ClusterCoordinator
+
+            service = ClusterCoordinator(service, shards=2)
+        elif executor != "serial":
             service = ConcurrentOctopusService(
                 service, workers=2, mode=executor
             )

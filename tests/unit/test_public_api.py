@@ -23,10 +23,15 @@ PACKAGES = [
     "repro.engine",
     "repro.service",
     "repro.server",
+    "repro.cluster",
 ]
 
 MODULES = [
     "repro.cli",
+    "repro.cluster.coordinator",
+    "repro.cluster.merge",
+    "repro.cluster.protocol",
+    "repro.cluster.worker",
     "repro.core.besteffort",
     "repro.core.bounds",
     "repro.core.dynamic",
