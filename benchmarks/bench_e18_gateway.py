@@ -1,0 +1,144 @@
+"""E18 — serving front ends: asyncio gateway vs threaded server.
+
+PR 6 adds an asyncio front end with admission control in the request
+path; this experiment prices it.  Three questions:
+
+* **tax** — what does the event loop + dispatch queue add to a warm
+  single request over the threaded server's thread-per-connection path?
+* **fan-in** — with many concurrent keep-alive clients, which front end
+  sustains more requests per second on loopback?
+* **shed latency** — when the gateway *refuses* work (tenant bucket
+  empty), how fast is the structured 429?  Load shedding only protects
+  tail latency if rejection is much cheaper than service.
+
+Both front ends serve the same warm :class:`OctopusService` so the
+comparison isolates the transport stack.  ``BENCH_SMOKE=1`` shrinks the
+backend and the fan-in width; the CI bench-smoke job executes this
+module with ``--benchmark-disable`` so the gateway benchmark code cannot
+rot.
+"""
+
+import concurrent.futures
+import os
+
+import pytest
+
+from repro.gateway import GatewayConfig, OctopusAsyncGateway
+from repro.server import OctopusClient, serve_in_background
+from repro.service import (
+    CompleteRequest,
+    FindInfluencersRequest,
+    OctopusService,
+    RadarRequest,
+)
+
+BENCH_SMOKE = os.environ.get("BENCH_SMOKE") == "1"
+
+#: Fan-in shape: concurrent keep-alive clients × requests per client.
+FAN_CLIENTS = 4 if BENCH_SMOKE else 8
+FAN_REQUESTS = 5 if BENCH_SMOKE else 25
+
+#: The warm probe request (cheap lane, small payload).
+PROBE = RadarRequest("data mining")
+
+#: The fan-in mix: mostly cheap with some heavy, like real traffic.
+FAN_MIX = [
+    CompleteRequest(prefix="da", limit=10),
+    RadarRequest("data mining"),
+    FindInfluencersRequest("data mining", k=5),
+]
+
+FRONTENDS = ("threaded", "asyncio")
+
+
+@pytest.fixture(scope="module")
+def gateway_service(bench_system):
+    """One warm dispatcher shared by both front ends."""
+    service = OctopusService(bench_system)
+    for request in [PROBE, *FAN_MIX]:
+        response = service.execute(request)
+        assert response.ok, response.error
+    return service
+
+
+@pytest.fixture(scope="module", params=FRONTENDS)
+def frontend(request, gateway_service):
+    """A running front end of either flavour → ``(name, url, teardown)``."""
+    if request.param == "threaded":
+        server = serve_in_background(gateway_service, request_timeout=30.0)
+    else:
+        server = OctopusAsyncGateway(
+            gateway_service,
+            port=0,
+            config=GatewayConfig(queue_depth=256, workers=FAN_CLIENTS),
+        )
+        server.start()
+    yield request.param, server.url
+    server.shutdown_gracefully()
+
+
+@pytest.mark.benchmark(group="e18-gateway")
+def test_warm_single_latency(benchmark, frontend):
+    """The per-request tax of each front end on a persistent connection."""
+    name, url = frontend
+    with OctopusClient(url, timeout=30.0) as client:
+        response = benchmark(client.execute, PROBE)
+    assert response.ok
+    benchmark.extra_info["frontend"] = name
+    benchmark.extra_info["payload_bytes"] = len(response.to_json())
+
+
+@pytest.mark.benchmark(group="e18-gateway")
+def test_concurrent_fan_in(benchmark, frontend):
+    """Many keep-alive clients at once: total wall time for the burst."""
+    name, url = frontend
+    clients = [OctopusClient(url, timeout=30.0) for _ in range(FAN_CLIENTS)]
+    workload = [FAN_MIX[i % len(FAN_MIX)] for i in range(FAN_REQUESTS)]
+
+    def one_client(client):
+        return [client.execute(request) for request in workload]
+
+    def burst():
+        with concurrent.futures.ThreadPoolExecutor(FAN_CLIENTS) as pool:
+            return list(pool.map(one_client, clients))
+
+    try:
+        results = benchmark(burst)
+    finally:
+        for client in clients:
+            client.close()
+    assert all(r.ok for batch in results for r in batch)
+    total = FAN_CLIENTS * FAN_REQUESTS
+    benchmark.extra_info["frontend"] = name
+    benchmark.extra_info["total_requests"] = total
+    if benchmark.stats is not None:  # absent under --benchmark-disable
+        benchmark.extra_info["requests_per_second"] = round(
+            total / max(benchmark.stats.stats.mean, 1e-9), 1
+        )
+
+
+@pytest.mark.benchmark(group="e18-gateway")
+def test_shed_latency(benchmark, gateway_service):
+    """Time to a structured 429 once the tenant bucket is empty.
+
+    Shedding must be far cheaper than serving — the rejected request
+    never reaches the compute pool, so this is pure front-end path.
+    """
+    gateway = OctopusAsyncGateway(
+        gateway_service,
+        port=0,
+        config=GatewayConfig(tenant_rate=1e-6, tenant_burst=1),
+    )
+    gateway.start()
+    try:
+        with OctopusClient(gateway.url, timeout=30.0) as client:
+            assert client.execute(PROBE).ok  # spend the burst token
+            response = benchmark(client.execute, PROBE)
+        assert not response.ok
+        assert response.error.code == "rate_limited"
+    finally:
+        gateway.shutdown_gracefully()
+    benchmark.extra_info["frontend"] = "asyncio"
+    benchmark.extra_info["retry_after_seconds"] = (
+        response.error.details["retry_after_seconds"]
+    )

@@ -55,10 +55,12 @@ from repro.engine.workload import (
     WorkloadConfig,
     run_workload,
 )
+from repro.gateway import GatewayConfig, OctopusAsyncGateway, start_gateway
 from repro.graph.digraph import GraphBuilder, SocialGraph
 from repro.server import (
     OctopusClient,
     OctopusHTTPServer,
+    OctopusRateLimitedError,
     OctopusTransportError,
     serve_in_background,
 )
@@ -91,8 +93,12 @@ __all__ = [
     "ConcurrentOctopusService",
     "ClusterCoordinator",
     "OctopusHTTPServer",
+    "OctopusAsyncGateway",
+    "GatewayConfig",
+    "start_gateway",
     "OctopusClient",
     "OctopusTransportError",
+    "OctopusRateLimitedError",
     "serve_in_background",
     "ExecutionBackend",
     "SerialBackend",

@@ -23,7 +23,10 @@ Commands::
     octopus query       --url http://HOST:PORT REQUEST_JSON [--batch]
     octopus serve       DIR [--host H] [--port P] [--auth-token TOKEN]
                         [--executor {serial,threads,processes,cluster}]
-                        [--shards N]
+                        [--shards N] [--frontend {threaded,asyncio}]
+                        [--queue-depth N] [--gateway-workers N]
+                        [--heavy-slots N] [--tenant-rate RPS]
+                        [--tls-cert PEM --tls-key PEM]
 
 ``query`` is the wire-level entry point: it takes a JSON request (or a JSON
 array with ``--batch``), ``@file`` to read from a file, or ``-`` for stdin,
@@ -42,6 +45,17 @@ are byte-identical at any shard count.  ``--auth-token`` requires
 ``Authorization: Bearer`` on every endpoint except ``/healthz`` (pass the
 same token to ``query --url --auth-token``).  Ctrl-C shuts down gracefully
 — in-flight requests drain into a final metrics report.
+
+``serve --frontend asyncio`` swaps the threaded front end for the
+:mod:`repro.gateway` event-loop server — same wire bytes, plus admission
+control (``--queue-depth``, shed requests get 429 + ``Retry-After``),
+priority lanes (``--gateway-workers``, ``--heavy-slots``), per-tenant
+token buckets (``--tenant-rate``, ``--tenant-burst``) and slow-client
+timeouts (``--read-timeout``, ``--write-timeout``).  ``--tls-cert`` +
+``--tls-key`` serve HTTPS on either front end; ``query --url https://…``
+verifies against the system trust store, a ``--ca-cert`` bundle, or not
+at all with ``--insecure``, and ``query --retries N`` backs off on 429
+per the server's ``Retry-After`` hint.
 
 Every system command also accepts ``--backend {serial,threads,processes}``
 and ``--workers N``: index builds and RR-set sampling run on the chosen
@@ -217,6 +231,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="bearer token for --url requests against a server started "
         "with --auth-token",
     )
+    query.add_argument(
+        "--ca-cert",
+        default=None,
+        metavar="PEM",
+        help="CA bundle to verify an https:// --url server against "
+        "(for self-signed deployments)",
+    )
+    query.add_argument(
+        "--insecure",
+        action="store_true",
+        help="skip TLS certificate verification for https:// --url "
+        "requests (encrypted but unauthenticated)",
+    )
+    query.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="retry 429 responses up to N times, sleeping the server's "
+        "Retry-After hint between attempts (default 0: report the "
+        "rate-limit envelope immediately)",
+    )
 
     serve = add_system_command(
         "serve", "serve the JSON envelopes over HTTP (the wire transport)"
@@ -253,6 +288,81 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="TOKEN",
         help="require 'Authorization: Bearer TOKEN' on every endpoint "
         "except /healthz (shared-secret auth for non-loopback serving)",
+    )
+    serve.add_argument(
+        "--frontend",
+        choices=("threaded", "asyncio"),
+        default="threaded",
+        help="HTTP front end: 'threaded' spends one OS thread per "
+        "connection (simple, fine on loopback); 'asyncio' multiplexes "
+        "all connections on one event loop with admission control, "
+        "priority lanes and per-tenant rate limits (the production "
+        "front door)",
+    )
+    serve.add_argument(
+        "--queue-depth",
+        type=int,
+        default=64,
+        help="asyncio front end: per-lane admission queue bound; "
+        "requests beyond it are shed with 429 + Retry-After "
+        "(default 64)",
+    )
+    serve.add_argument(
+        "--gateway-workers",
+        type=int,
+        default=4,
+        help="asyncio front end: concurrent dispatch/compute slots "
+        "(default 4)",
+    )
+    serve.add_argument(
+        "--heavy-slots",
+        type=int,
+        default=None,
+        help="asyncio front end: cap on concurrently executing heavy "
+        "queries (influence maximization, large batches); default all "
+        "but one worker so cheap traffic always has a slot",
+    )
+    serve.add_argument(
+        "--tenant-rate",
+        type=float,
+        default=None,
+        metavar="RPS",
+        help="asyncio front end: per-tenant sustained requests/second "
+        "(token bucket keyed by bearer token; default off)",
+    )
+    serve.add_argument(
+        "--tenant-burst",
+        type=int,
+        default=None,
+        help="asyncio front end: per-tenant burst size "
+        "(default max(1, int(RPS)))",
+    )
+    serve.add_argument(
+        "--read-timeout",
+        type=float,
+        default=10.0,
+        help="asyncio front end: seconds a client may take per socket "
+        "read before being disconnected (default 10)",
+    )
+    serve.add_argument(
+        "--write-timeout",
+        type=float,
+        default=10.0,
+        help="asyncio front end: seconds a client may take to accept a "
+        "response before being disconnected (default 10)",
+    )
+    serve.add_argument(
+        "--tls-cert",
+        default=None,
+        metavar="PEM",
+        help="serve HTTPS using this certificate chain "
+        "(requires --tls-key)",
+    )
+    serve.add_argument(
+        "--tls-key",
+        default=None,
+        metavar="PEM",
+        help="private key for --tls-cert",
     )
     serve.add_argument(
         "--verbose", action="store_true", help="log every HTTP request"
@@ -432,9 +542,31 @@ def _render_stat(key: str, value) -> str:
     return f"{key:<45s} {value}"
 
 
-def _command_serve(arguments: argparse.Namespace) -> int:
-    from repro.server import OctopusHTTPServer
+def _server_ssl_context(arguments: argparse.Namespace):
+    """The server-side ``SSLContext`` for ``--tls-cert``/``--tls-key``
+    (``None`` for plain HTTP); both flags must come together."""
+    import ssl
 
+    cert = getattr(arguments, "tls_cert", None)
+    key = getattr(arguments, "tls_key", None)
+    if cert is None and key is None:
+        return None
+    if cert is None or key is None:
+        raise ValidationError("--tls-cert and --tls-key must be given together")
+    context = ssl.SSLContext(ssl.PROTOCOL_TLS_SERVER)
+    try:
+        context.load_cert_chain(cert, key)
+    except (OSError, ssl.SSLError) as error:
+        raise ValidationError(f"cannot load TLS material: {error}") from error
+    return context
+
+
+def _command_serve(arguments: argparse.Namespace) -> int:
+    try:
+        ssl_context = _server_ssl_context(arguments)
+    except ValidationError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     service = _load_service(arguments)
     if arguments.executor == "cluster":
         from repro.cluster import ClusterCoordinator
@@ -447,15 +579,40 @@ def _command_serve(arguments: argparse.Namespace) -> int:
         service = ConcurrentOctopusService(
             service, workers=arguments.workers, mode=mode
         )
-    server = OctopusHTTPServer(
-        service,
-        host=arguments.host,
-        port=arguments.port,
-        auth_token=arguments.auth_token,
-        verbose=arguments.verbose,
-    )
+    if arguments.frontend == "asyncio":
+        from repro.gateway import GatewayConfig, OctopusAsyncGateway
+
+        server = OctopusAsyncGateway(
+            service,
+            host=arguments.host,
+            port=arguments.port,
+            config=GatewayConfig(
+                queue_depth=arguments.queue_depth,
+                workers=arguments.gateway_workers,
+                heavy_slots=arguments.heavy_slots,
+                tenant_rate=arguments.tenant_rate,
+                tenant_burst=arguments.tenant_burst,
+                read_timeout=arguments.read_timeout,
+                write_timeout=arguments.write_timeout,
+            ),
+            auth_token=arguments.auth_token,
+            ssl_context=ssl_context,
+            verbose=arguments.verbose,
+        )
+        server.start()
+    else:
+        from repro.server import OctopusHTTPServer
+
+        server = OctopusHTTPServer(
+            service,
+            host=arguments.host,
+            port=arguments.port,
+            auth_token=arguments.auth_token,
+            ssl_context=ssl_context,
+            verbose=arguments.verbose,
+        )
     print(f"serving {arguments.dataset} on {server.url} "
-          f"(executor={arguments.executor})")
+          f"(executor={arguments.executor}, frontend={arguments.frontend})")
     print("endpoints: POST /query  POST /batch  GET /stats  GET /healthz")
     print("press Ctrl-C to drain and stop")
     try:
@@ -466,7 +623,8 @@ def _command_serve(arguments: argparse.Namespace) -> int:
         final = server.shutdown_gracefully()
         for key in sorted(final):
             if key.startswith(
-                ("service.", "cache.", "http.", "executor.", "cluster.")
+                ("service.", "cache.", "http.", "executor.", "cluster.",
+                 "gateway.")
             ):
                 print(_render_stat(key, final[key]))
     return 0
@@ -491,11 +649,18 @@ def _query_remote(arguments: argparse.Namespace, raw: str, entries, indent) -> i
     """
     from repro.server import OctopusClient, OctopusTransportError
 
+    verify: object = True
+    if getattr(arguments, "insecure", False):
+        verify = False
+    elif getattr(arguments, "ca_cert", None) is not None:
+        verify = arguments.ca_cert
     try:
         with OctopusClient(
             arguments.url,
             timeout=arguments.timeout,
             auth_token=getattr(arguments, "auth_token", None),
+            verify=verify,
+            retries=getattr(arguments, "retries", 0),
         ) as client:
             if entries is not None:
                 responses = client.execute_batch(entries)

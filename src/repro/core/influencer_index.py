@@ -184,8 +184,9 @@ def _expand_sketch_frontier(
                 sketch.frontier.append(source)
 
 
-#: Expansion disciplines: ``node`` is the historical node-at-a-time loop
-#: (bit-identical to earlier releases), ``frontier`` the batched kernel.
+#: Expansion disciplines: ``frontier`` is the batched kernel (the
+#: default), ``node`` the historical node-at-a-time loop kept as the
+#: bit-compatible reference for earlier releases' seeds.
 _EXPANSION_FUNCTIONS = {
     "node": _expand_sketch,
     "frontier": _expand_sketch_frontier,
@@ -230,7 +231,7 @@ class InfluencerIndex:
         chunk_size: int = 100_000,
         seed: SeedLike = None,
         backend: Optional["ExecutionBackend"] = None,
-        expansion: str = "node",
+        expansion: str = "frontier",
     ) -> None:
         check_positive(num_sketches, "num_sketches")
         check_positive(chunk_size, "chunk_size")

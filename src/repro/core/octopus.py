@@ -81,7 +81,7 @@ class OctopusConfig:
     execution_backend: str = "serial"  # serial | threads | processes
     workers: Optional[int] = None  # worker count for pooled backends
     rr_kernel: str = "vectorized"  # vectorized | legacy (RR sampling core)
-    sketch_expansion: str = "node"  # node | frontier (sketch build core)
+    sketch_expansion: str = "frontier"  # frontier | node (sketch build core)
     seed: SeedLike = None
 
     def __post_init__(self) -> None:

@@ -1,0 +1,246 @@
+"""Admission control for the OCTOPUS serving gateway.
+
+The production-traffic rule this module encodes: **shed load before
+collapse, never buffer without bound.**  Every request that cannot be
+served promptly is rejected *immediately* with a structured 429 envelope
+and a ``Retry-After`` hint — a full queue must cost an arriving request a
+few microseconds, not a slot in an ever-growing buffer that takes the
+whole process down.
+
+Two priority lanes keep the interactive experience alive under mixed
+traffic:
+
+* the **cheap** lane carries short queries — stats, suggestions,
+  completions, radar, path exploration — whose latency users feel;
+* the **heavy** lane carries influence-maximization queries and large
+  batches, which legitimately take seconds of compute.
+
+Heavy work is capped at ``heavy_slots`` concurrent executions (strictly
+fewer than the worker count), so however saturated the heavy lane is,
+workers remain for cheap traffic — a burst of targeted-IM queries cannot
+starve a dashboard's stats polls.  Dispatch prefers the cheap lane, with a
+fairness valve (after ``fairness`` consecutive cheap dispatches a waiting
+heavy job goes first) so a cheap flood cannot starve heavy work forever
+either.
+
+:class:`AdmissionQueue` is deliberately **pure logic** — plain deques and
+integers, no asyncio, no threads, no clock.  The asyncio gateway wires it
+to an event loop; the hypothesis property suite drives it through
+arbitrary arrival/completion interleavings and checks the bound and the
+shed contract directly.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, Optional, Sequence, Tuple
+
+from repro.utils.validation import check_positive
+
+__all__ = [
+    "LANE_CHEAP",
+    "LANE_HEAVY",
+    "LANES",
+    "HEAVY_SERVICES",
+    "AdmissionQueue",
+    "lane_for_service",
+    "lane_for_batch",
+    "shed_envelope",
+]
+
+LANE_CHEAP = "cheap"
+LANE_HEAVY = "heavy"
+LANES = (LANE_CHEAP, LANE_HEAVY)
+
+#: Services whose single query is real compute (influence maximization
+#: runs greedy max-cover over millions of RR sets).  Everything else —
+#: stats, suggestions, completions, radar, paths — rides the cheap lane.
+HEAVY_SERVICES = frozenset({"influencers", "targeted"})
+
+
+def lane_for_service(service: Optional[str]) -> str:
+    """The lane a single request of *service* rides (unknown → cheap).
+
+    Unknown or missing service names go cheap on purpose: they terminate
+    in a fast structured error inside the dispatcher, which is exactly
+    cheap-lane work.
+    """
+    return LANE_HEAVY if service in HEAVY_SERVICES else LANE_CHEAP
+
+
+def lane_for_batch(entries: Sequence[Any], heavy_batch_size: int) -> str:
+    """The lane a ``/batch`` request rides.
+
+    Heavy when the batch is large (``len(entries) >= heavy_batch_size``)
+    or when any slot is a heavy service — one targeted-IM query inside a
+    batch makes the whole batch heavy compute.
+    """
+    if len(entries) >= heavy_batch_size:
+        return LANE_HEAVY
+    for entry in entries:
+        if isinstance(entry, dict) and entry.get("service") in HEAVY_SERVICES:
+            return LANE_HEAVY
+    return LANE_CHEAP
+
+
+def shed_envelope(lane: str, retry_after_seconds: float, depth: int):
+    """The structured 429 body for a request shed at admission.
+
+    Uses the service layer's ``rate_limited`` code — the one
+    :data:`~repro.server.wire.HTTP_STATUS_BY_ERROR_CODE` maps to 429 — so
+    a shed request is wire-indistinguishable in *shape* from any other
+    throttle: always a parseable envelope, never a hang or a 5xx.
+    """
+    from repro.service.responses import ServiceResponse
+
+    return ServiceResponse.failure(
+        "http",
+        "rate_limited",
+        f"server at capacity: the {lane} admission queue is full "
+        f"({depth} waiting); retry after {retry_after_seconds:g}s",
+        details={
+            "reason": "queue_full",
+            "lane": lane,
+            "queue_depth": depth,
+            "retry_after_seconds": float(retry_after_seconds),
+        },
+    )
+
+
+class AdmissionQueue:
+    """Bounded two-lane queue with capped heavy concurrency.
+
+    Invariants (the hypothesis suite proves them over arbitrary
+    interleavings of :meth:`offer` / :meth:`take` / :meth:`finish`):
+
+    * a lane's queued depth never exceeds ``capacity`` — :meth:`offer`
+      returns ``False`` (shed) instead;
+    * heavy jobs in flight never exceed ``heavy_slots``;
+    * total jobs in flight never exceed ``workers``;
+    * :meth:`take` returns work whenever the policy admits any, so
+      admitted work cannot be stranded while workers idle.
+    """
+
+    def __init__(
+        self,
+        *,
+        capacity: int = 64,
+        workers: int = 4,
+        heavy_slots: Optional[int] = None,
+        fairness: int = 8,
+    ) -> None:
+        check_positive(capacity, "capacity")
+        check_positive(workers, "workers")
+        self.capacity = int(capacity)
+        self.workers = int(workers)
+        # Heavy compute may fill all but one worker, never the last one:
+        # that floor is what makes cheap-lane starvation impossible.
+        default_heavy = max(1, self.workers - 1)
+        self.heavy_slots = min(
+            int(heavy_slots) if heavy_slots is not None else default_heavy,
+            max(1, self.workers - 1) if self.workers > 1 else 1,
+        )
+        check_positive(self.heavy_slots, "heavy_slots")
+        check_positive(fairness, "fairness")
+        self.fairness = int(fairness)
+        self._queues: Dict[str, Deque[Any]] = {
+            LANE_CHEAP: deque(),
+            LANE_HEAVY: deque(),
+        }
+        self._in_flight: Dict[str, int] = {LANE_CHEAP: 0, LANE_HEAVY: 0}
+        self._shed: Dict[str, int] = {LANE_CHEAP: 0, LANE_HEAVY: 0}
+        self._cheap_streak = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def depth(self, lane: str) -> int:
+        """Queued (not yet dispatched) jobs in *lane*."""
+        return len(self._queues[lane])
+
+    def in_flight(self, lane: str) -> int:
+        """Jobs of *lane* currently executing."""
+        return self._in_flight[lane]
+
+    def shed_count(self, lane: str) -> int:
+        """Jobs of *lane* rejected at admission so far."""
+        return self._shed[lane]
+
+    def total_in_flight(self) -> int:
+        """Jobs currently executing across both lanes."""
+        return sum(self._in_flight.values())
+
+    def snapshot(self) -> Dict[str, float]:
+        """Flat gauge dict of depths, in-flight counts and shed totals."""
+        stats: Dict[str, float] = {}
+        for lane in LANES:
+            stats[f"lane.{lane}.depth"] = float(self.depth(lane))
+            stats[f"lane.{lane}.in_flight"] = float(self._in_flight[lane])
+            stats[f"lane.{lane}.shed"] = float(self._shed[lane])
+        return stats
+
+    # ------------------------------------------------------------------
+    # The admission protocol
+    # ------------------------------------------------------------------
+
+    def offer(self, lane: str, item: Any) -> bool:
+        """Admit *item* to *lane*, or shed it (``False``) when full.
+
+        Never blocks and never buffers beyond ``capacity`` — the caller
+        turns a ``False`` into a 429 + ``Retry-After`` immediately.
+        """
+        queue = self._queues[lane]
+        if len(queue) >= self.capacity:
+            self._shed[lane] += 1
+            return False
+        queue.append(item)
+        return True
+
+    def can_take(self) -> bool:
+        """Whether :meth:`take` would currently return a job."""
+        return self._take_lane() is not None
+
+    def take(self) -> Optional[Tuple[str, Any]]:
+        """Dispatch the next job as ``(lane, item)``, or ``None``.
+
+        Policy: nothing while all ``workers`` are busy; cheap before heavy
+        (with the fairness valve letting a waiting heavy job through after
+        ``fairness`` consecutive cheap dispatches); heavy only while fewer
+        than ``heavy_slots`` heavy jobs are in flight.
+        """
+        lane = self._take_lane()
+        if lane is None:
+            return None
+        if lane == LANE_CHEAP:
+            self._cheap_streak += 1
+        else:
+            self._cheap_streak = 0
+        self._in_flight[lane] += 1
+        return lane, self._queues[lane].popleft()
+
+    def finish(self, lane: str) -> None:
+        """Mark one in-flight job of *lane* complete (frees its slot)."""
+        assert self._in_flight[lane] > 0, f"no {lane} job in flight"
+        self._in_flight[lane] -= 1
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _take_lane(self) -> Optional[str]:
+        """The lane the policy would dispatch from right now, if any."""
+        if self.total_in_flight() >= self.workers:
+            return None
+        heavy_ready = (
+            self._queues[LANE_HEAVY]
+            and self._in_flight[LANE_HEAVY] < self.heavy_slots
+        )
+        cheap_ready = bool(self._queues[LANE_CHEAP])
+        if heavy_ready and (
+            not cheap_ready or self._cheap_streak >= self.fairness
+        ):
+            return LANE_HEAVY
+        if cheap_ready:
+            return LANE_CHEAP
+        return None

@@ -1,0 +1,104 @@
+"""Per-tenant rate limiting for the OCTOPUS serving gateway.
+
+The service layer's :class:`~repro.service.middleware.RateLimitMiddleware`
+throttles the *whole* deployment with one token bucket; a multi-tenant
+front door needs one bucket **per caller**, so a single hot integration
+cannot spend everyone else's budget.  Tenants are identified by their
+bearer auth token (the identity the wire already carries — no new
+credential concept), falling back to one shared ``"anonymous"`` bucket
+when auth is off.
+
+The bucket table is bounded: at most ``max_tenants`` buckets are kept,
+least-recently-active evicted first, so an attacker cycling random tokens
+grows a fixed-size table, not the heap.  (Evicting a bucket refills it —
+strictly more permissive, never a lockout.)  The clock is injectable for
+deterministic tests, and every decision returns the ``retry_after``
+deficit so callers can emit an honest ``Retry-After`` header.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from typing import Callable, Optional, Tuple
+
+from repro.utils.validation import check_positive
+
+__all__ = ["TenantRateLimiter", "ANONYMOUS_TENANT"]
+
+#: The bucket unauthenticated traffic shares when per-tenant limits are on
+#: but bearer auth is off.
+ANONYMOUS_TENANT = "anonymous"
+
+
+class _Bucket:
+    """One tenant's token bucket (tokens and last-refill instant)."""
+
+    __slots__ = ("tokens", "last")
+
+    def __init__(self, tokens: float, last: float) -> None:
+        self.tokens = tokens
+        self.last = last
+
+
+class TenantRateLimiter:
+    """Token buckets keyed by tenant identity, refilled on demand.
+
+    Each tenant may burst up to *burst* requests and sustains
+    *rate_per_second* thereafter.  Decisions are O(1); the table is an
+    LRU bounded at *max_tenants*.  Thread-safe: the asyncio gateway calls
+    from its event loop, tests and the threaded server may call from
+    anywhere.
+    """
+
+    def __init__(
+        self,
+        rate_per_second: float,
+        *,
+        burst: Optional[int] = None,
+        max_tenants: int = 4096,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        check_positive(rate_per_second, "rate_per_second")
+        check_positive(max_tenants, "max_tenants")
+        self.rate = float(rate_per_second)
+        self.burst = float(
+            burst if burst is not None else max(1, int(rate_per_second))
+        )
+        check_positive(self.burst, "burst")
+        self.max_tenants = int(max_tenants)
+        self._clock = clock
+        self._buckets: "OrderedDict[str, _Bucket]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def try_acquire(self, tenant: str) -> Tuple[bool, float]:
+        """Spend one token of *tenant* → ``(allowed, retry_after_seconds)``.
+
+        ``retry_after_seconds`` is 0.0 when allowed, otherwise the time
+        until the bucket next holds a whole token — the honest value for
+        a ``Retry-After`` header.
+        """
+        with self._lock:
+            now = self._clock()
+            bucket = self._buckets.get(tenant)
+            if bucket is None:
+                bucket = _Bucket(self.burst, now)
+                self._buckets[tenant] = bucket
+                while len(self._buckets) > self.max_tenants:
+                    self._buckets.popitem(last=False)
+            else:
+                self._buckets.move_to_end(tenant)
+                bucket.tokens = min(
+                    self.burst, bucket.tokens + (now - bucket.last) * self.rate
+                )
+                bucket.last = now
+            if bucket.tokens < 1.0:
+                return False, (1.0 - bucket.tokens) / self.rate
+            bucket.tokens -= 1.0
+            return True, 0.0
+
+    def tracked_tenants(self) -> int:
+        """Buckets currently held (bounded by ``max_tenants``)."""
+        with self._lock:
+            return len(self._buckets)

@@ -22,7 +22,11 @@ The CLI front end is ``octopus serve`` (boot a server over a dataset) and
 ``octopus query --url`` (replay requests against one).
 """
 
-from repro.server.client import OctopusClient, OctopusTransportError
+from repro.server.client import (
+    OctopusClient,
+    OctopusRateLimitedError,
+    OctopusTransportError,
+)
 from repro.server.http import (
     HTTP_STATUS_BY_ERROR_CODE,
     OctopusHTTPServer,
@@ -34,6 +38,7 @@ __all__ = [
     "OctopusHTTPServer",
     "OctopusClient",
     "OctopusTransportError",
+    "OctopusRateLimitedError",
     "HTTP_STATUS_BY_ERROR_CODE",
     "serve_in_background",
     "status_for_response",

@@ -21,15 +21,17 @@ from __future__ import annotations
 
 import http.client
 import json
+import ssl
 import threading
-from typing import Any, Dict, List, Optional, Sequence, Union
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 from urllib.parse import urlsplit
 
 from repro.service.requests import ServiceRequest
 from repro.service.responses import ServiceResponse
 from repro.utils.validation import ValidationError
 
-__all__ = ["OctopusClient", "OctopusTransportError"]
+__all__ = ["OctopusClient", "OctopusTransportError", "OctopusRateLimitedError"]
 
 RequestLike = Union[ServiceRequest, Dict[str, Any], str]
 
@@ -37,6 +39,39 @@ RequestLike = Union[ServiceRequest, Dict[str, Any], str]
 class OctopusTransportError(ConnectionError):
     """The wire itself failed: no connection, timeout, or a non-protocol
     body.  Server-side failures never raise this — they are envelopes."""
+
+
+class OctopusRateLimitedError(OctopusTransportError):
+    """Raised when opt-in 429 retries are exhausted and the server is
+    still shedding.  Carries the server's last ``Retry-After`` hint (in
+    seconds) on :attr:`retry_after` so callers can back off honestly."""
+
+    def __init__(self, message: str, retry_after: float) -> None:
+        super().__init__(message)
+        self.retry_after = float(retry_after)
+
+
+def _build_ssl_context(
+    verify: Union[bool, str, ssl.SSLContext],
+) -> ssl.SSLContext:
+    """The client-side TLS context for a *verify* policy.
+
+    ``True`` → system trust store; a path → that CA bundle (how tests and
+    private deployments trust a self-signed server); ``False`` → no
+    verification (tooling escape hatch — the connection is still
+    encrypted, but the peer is unauthenticated); a ready
+    ``ssl.SSLContext`` passes through untouched.
+    """
+    if isinstance(verify, ssl.SSLContext):
+        return verify
+    if verify is True:
+        return ssl.create_default_context()
+    if verify is False:
+        context = ssl.create_default_context()
+        context.check_hostname = False
+        context.verify_mode = ssl.CERT_NONE
+        return context
+    return ssl.create_default_context(cafile=str(verify))
 
 
 def _encode(request: RequestLike) -> str:
@@ -72,17 +107,32 @@ class OctopusClient:
         *,
         timeout: float = 30.0,
         auth_token: Optional[str] = None,
+        verify: Union[bool, str, ssl.SSLContext] = True,
+        retries: int = 0,
     ) -> None:
         parts = urlsplit(url if "//" in url else f"//{url}", scheme="http")
-        if parts.scheme != "http":
-            raise ValueError(f"only http:// URLs are supported, got {url!r}")
+        if parts.scheme not in ("http", "https"):
+            raise ValueError(
+                f"only http:// and https:// URLs are supported, got {url!r}"
+            )
         if not parts.hostname:
             raise ValueError(f"URL has no host: {url!r}")
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        self.scheme: str = parts.scheme
         self.host: str = parts.hostname
-        self.port: int = parts.port if parts.port is not None else 80
+        self.port: int = (
+            parts.port
+            if parts.port is not None
+            else (443 if parts.scheme == "https" else 80)
+        )
         self.prefix: str = parts.path.rstrip("/")
         self.timeout = float(timeout)
         self.auth_token = auth_token
+        self.retries = int(retries)
+        self._ssl_context: Optional[ssl.SSLContext] = (
+            _build_ssl_context(verify) if parts.scheme == "https" else None
+        )
         self.closed = False
         self._local = threading.local()
         self._connections: List[http.client.HTTPConnection] = []
@@ -185,9 +235,17 @@ class OctopusClient:
         connection = getattr(self._local, "connection", None)
         if connection is not None:
             return connection, True
-        connection = http.client.HTTPConnection(
-            self.host, self.port, timeout=self.timeout
-        )
+        if self._ssl_context is not None:
+            connection = http.client.HTTPSConnection(
+                self.host,
+                self.port,
+                timeout=self.timeout,
+                context=self._ssl_context,
+            )
+        else:
+            connection = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
         self._local.connection = connection
         with self._connections_lock:
             self._connections.append(connection)
@@ -209,7 +267,41 @@ class OctopusClient:
     def _request(
         self, method: str, path: str, body: Optional[str] = None
     ) -> Any:
-        """One HTTP exchange → ``(status, parsed JSON body)``.
+        """One logical request → ``(status, parsed JSON body)``.
+
+        Honors ``Retry-After`` on 429 when retries are opted in
+        (``retries=N``): sleeps the server's hint (bounded by the client
+        timeout) and re-sends, at most N times.  With retries off (the
+        default), the 429 envelope comes straight back — annotated with
+        the header's ``retry_after_seconds`` so callers see the hint even
+        without reading headers.  Exhausted retries raise
+        :class:`OctopusRateLimitedError` carrying the last hint.
+        """
+        attempt = 0
+        while True:
+            status, payload, retry_after = self._exchange(method, path, body)
+            if status != 429:
+                return status, payload
+            hint = retry_after if retry_after is not None else 1.0
+            if isinstance(payload, dict):
+                details = (payload.get("error") or {}).setdefault("details", {})
+                details.setdefault("retry_after_seconds", hint)
+            if attempt >= self.retries:
+                if self.retries == 0:
+                    return status, payload
+                raise OctopusRateLimitedError(
+                    f"{method} {path} still rate-limited after "
+                    f"{self.retries} retries; server says retry after "
+                    f"{hint:g}s",
+                    retry_after=hint,
+                )
+            time.sleep(min(max(hint, 0.0), self.timeout))
+            attempt += 1
+
+    def _exchange(
+        self, method: str, path: str, body: Optional[str] = None
+    ) -> Tuple[int, Any, Optional[float]]:
+        """One HTTP exchange → ``(status, parsed body, retry_after)``.
 
         Retry policy (requests are not idempotent, so at-most-once
         delivery matters): retry exactly once, only on a **reused**
@@ -256,7 +348,14 @@ class OctopusClient:
                     f"server returned a non-JSON body "
                     f"(status {response.status}): {error}"
                 ) from error
-            return response.status, payload
+            retry_after: Optional[float] = None
+            header = response.getheader("Retry-After")
+            if header is not None:
+                try:
+                    retry_after = float(header)
+                except ValueError:
+                    retry_after = None  # HTTP-date form: fall back to default
+            return response.status, payload, retry_after
         raise AssertionError("unreachable")  # pragma: no cover
 
     @staticmethod

@@ -36,8 +36,8 @@ nothing served is ever dropped from the metrics.
 
 from __future__ import annotations
 
-import hmac
 import json
+import ssl
 import sys
 import threading
 import time
@@ -45,6 +45,18 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Union
 from urllib.parse import urlsplit
 
+from repro.server.wire import (
+    HTTP_STATUS_BY_ERROR_CODE,
+    HTTPCounters,
+    batch_body_text,
+    bearer_token_matches,
+    decode_body,
+    parse_batch,
+    parse_content_length,
+    route_error_envelope,
+    status_for_response,
+    unauthorized_envelope,
+)
 from repro.service.concurrent import ConcurrentOctopusService
 from repro.service.dispatcher import OctopusService
 from repro.service.responses import ServiceResponse, jsonify
@@ -58,68 +70,10 @@ __all__ = [
 
 ServiceExecutor = Union[OctopusService, ConcurrentOctopusService]
 
-#: Structured error code → HTTP status.  Client mistakes are 4xx so a
-#: load balancer or the stress harness can tell "you sent garbage" from
-#: "the server broke"; only ``internal_error`` (and codes this table does
-#: not know, conservatively) surface as 5xx.
-HTTP_STATUS_BY_ERROR_CODE: Dict[str, int] = {
-    "malformed_request": 400,
-    "unauthorized": 401,
-    "invalid_request": 400,
-    "unknown_service": 400,
-    "payload_too_large": 413,
-    "rate_limited": 429,
-    "not_found": 404,
-    "method_not_allowed": 405,
-    "internal_error": 500,
-}
-
-#: The paths the server actually serves; anything else is bucketed under
-#: one ``http.path.other`` counter so a URL scanner cannot grow the
-#: per-path stats dict without bound.
-KNOWN_PATHS = ("/query", "/batch", "/stats", "/healthz")
-
-
-def status_for_response(response: ServiceResponse) -> int:
-    """The HTTP status carrying *response*: 200 on success, mapped 4xx/5xx
-    via :data:`HTTP_STATUS_BY_ERROR_CODE` on failure (unknown codes are
-    conservatively 500)."""
-    if response.ok:
-        return 200
-    assert response.error is not None
-    return HTTP_STATUS_BY_ERROR_CODE.get(response.error.code, 500)
-
-
-class _HTTPCounters:
-    """Thread-safe request/response counters for the ``http.*`` stats."""
-
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self._by_path: Dict[str, int] = {}
-        self._by_status_class: Dict[str, int] = {}
-        self._total = 0
-
-    def record(self, path: str, status: int) -> None:
-        """Fold one served HTTP exchange into the counters."""
-        if path not in KNOWN_PATHS:
-            path = "other"  # bound the per-path dict against URL scanners
-        bucket = f"{status // 100}xx"
-        with self._lock:
-            self._total += 1
-            self._by_path[path] = self._by_path.get(path, 0) + 1
-            self._by_status_class[bucket] = (
-                self._by_status_class.get(bucket, 0) + 1
-            )
-
-    def snapshot(self) -> Dict[str, float]:
-        """Flat counter dict keyed ``http.<metric>``."""
-        with self._lock:
-            stats: Dict[str, float] = {"http.requests": float(self._total)}
-            for path, count in sorted(self._by_path.items()):
-                stats[f"http.path.{path.lstrip('/') or 'root'}"] = float(count)
-            for bucket, count in sorted(self._by_status_class.items()):
-                stats[f"http.responses.{bucket}"] = float(count)
-            return stats
+# The protocol tables and envelope builders live in the transport-neutral
+# :mod:`repro.server.wire` (shared with the asyncio gateway); this module
+# keeps the threaded transport only.
+_HTTPCounters = HTTPCounters  # back-compat alias for external imports
 
 
 class _OctopusRequestHandler(BaseHTTPRequestHandler):
@@ -195,29 +149,12 @@ class _OctopusRequestHandler(BaseHTTPRequestHandler):
         body = self._read_body()
         if body is None:
             return
-        try:
-            entries = json.loads(body)
-        except json.JSONDecodeError as error:
-            self._send_envelope(
-                ServiceResponse.failure(
-                    "batch", "malformed_request", f"batch is not valid JSON: {error}"
-                )
-            )
-            return
-        if not isinstance(entries, list):
-            self._send_envelope(
-                ServiceResponse.failure(
-                    "batch",
-                    "malformed_request",
-                    f"batch must be a JSON array, got {type(entries).__name__}",
-                )
-            )
+        entries, error = parse_batch(body)
+        if error is not None:
+            self._send_envelope(error)
             return
         responses = self.server.service.execute_batch(entries)
-        text = json.dumps(
-            [response.to_dict() for response in responses], sort_keys=True
-        )
-        self._send_json(200, text)
+        self._send_json(200, batch_body_text(responses))
 
     def _authorized(self) -> bool:
         """Shared-secret check: ``Authorization: Bearer <token>``.
@@ -230,89 +167,41 @@ class _OctopusRequestHandler(BaseHTTPRequestHandler):
         token = self.server.auth_token
         if token is None:
             return True
-        header = self.headers.get("Authorization", "")
-        # Compare as bytes: compare_digest raises TypeError on non-ASCII
-        # str input, and header bytes arrive latin-1-decoded — a garbage
-        # token must yield a 401 envelope, not a handler crash.
-        if header.startswith("Bearer ") and hmac.compare_digest(
-            header[len("Bearer "):].encode("utf-8", "surrogateescape"),
-            token.encode("utf-8"),
-        ):
+        if bearer_token_matches(self.headers.get("Authorization", ""), token):
             return True
         self.close_connection = True  # the body (if any) is never drained
-        self._send_envelope(
-            ServiceResponse.failure(
-                "http",
-                "unauthorized",
-                "missing or invalid bearer token; send "
-                "'Authorization: Bearer <token>'",
-            )
-        )
+        self._send_envelope(unauthorized_envelope())
         return False
 
     @staticmethod
     def _route_error(path: str, hint_paths: tuple) -> ServiceResponse:
         """404 for unknown paths, 405 for a known path with the wrong verb."""
-        if path in hint_paths:
-            return ServiceResponse.failure(
-                "http",
-                "method_not_allowed",
-                f"wrong method for {path}; see GET /healthz, GET /stats, "
-                f"POST /query, POST /batch",
-            )
-        return ServiceResponse.failure(
-            "http",
-            "not_found",
-            f"unknown path {path!r}; endpoints are GET /healthz, "
-            f"GET /stats, POST /query, POST /batch",
-        )
+        return route_error_envelope(path, hint_paths)
 
     # ------------------------------------------------------------------
     # Plumbing
     # ------------------------------------------------------------------
 
     def _read_body(self) -> Optional[str]:
-        """The request body as text, or ``None`` after sending an error."""
-        length_header = self.headers.get("Content-Length")
-        try:
-            length = int(length_header)
-        except (TypeError, ValueError):
-            # Without a length we cannot drain whatever body follows, so
-            # the connection must not be reused.
+        """The request body as text, or ``None`` after sending an error.
+
+        A missing Content-Length or an oversized declared size drops the
+        connection: the unread (or unbuffered) body would otherwise poison
+        the next keep-alive request on it.
+        """
+        length, error = parse_content_length(
+            self.headers.get("Content-Length"), self.server.max_body_bytes
+        )
+        if error is not None:
             self.close_connection = True
-            self._send_envelope(
-                ServiceResponse.failure(
-                    "http",
-                    "malformed_request",
-                    "POST requires a Content-Length header",
-                )
-            )
+            self._send_envelope(error)
             return None
-        if length > self.server.max_body_bytes:
-            # Don't buffer a body the declared size of which no envelope
-            # could legitimately reach; the connection is dropped because
-            # the unread body would otherwise poison the next keep-alive
-            # request on it.
-            self.close_connection = True
-            self._send_envelope(
-                ServiceResponse.failure(
-                    "http",
-                    "payload_too_large",
-                    f"request body of {length} bytes exceeds the "
-                    f"{self.server.max_body_bytes}-byte limit",
-                )
-            )
+        raw = self.rfile.read(length)
+        text, error = decode_body(raw)
+        if error is not None:
+            self._send_envelope(error)
             return None
-        raw = self.rfile.read(max(0, length))
-        try:
-            return raw.decode("utf-8")
-        except UnicodeDecodeError as error:
-            self._send_envelope(
-                ServiceResponse.failure(
-                    "http", "malformed_request", f"body is not UTF-8: {error}"
-                )
-            )
-            return None
+        return text
 
     def _send_envelope(self, response: ServiceResponse) -> None:
         """Send one envelope with its mapped HTTP status."""
@@ -370,15 +259,17 @@ class OctopusHTTPServer(ThreadingHTTPServer):
         request_timeout: float = 10.0,
         max_body_bytes: int = 8 * 1024 * 1024,
         auth_token: Optional[str] = None,
+        ssl_context: Optional[ssl.SSLContext] = None,
         verbose: bool = False,
     ) -> None:
         self.service = service
         self.request_timeout = float(request_timeout)
         self.max_body_bytes = int(max_body_bytes)
         self.auth_token = auth_token
+        self.ssl_context = ssl_context
         self.verbose = verbose
         self.draining = False
-        self.http_counters = _HTTPCounters()
+        self.http_counters = HTTPCounters()
         self.final_stats: Optional[Dict[str, Any]] = None
         self._started_at = time.monotonic()
         self._serve_thread: Optional[threading.Thread] = None
@@ -391,6 +282,15 @@ class OctopusHTTPServer(ThreadingHTTPServer):
         # all receive the same final snapshot.
         self._shutdown_lock = threading.Lock()
         super().__init__((host, port), _OctopusRequestHandler)
+        if ssl_context is not None:
+            # Wrap the *listening* socket so every accepted connection is
+            # TLS.  The handshake is deferred (do_handshake_on_connect
+            # False) to the handler thread's first read — a slow or bogus
+            # client then stalls only its own handler (bounded by the
+            # request timeout), never the accept loop.
+            self.socket = ssl_context.wrap_socket(
+                self.socket, server_side=True, do_handshake_on_connect=False
+            )
 
     def serve_forever(self, poll_interval: float = 0.5) -> None:
         """The accept loop; tracked so a graceful shutdown knows whether
@@ -415,7 +315,8 @@ class OctopusHTTPServer(ThreadingHTTPServer):
     def url(self) -> str:
         """Base URL of the bound socket (ephemeral port resolved)."""
         host, port = self.server_address[:2]
-        return f"http://{host}:{port}"
+        scheme = "https" if self.ssl_context is not None else "http"
+        return f"{scheme}://{host}:{port}"
 
     def health(self) -> Dict[str, Any]:
         """The ``/healthz`` body: liveness, uptime and request count.
@@ -452,12 +353,12 @@ class OctopusHTTPServer(ThreadingHTTPServer):
         """Keep client disconnects quiet; defer to the base otherwise.
 
         A client dropping its socket mid-response (or an idle keep-alive
-        connection timing out) is normal serving weather, not a stack
-        trace.
+        connection timing out, or a plaintext client babbling at a TLS
+        port) is normal serving weather, not a stack trace.
         """
         exc_type = sys.exc_info()[0]
         if exc_type is not None and issubclass(
-            exc_type, (ConnectionError, TimeoutError)
+            exc_type, (ConnectionError, TimeoutError, ssl.SSLError)
         ):
             return
         if self.verbose:

@@ -30,6 +30,7 @@ from repro.service.concurrent import ConcurrentOctopusService
 from repro.service.dispatcher import OctopusService
 from repro.service.middleware import (
     CacheMiddleware,
+    Counters,
     MetricsMiddleware,
     Middleware,
     RateLimitMiddleware,
@@ -70,6 +71,7 @@ __all__ = [
     "ServiceResponse",
     "ServiceError",
     "ServiceMetrics",
+    "Counters",
     "Middleware",
     "MetricsMiddleware",
     "ValidationMiddleware",

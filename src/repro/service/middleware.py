@@ -25,6 +25,7 @@ from repro.utils.validation import ValidationError, check_positive
 __all__ = [
     "Handler",
     "Middleware",
+    "Counters",
     "ServiceMetrics",
     "MetricsMiddleware",
     "ValidationMiddleware",
@@ -34,6 +35,55 @@ __all__ = [
 
 Handler = Callable[[ServiceRequest], ServiceResponse]
 Middleware = Callable[[ServiceRequest, Handler], ServiceResponse]
+
+
+class Counters:
+    """Thread-safe named counters and gauges for serving-layer metrics.
+
+    The generic sibling of :class:`ServiceMetrics`: where that collector
+    folds whole responses, this one counts *events* — queue admissions,
+    shed requests, lane dispatches, timeouts — under one lock, and
+    snapshots them flat under a fixed prefix so every front end's counters
+    land in the same ``stats()`` dict shape.  ``observe`` additionally
+    tracks a running maximum (``<name>.max``) for depth-style gauges.
+    """
+
+    def __init__(self, prefix: str = "") -> None:
+        self.prefix = prefix
+        self._lock = threading.Lock()
+        self._counts: Dict[str, float] = {}
+        self._maxima: Dict[str, float] = {}
+
+    def increment(self, name: str, amount: float = 1.0) -> None:
+        """Add *amount* to counter *name* (created at zero)."""
+        with self._lock:
+            self._counts[name] = self._counts.get(name, 0.0) + amount
+
+    def observe(self, name: str, value: float) -> None:
+        """Record a gauge sample: keeps the running maximum of *name*."""
+        with self._lock:
+            if value > self._maxima.get(name, float("-inf")):
+                self._maxima[name] = value
+
+    def value(self, name: str) -> float:
+        """Current value of counter *name* (0.0 when never incremented)."""
+        with self._lock:
+            return self._counts.get(name, 0.0)
+
+    def snapshot(self) -> Dict[str, float]:
+        """Flat dict of every counter and gauge, prefix applied."""
+        with self._lock:
+            stats = {
+                f"{self.prefix}{name}": value
+                for name, value in sorted(self._counts.items())
+            }
+            stats.update(
+                {
+                    f"{self.prefix}{name}.max": value
+                    for name, value in sorted(self._maxima.items())
+                }
+            )
+            return stats
 
 
 @dataclass

@@ -1,0 +1,191 @@
+"""Admission-control invariants, proved over arbitrary interleavings.
+
+The :class:`~repro.gateway.admission.AdmissionQueue` is pure logic by
+design so hypothesis can drive it through any arrival/dispatch/completion
+pattern a live gateway could ever produce, and check the production
+contract directly:
+
+* queued depth never exceeds the bound — arrivals beyond it are shed,
+  and **every** shed yields a parseable structured 429 envelope;
+* heavy in-flight work never exceeds ``heavy_slots`` and total in-flight
+  work never exceeds ``workers``;
+* work is never stranded: whenever a worker is free and the policy
+  admits a lane, :meth:`take` produces a job.
+"""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gateway import (
+    HEAVY_SERVICES,
+    LANE_CHEAP,
+    LANE_HEAVY,
+    AdmissionQueue,
+    lane_for_batch,
+    lane_for_service,
+    shed_envelope,
+)
+from repro.server.wire import status_for_response
+from repro.service import ServiceResponse
+
+#: Operation alphabet for the property: offers on each lane, a dispatch
+#: attempt, and a completion of the longest-running in-flight job.
+OPS = st.sampled_from(["offer_cheap", "offer_heavy", "take", "finish"])
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    ops=st.lists(OPS, max_size=200),
+    capacity=st.integers(min_value=1, max_value=8),
+    workers=st.integers(min_value=1, max_value=6),
+    fairness=st.integers(min_value=1, max_value=5),
+)
+def test_queue_invariants_hold_under_any_interleaving(
+    ops, capacity, workers, fairness
+):
+    """Bound, concurrency caps and shed contract under arbitrary traffic."""
+    queue = AdmissionQueue(
+        capacity=capacity, workers=workers, fairness=fairness
+    )
+    in_flight = []  # model: lanes of currently executing jobs, in order
+    admitted = sheds = 0
+    for op in ops:
+        if op == "offer_cheap" or op == "offer_heavy":
+            lane = LANE_CHEAP if op == "offer_cheap" else LANE_HEAVY
+            before = queue.depth(lane)
+            if queue.offer(lane, object()):
+                admitted += 1
+                assert before < capacity  # only admitted below the bound
+            else:
+                sheds += 1
+                assert before == capacity  # only shed when full
+                # The shed contract: a parseable structured 429 envelope.
+                envelope = shed_envelope(lane, 1.0, before)
+                assert status_for_response(envelope) == 429
+                parsed = ServiceResponse.from_json(envelope.to_json())
+                assert parsed.error is not None
+                assert parsed.error.code == "rate_limited"
+                assert parsed.error.details["lane"] == lane
+                assert parsed.error.details["retry_after_seconds"] == 1.0
+        elif op == "take":
+            taken = queue.take()
+            if taken is not None:
+                in_flight.append(taken[0])
+        elif op == "finish" and in_flight:
+            queue.finish(in_flight.pop(0))
+        # The standing invariants, checked after every single step:
+        assert queue.depth(LANE_CHEAP) <= capacity
+        assert queue.depth(LANE_HEAVY) <= capacity
+        assert queue.in_flight(LANE_HEAVY) <= queue.heavy_slots
+        assert queue.total_in_flight() <= workers
+        # No stranded work: can_take() is false only for a policy reason.
+        if not queue.can_take():
+            cheap_blocked = queue.depth(LANE_CHEAP) == 0 or (
+                queue.total_in_flight() >= workers
+            )
+            heavy_blocked = queue.depth(LANE_HEAVY) == 0 or (
+                queue.total_in_flight() >= workers
+                or queue.in_flight(LANE_HEAVY) >= queue.heavy_slots
+            )
+            assert cheap_blocked and heavy_blocked
+    assert queue.shed_count(LANE_CHEAP) + queue.shed_count(LANE_HEAVY) == sheds
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    arrivals=st.lists(st.booleans(), min_size=1, max_size=120),
+    capacity=st.integers(min_value=1, max_value=6),
+)
+def test_depth_is_bounded_with_no_dispatch_at_all(arrivals, capacity):
+    """Worst case — nothing ever dispatched — still sheds, never buffers."""
+    queue = AdmissionQueue(capacity=capacity, workers=2)
+    for is_heavy in arrivals:
+        lane = LANE_HEAVY if is_heavy else LANE_CHEAP
+        queue.offer(lane, object())
+        assert queue.depth(lane) <= capacity
+    total_queued = queue.depth(LANE_CHEAP) + queue.depth(LANE_HEAVY)
+    total_shed = queue.shed_count(LANE_CHEAP) + queue.shed_count(LANE_HEAVY)
+    assert total_queued + total_shed == len(arrivals)
+
+
+class TestDispatchPolicy:
+    """Deterministic corners of the lane policy."""
+
+    def test_cheap_dispatches_before_heavy(self):
+        queue = AdmissionQueue(capacity=8, workers=4)
+        queue.offer(LANE_HEAVY, "h")
+        queue.offer(LANE_CHEAP, "c")
+        assert queue.take() == (LANE_CHEAP, "c")
+
+    def test_heavy_slots_cap_concurrent_heavy_work(self):
+        queue = AdmissionQueue(capacity=8, workers=4, heavy_slots=2)
+        for index in range(4):
+            queue.offer(LANE_HEAVY, index)
+        assert queue.take() == (LANE_HEAVY, 0)
+        assert queue.take() == (LANE_HEAVY, 1)
+        assert queue.take() is None  # heavy at cap, nothing cheap waiting
+        queue.finish(LANE_HEAVY)
+        assert queue.take() == (LANE_HEAVY, 2)
+
+    def test_last_worker_is_reserved_for_cheap_traffic(self):
+        """Default heavy_slots = workers - 1: heavy can never fill all."""
+        queue = AdmissionQueue(capacity=8, workers=3)
+        for index in range(3):
+            queue.offer(LANE_HEAVY, index)
+        assert queue.take() is not None
+        assert queue.take() is not None
+        assert queue.take() is None  # third heavy blocked by the cap
+        queue.offer(LANE_CHEAP, "c")
+        assert queue.take() == (LANE_CHEAP, "c")  # the reserved slot
+
+    def test_fairness_valve_lets_heavy_through_a_cheap_flood(self):
+        queue = AdmissionQueue(capacity=64, workers=1, fairness=3)
+        queue.offer(LANE_HEAVY, "h")
+        for index in range(10):
+            queue.offer(LANE_CHEAP, index)
+        dispatched = []
+        for _ in range(4):
+            lane, item = queue.take()
+            dispatched.append(lane)
+            queue.finish(lane)
+        # Three cheap dispatches, then the valve opens for the heavy job.
+        assert dispatched == [LANE_CHEAP, LANE_CHEAP, LANE_CHEAP, LANE_HEAVY]
+
+    def test_single_worker_still_serves_heavy(self):
+        queue = AdmissionQueue(capacity=4, workers=1)
+        assert queue.heavy_slots == 1
+        queue.offer(LANE_HEAVY, "h")
+        assert queue.take() == (LANE_HEAVY, "h")
+
+
+class TestLaneClassification:
+    """Service → lane mapping used by the gateway's request router."""
+
+    def test_heavy_services_are_the_im_queries(self):
+        assert HEAVY_SERVICES == {"influencers", "targeted"}
+        for service in HEAVY_SERVICES:
+            assert lane_for_service(service) == LANE_HEAVY
+
+    def test_everything_else_is_cheap(self):
+        for service in ("suggest", "paths", "complete", "radar", "stats"):
+            assert lane_for_service(service) == LANE_CHEAP
+        assert lane_for_service(None) == LANE_CHEAP
+        assert lane_for_service("no_such_service") == LANE_CHEAP
+
+    def test_batches_go_heavy_by_size_or_content(self):
+        cheap_entry = {"service": "stats"}
+        heavy_entry = {"service": "targeted"}
+        assert lane_for_batch([cheap_entry] * 3, 16) == LANE_CHEAP
+        assert lane_for_batch([cheap_entry] * 16, 16) == LANE_HEAVY
+        assert lane_for_batch([cheap_entry, heavy_entry], 16) == LANE_HEAVY
+        assert lane_for_batch(["not a dict"], 16) == LANE_CHEAP
+
+    def test_shed_envelope_is_wire_ready(self):
+        envelope = shed_envelope(LANE_HEAVY, 2.5, 64)
+        body = json.loads(envelope.to_json())
+        assert body["error"]["code"] == "rate_limited"
+        assert body["error"]["details"]["reason"] == "queue_full"
+        assert body["error"]["details"]["queue_depth"] == 64
+        assert body["error"]["details"]["retry_after_seconds"] == 2.5

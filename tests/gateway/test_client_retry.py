@@ -1,0 +1,103 @@
+"""Client-side handling of 429s: annotate, opt-in retry, honest raise.
+
+Driven against a live gateway with per-tenant token buckets so the 429s
+are the real article (``Retry-After`` header + structured envelope), not
+canned responses.  The contract:
+
+* by default (``retries=0``) a 429 comes back as a *returned* envelope —
+  existing callers see a ``ServiceResponse`` exactly as before — with
+  the server's retry hint surfaced in ``error.details``;
+* ``retries=N`` sleeps the hinted backoff (capped by the client timeout)
+  and retries, succeeding once the bucket refills;
+* exhausted retries raise :class:`OctopusRateLimitedError` carrying the
+  last hint as :attr:`retry_after`, so callers can schedule their own
+  backoff.
+"""
+
+import time
+
+import pytest
+
+from repro.gateway import GatewayConfig
+from repro.server import OctopusClient, OctopusRateLimitedError
+
+WIRE_TIMEOUT = 15.0
+
+CHEAP_REQUEST = {"service": "suggest"}
+
+
+def throttled_config(rate, burst=1):
+    """A gateway config whose only bottleneck is the tenant bucket."""
+    return GatewayConfig(
+        tenant_rate=rate,
+        tenant_burst=burst,
+        read_timeout=5.0,
+        write_timeout=5.0,
+    )
+
+
+class TestDefaultNoRetry:
+    def test_429_is_returned_as_annotated_envelope(
+        self, stub_service, running_gateway
+    ):
+        """No retries: callers get the envelope, plus the server's hint."""
+        config = throttled_config(rate=0.001)  # bucket refills ~never
+        with running_gateway(stub_service, config=config) as gateway:
+            with OctopusClient(gateway.url, timeout=WIRE_TIMEOUT) as client:
+                first = client.execute(CHEAP_REQUEST)
+                assert first.ok  # the burst token
+                second = client.execute(CHEAP_REQUEST)
+                assert not second.ok
+                assert second.error.code == "rate_limited"
+                details = second.error.details
+                assert details["reason"] == "tenant_rate_limited"
+                # The Retry-After hint is surfaced for the caller.
+                assert details["retry_after_seconds"] > 0
+
+    def test_negative_retries_is_rejected(self):
+        with pytest.raises(ValueError):
+            OctopusClient("http://127.0.0.1:1", retries=-1)
+
+
+class TestOptInRetry:
+    def test_retry_sleeps_the_hint_then_succeeds(
+        self, stub_service, running_gateway
+    ):
+        """2 tokens/s + burst 1: the second call succeeds after ~0.5s."""
+        config = throttled_config(rate=2.0)
+        with running_gateway(stub_service, config=config) as gateway:
+            with OctopusClient(
+                gateway.url, timeout=WIRE_TIMEOUT, retries=3
+            ) as client:
+                assert client.execute(CHEAP_REQUEST).ok
+                started = time.monotonic()
+                second = client.execute(CHEAP_REQUEST)
+                elapsed = time.monotonic() - started
+                assert second.ok  # retried through the throttle
+                assert elapsed >= 0.3  # really waited for the refill
+                assert elapsed < WIRE_TIMEOUT
+
+    def test_exhausted_retries_raise_with_the_hint(
+        self, stub_service, running_gateway
+    ):
+        """A bucket that cannot refill in time ends in a typed error."""
+        config = throttled_config(rate=0.01)  # ~100s to a fresh token
+        with running_gateway(stub_service, config=config) as gateway:
+            # timeout=0.5 caps each backoff sleep, keeping the test fast.
+            with OctopusClient(gateway.url, timeout=0.5, retries=1) as client:
+                assert client.execute(CHEAP_REQUEST).ok
+                with pytest.raises(OctopusRateLimitedError) as excinfo:
+                    client.execute(CHEAP_REQUEST)
+        assert excinfo.value.retry_after is not None
+        assert excinfo.value.retry_after > 1.0
+
+    def test_batch_path_is_retried_too(self, stub_service, running_gateway):
+        """/batch flows through the same 429 loop as /query."""
+        config = throttled_config(rate=2.0)
+        with running_gateway(stub_service, config=config) as gateway:
+            with OctopusClient(
+                gateway.url, timeout=WIRE_TIMEOUT, retries=3
+            ) as client:
+                assert client.execute(CHEAP_REQUEST).ok  # drain the burst
+                responses = client.execute_batch([CHEAP_REQUEST])
+                assert len(responses) == 1 and responses[0].ok

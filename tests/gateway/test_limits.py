@@ -1,0 +1,69 @@
+"""Per-tenant token buckets: isolation, refill, honest hints, bounded table."""
+
+from repro.gateway import ANONYMOUS_TENANT, TenantRateLimiter
+
+
+class FakeClock:
+    """A controllable monotonic clock."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestTenantRateLimiter:
+    def test_burst_then_throttle_with_honest_retry_after(self):
+        clock = FakeClock()
+        limiter = TenantRateLimiter(2.0, burst=3, clock=clock)
+        for _ in range(3):
+            allowed, retry_after = limiter.try_acquire("alice")
+            assert allowed and retry_after == 0.0
+        allowed, retry_after = limiter.try_acquire("alice")
+        assert not allowed
+        # An empty bucket at 2 tokens/s holds a whole token in 0.5s.
+        assert abs(retry_after - 0.5) < 1e-9
+        clock.advance(retry_after)
+        allowed, _ = limiter.try_acquire("alice")
+        assert allowed
+
+    def test_tenants_are_isolated(self):
+        clock = FakeClock()
+        limiter = TenantRateLimiter(1.0, burst=1, clock=clock)
+        assert limiter.try_acquire("alice")[0]
+        assert not limiter.try_acquire("alice")[0]
+        # A hot tenant spends only its own budget, never bob's.
+        assert limiter.try_acquire("bob")[0]
+        assert limiter.try_acquire(ANONYMOUS_TENANT)[0]
+
+    def test_refill_caps_at_burst(self):
+        clock = FakeClock()
+        limiter = TenantRateLimiter(10.0, burst=2, clock=clock)
+        assert limiter.try_acquire("alice")[0]
+        clock.advance(100.0)  # a long idle refills to burst, not beyond
+        assert limiter.try_acquire("alice")[0]
+        assert limiter.try_acquire("alice")[0]
+        assert not limiter.try_acquire("alice")[0]
+
+    def test_bucket_table_is_lru_bounded(self):
+        clock = FakeClock()
+        limiter = TenantRateLimiter(1.0, burst=1, max_tenants=3, clock=clock)
+        for tenant in ("a", "b", "c", "d", "e"):
+            limiter.try_acquire(tenant)
+        assert limiter.tracked_tenants() == 3
+
+    def test_eviction_is_permissive_never_a_lockout(self):
+        """An evicted tenant returns with a full bucket — cycling random
+        tokens buys an attacker nothing, and no tenant is ever locked out
+        by losing its bucket."""
+        clock = FakeClock()
+        limiter = TenantRateLimiter(0.001, burst=1, max_tenants=2, clock=clock)
+        assert limiter.try_acquire("a")[0]
+        assert not limiter.try_acquire("a")[0]  # a's bucket is empty
+        limiter.try_acquire("b")
+        limiter.try_acquire("c")  # evicts "a" (least recently active)
+        assert limiter.try_acquire("a")[0]  # back with a fresh bucket

@@ -1,0 +1,199 @@
+"""Overload behaviour of the asyncio gateway, produced deterministically.
+
+A :class:`StubService` whose heavy queries block on a test-controlled
+gate lets these tests *saturate* the heavy lane at will — no timing
+luck — and then assert the production contract:
+
+* a full queue sheds immediately: structured 429 envelope, honest
+  ``Retry-After`` header, answered well inside the slow-client timeout —
+  never a hang, never a 5xx;
+* ``GET /healthz`` keeps answering while everything else sheds;
+* the cheap lane keeps its latency while the heavy lane is saturated
+  (the reserved-worker guarantee, measured as a p99).
+"""
+
+import http.client
+import json
+import threading
+import time
+
+from repro.gateway import GatewayConfig, OctopusAsyncGateway
+from repro.server import OctopusClient
+
+WIRE_TIMEOUT = 15.0
+
+#: Overload-shaped gateway: tiny queue, one heavy slot, quick Retry-After.
+OVERLOAD_CONFIG = GatewayConfig(
+    queue_depth=2,
+    workers=2,
+    heavy_slots=1,
+    retry_after_seconds=1.0,
+    read_timeout=5.0,
+    write_timeout=5.0,
+)
+
+HEAVY_REQUEST = {"service": "targeted", "keywords": ["x"]}
+CHEAP_REQUEST = {"service": "stats"}
+
+
+def saturate_heavy_lane(gateway, stub, clients):
+    """Fill the heavy lane: 1 executing (gated) + queue_depth queued.
+
+    Returns the threads carrying the in-flight requests; the caller must
+    open ``stub.gate`` and join them before shutdown.
+
+    The first request is sent *alone* and confirmed executing before the
+    fillers go out: were all sent concurrently, a filler could reach a
+    still-full queue and (correctly) be shed, leaving the lane under
+    capacity.
+    """
+    threads = []
+
+    def send(client):
+        thread = threading.Thread(
+            target=client.execute, args=(HEAVY_REQUEST,), daemon=True
+        )
+        thread.start()
+        threads.append(thread)
+
+    send(clients[0])
+    # The gated execution has started: a worker slot is pinned open.
+    assert stub.started.acquire(timeout=WIRE_TIMEOUT)
+    for client in clients[1:]:
+        send(client)
+    # Now wait until the queue really holds the rest (bounded poll).
+    deadline = time.monotonic() + WIRE_TIMEOUT
+    while time.monotonic() < deadline:
+        depths = gateway.stats()
+        if depths["gateway.lane.heavy.depth"] >= OVERLOAD_CONFIG.queue_depth:
+            return threads
+        time.sleep(0.01)
+    raise AssertionError("heavy lane never filled")
+
+
+class TestLoadShedding:
+    def test_full_queue_sheds_429_with_retry_after_quickly(
+        self, stub_service, running_gateway
+    ):
+        with running_gateway(stub_service, config=OVERLOAD_CONFIG) as gateway:
+            clients = [
+                OctopusClient(gateway.url, timeout=WIRE_TIMEOUT)
+                for _ in range(1 + OVERLOAD_CONFIG.queue_depth)
+            ]
+            try:
+                threads = saturate_heavy_lane(gateway, stub_service, clients)
+                # The next heavy request must shed *immediately*.
+                host = gateway.url[len("http://"):]
+                connection = http.client.HTTPConnection(host, timeout=5.0)
+                body = json.dumps(HEAVY_REQUEST).encode()
+                started = time.monotonic()
+                connection.request(
+                    "POST",
+                    "/query",
+                    body=body,
+                    headers={"Content-Length": str(len(body))},
+                )
+                response = connection.getresponse()
+                raw = response.read()
+                shed_latency = time.monotonic() - started
+                connection.close()
+                assert response.status == 429  # shed, not hung and not 5xx
+                assert shed_latency < OVERLOAD_CONFIG.read_timeout
+                retry_after = response.getheader("Retry-After")
+                assert retry_after is not None and int(retry_after) >= 1
+                envelope = json.loads(raw)  # always a parseable envelope
+                assert envelope["error"]["code"] == "rate_limited"
+                assert envelope["error"]["details"]["reason"] == "queue_full"
+                assert envelope["error"]["details"]["lane"] == "heavy"
+                stats = gateway.stats()
+                assert stats["gateway.lane.heavy.shed"] >= 1.0
+            finally:
+                stub_service.gate.set()
+                for thread in threads:
+                    thread.join(timeout=WIRE_TIMEOUT)
+                for client in clients:
+                    client.close()
+
+    def test_healthz_stays_responsive_under_saturation(
+        self, stub_service, running_gateway
+    ):
+        with running_gateway(stub_service, config=OVERLOAD_CONFIG) as gateway:
+            clients = [
+                OctopusClient(gateway.url, timeout=WIRE_TIMEOUT)
+                for _ in range(1 + OVERLOAD_CONFIG.queue_depth)
+            ]
+            try:
+                threads = saturate_heavy_lane(gateway, stub_service, clients)
+                probe = OctopusClient(gateway.url, timeout=5.0)
+                for _ in range(5):
+                    started = time.monotonic()
+                    health = probe.health()
+                    assert time.monotonic() - started < 2.0
+                    assert health["status"] == "ok"  # alive, just loaded
+                probe.close()
+            finally:
+                stub_service.gate.set()
+                for thread in threads:
+                    thread.join(timeout=WIRE_TIMEOUT)
+                for client in clients:
+                    client.close()
+
+
+class TestPriorityLanes:
+    def test_cheap_lane_p99_bounded_while_heavy_lane_is_saturated(
+        self, stub_service, running_gateway
+    ):
+        """The reserved worker keeps interactive latency under heavy load."""
+        with running_gateway(stub_service, config=OVERLOAD_CONFIG) as gateway:
+            clients = [
+                OctopusClient(gateway.url, timeout=WIRE_TIMEOUT)
+                for _ in range(1 + OVERLOAD_CONFIG.queue_depth)
+            ]
+            try:
+                threads = saturate_heavy_lane(gateway, stub_service, clients)
+                cheap = OctopusClient(gateway.url, timeout=WIRE_TIMEOUT)
+                latencies = []
+                for _ in range(50):
+                    started = time.monotonic()
+                    response = cheap.execute(CHEAP_REQUEST)
+                    latencies.append(time.monotonic() - started)
+                    assert response.ok  # served, not shed, while heavy waits
+                cheap.close()
+                latencies.sort()
+                p99 = latencies[int(len(latencies) * 0.99) - 1]
+                # Stub cheap queries are ~instant; anything near the heavy
+                # gate's timescale would mean cheap traffic was starved.
+                assert p99 < 2.0
+                stats = gateway.stats()
+                assert stats["gateway.lane.cheap.served"] >= 50.0
+                assert stats["gateway.lane.cheap.shed"] == 0.0
+            finally:
+                stub_service.gate.set()
+                for thread in threads:
+                    thread.join(timeout=WIRE_TIMEOUT)
+                for client in clients:
+                    client.close()
+
+    def test_draining_gateway_finishes_admitted_work(
+        self, stub_service, running_gateway
+    ):
+        """Shutdown waits for queued+executing jobs (the gate opens first)."""
+        config = GatewayConfig(
+            queue_depth=4, workers=2, heavy_slots=1, drain_timeout=10.0
+        )
+        gateway = OctopusAsyncGateway(stub_service, port=0, config=config)
+        gateway.start()
+        client = OctopusClient(gateway.url, timeout=WIRE_TIMEOUT)
+        results = []
+        thread = threading.Thread(
+            target=lambda: results.append(client.execute(HEAVY_REQUEST)),
+            daemon=True,
+        )
+        thread.start()
+        assert stub_service.started.acquire(timeout=WIRE_TIMEOUT)
+        stub_service.gate.set()
+        final = gateway.shutdown_gracefully()
+        thread.join(timeout=WIRE_TIMEOUT)
+        client.close()
+        assert results and results[0].ok
+        assert final["gateway.lane.heavy.served"] == 1.0

@@ -1,0 +1,134 @@
+"""TLS on both serving front ends, end to end over real sockets.
+
+A session-scoped self-signed certificate (``tls_material`` in the
+package conftest) stands in for a deployment cert.  The contract under
+test:
+
+* both the threaded server and the asyncio gateway speak HTTPS when
+  handed an ``ssl.SSLContext`` and advertise ``https://`` URLs;
+* :class:`~repro.server.client.OctopusClient` verifies against a CA
+  bundle path, can be told ``verify=False`` for lab rigs, and — by
+  default — *refuses* a certificate it cannot chain (failing closed);
+* answer bytes are transport-independent: TLS must not change
+  deterministic forms.
+"""
+
+import ssl
+
+import pytest
+
+from repro.server import (
+    OctopusClient,
+    OctopusTransportError,
+    serve_in_background,
+)
+from repro.service import (
+    FindInfluencersRequest,
+    OctopusService,
+    deterministic_form,
+)
+
+WIRE_TIMEOUT = 15.0
+
+REQUEST = FindInfluencersRequest("data mining", k=3)
+
+
+@pytest.fixture
+def plain_forms(backend):
+    """Reference bytes computed in process (no transport at all)."""
+    return deterministic_form(OctopusService(backend).execute(REQUEST))
+
+
+class TestGatewayTLS:
+    def test_https_with_ca_bundle_verification(
+        self, backend, running_gateway, server_ssl_context, tls_material,
+        plain_forms,
+    ):
+        cert_path, _ = tls_material
+        with running_gateway(
+            OctopusService(backend), ssl_context=server_ssl_context
+        ) as gateway:
+            assert gateway.url.startswith("https://")
+            with OctopusClient(
+                gateway.url, timeout=WIRE_TIMEOUT, verify=cert_path
+            ) as client:
+                response = client.execute(REQUEST)
+                assert deterministic_form(response) == plain_forms
+                assert client.health()["status"] == "ok"
+
+    def test_verify_false_accepts_self_signed(
+        self, backend, running_gateway, server_ssl_context, plain_forms
+    ):
+        with running_gateway(
+            OctopusService(backend), ssl_context=server_ssl_context
+        ) as gateway:
+            with OctopusClient(
+                gateway.url, timeout=WIRE_TIMEOUT, verify=False
+            ) as client:
+                response = client.execute(REQUEST)
+                assert deterministic_form(response) == plain_forms
+
+    def test_default_verification_fails_closed(
+        self, backend, running_gateway, server_ssl_context
+    ):
+        """An unknown issuer must be rejected, not silently trusted."""
+        with running_gateway(
+            OctopusService(backend), ssl_context=server_ssl_context
+        ) as gateway:
+            with OctopusClient(gateway.url, timeout=WIRE_TIMEOUT) as client:
+                with pytest.raises(
+                    OctopusTransportError, match="certificate verify failed"
+                ):
+                    client.execute(REQUEST)
+
+
+class TestThreadedServerTLS:
+    def test_https_round_trip_matches_gateway_and_plain(
+        self, backend, running_gateway, server_ssl_context, tls_material,
+        plain_forms,
+    ):
+        """Same cert, same bytes, on the classic threaded front end."""
+        cert_path, key_path = tls_material
+        threaded_context = ssl.SSLContext(ssl.PROTOCOL_TLS_SERVER)
+        threaded_context.load_cert_chain(cert_path, key_path)
+        server = serve_in_background(
+            OctopusService(backend),
+            request_timeout=WIRE_TIMEOUT,
+            ssl_context=threaded_context,
+        )
+        try:
+            assert server.url.startswith("https://")
+            with OctopusClient(
+                server.url, timeout=WIRE_TIMEOUT, verify=cert_path
+            ) as threaded_client:
+                threaded = threaded_client.execute(REQUEST)
+            with running_gateway(
+                OctopusService(backend), ssl_context=server_ssl_context
+            ) as gateway:
+                with OctopusClient(
+                    gateway.url, timeout=WIRE_TIMEOUT, verify=cert_path
+                ) as gateway_client:
+                    gatewayed = gateway_client.execute(REQUEST)
+        finally:
+            server.shutdown_gracefully()
+        assert deterministic_form(threaded) == plain_forms
+        assert deterministic_form(gatewayed) == plain_forms
+
+    def test_custom_client_context_is_honoured(
+        self, backend, server_ssl_context, tls_material
+    ):
+        """``verify=<SSLContext>`` plugs an operator-built context in."""
+        cert_path, _ = tls_material
+        client_context = ssl.create_default_context(cafile=cert_path)
+        server = serve_in_background(
+            OctopusService(backend),
+            request_timeout=WIRE_TIMEOUT,
+            ssl_context=server_ssl_context,
+        )
+        try:
+            with OctopusClient(
+                server.url, timeout=WIRE_TIMEOUT, verify=client_context
+            ) as client:
+                assert client.health()["status"] == "ok"
+        finally:
+            server.shutdown_gracefully()

@@ -306,9 +306,17 @@ class TestClient:
 
     def test_rejects_non_http_urls(self):
         with pytest.raises(ValueError):
-            OctopusClient("https://example.org")
+            OctopusClient("ftp://example.org")
         with pytest.raises(ValueError):
             OctopusClient("http://")
+        with pytest.raises(ValueError):
+            OctopusClient("http://example.org", retries=-1)
+
+    def test_https_urls_are_accepted(self):
+        client = OctopusClient("https://example.org", verify=False)
+        assert client.scheme == "https"
+        assert client.port == 443
+        client.close()
 
     def test_bad_batch_entry_rejected_client_side(
         self, backend, running_server, connected_client

@@ -24,6 +24,7 @@ PACKAGES = [
     "repro.service",
     "repro.server",
     "repro.cluster",
+    "repro.gateway",
 ]
 
 MODULES = [
@@ -44,9 +45,13 @@ MODULES = [
     "repro.core.topic_samples",
     "repro.datasets.loaders",
     "repro.engine.workload",
+    "repro.gateway.admission",
+    "repro.gateway.http",
+    "repro.gateway.limits",
     "repro.graph.digraph",
     "repro.server.client",
     "repro.server.http",
+    "repro.server.wire",
     "repro.service.dispatcher",
     "repro.service.middleware",
     "repro.service.requests",
