@@ -64,9 +64,13 @@ interchangeable — the same seed gives the same answers on either, at any
 worker count — while ``serial`` (the default) bypasses the backend layer
 and keeps the single-stream draw order.  ``query --batch`` with
 ``--workers > 1`` serves the batch through the concurrent executor.
-``--rr-kernel {vectorized,legacy}`` picks the RR sampling core: results
-are deterministic per kernel, and only ``legacy`` with ``--backend
+``--rr-kernel {vectorized,legacy,native}`` picks the RR sampling core:
+results are deterministic per kernel, and only ``legacy`` with ``--backend
 serial`` reproduces historical (pre-kernel) releases bit for bit.
+``native`` runs the chunk-batched compiled extension when it is built
+(``python setup.py build_ext --inplace`` or a ``pip install`` with a
+compiler) and a draw-for-draw identical pure-Python fallback otherwise —
+``octopus stats`` reports which via ``execution.native_kernel``.
 """
 
 from __future__ import annotations
@@ -150,11 +154,13 @@ def build_parser() -> argparse.ArgumentParser:
         )
         sub.add_argument(
             "--rr-kernel",
-            choices=("vectorized", "legacy"),
+            choices=("vectorized", "legacy", "native"),
             default="vectorized",
             help="RR sampling kernel: the frontier-batched vectorized core "
-            "(default) or the historical node-at-a-time legacy core; each "
-            "is deterministic for a fixed seed, but they draw in different "
+            "(default), the historical node-at-a-time legacy core, or the "
+            "chunk-batched native core (compiled extension when built, "
+            "identical pure-Python fallback otherwise); each is "
+            "deterministic for a fixed seed, but they draw in different "
             "orders and give different (equally distributed) samples",
         )
         return sub

@@ -32,7 +32,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.propagation.kernels import gather_csr_slices
+from repro.propagation.native import apply_cover_seed
 from repro.propagation.packed import PackedRRSets
 
 __all__ = [
@@ -106,21 +106,21 @@ class ShardCoverState:
         Identical arithmetic to the serial greedy's inner update: mark the
         seed's not-yet-covered sets covered and subtract their members'
         counts from the coverage array, so no set's members are walked
-        more than once over the whole loop.
+        more than once over the whole loop.  Delegates to
+        :func:`repro.propagation.native.apply_cover_seed`, which runs the
+        compiled cover-update core when the extension is loaded and the
+        NumPy path otherwise — exact integer arithmetic either way, so
+        shard merges stay byte-compatible with serial selection.
         """
         packed = self.packed
-        candidate_sets = self.member_sets[
-            self.member_offsets[seed]:self.member_offsets[seed + 1]
-        ]
-        new_sets = candidate_sets[~self.covered[candidate_sets]]
-        if new_sets.size == 0:
-            return
-        self.covered[new_sets] = True
-        member_indices = gather_csr_slices(
-            packed.offsets[new_sets], packed.offsets[new_sets + 1]
-        )
-        self.coverage -= np.bincount(
-            packed.nodes[member_indices], minlength=packed.num_nodes
+        apply_cover_seed(
+            seed,
+            self.member_offsets,
+            self.member_sets,
+            self.covered,
+            packed.offsets,
+            packed.nodes,
+            self.coverage,
         )
 
 

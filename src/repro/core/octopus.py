@@ -80,7 +80,7 @@ class OctopusConfig:
     cache_capacity: int = 128  # default capacity of the service-layer result cache
     execution_backend: str = "serial"  # serial | threads | processes
     workers: Optional[int] = None  # worker count for pooled backends
-    rr_kernel: str = "vectorized"  # vectorized | legacy (RR sampling core)
+    rr_kernel: str = "vectorized"  # vectorized | legacy | native (RR core)
     sketch_expansion: str = "frontier"  # frontier | node (sketch build core)
     seed: SeedLike = None
 
@@ -504,7 +504,8 @@ class Octopus:
     def statistics(self) -> Dict[str, object]:
         """Build/query timings and index sizes (cache stats live in the
         service layer, where the cache now lives).  Values are floats
-        except ``execution.backend``, which names the compute backend so
+        except the ``execution.*`` identity keys (backend name, configured
+        RR kernel, and native-kernel provenance), which are strings so
         snapshots are self-describing."""
         stats: Dict[str, object] = {}
         for name, total in self._stopwatch.totals().items():
@@ -521,6 +522,14 @@ class Octopus:
         stats["execution.workers"] = float(
             self.execution.workers if self.execution is not None else 1
         )
+        stats["execution.rr_kernel"] = self.config.rr_kernel
+        # Which implementation the "native" kernel would run on (and the
+        # cover-update inner loop does run on): the compiled extension or
+        # its pure-Python twin.  Pure observability — never an answer
+        # change — but essential for reading benchmark numbers.
+        from repro.propagation.native import kernel_provenance
+
+        stats["execution.native_kernel"] = kernel_provenance()
         stats["graph.num_nodes"] = float(self.graph.num_nodes)
         stats["graph.num_edges"] = float(self.graph.num_edges)
         return stats

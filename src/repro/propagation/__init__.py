@@ -2,8 +2,9 @@
 
 Provides forward Monte-Carlo simulation, fixed live-edge possible worlds
 (shared-threshold coupling across topic distributions), reverse-reachable-set
-sampling [8] on pluggable kernels (frontier-batched vectorized / legacy)
-with packed flat-array storage, and the spread estimators built on them.
+sampling [8] on pluggable kernels (frontier-batched vectorized / legacy /
+chunk-batched native with an optional compiled core) with packed flat-array
+storage, and the spread estimators built on them.
 """
 
 from repro.propagation.estimators import (
@@ -17,6 +18,11 @@ from repro.propagation.kernels import (
     RR_KERNELS,
     check_rr_kernel,
     reverse_reachable_frontier,
+)
+from repro.propagation.native import (
+    HAVE_COMPILED,
+    kernel_provenance,
+    sample_rr_chunk,
 )
 from repro.propagation.packed import PackedRRSets
 from repro.propagation.rrsets import (
@@ -33,8 +39,11 @@ __all__ = [
     "WorldEnsemble",
     "RR_KERNELS",
     "DEFAULT_RR_KERNEL",
+    "HAVE_COMPILED",
     "check_rr_kernel",
+    "kernel_provenance",
     "reverse_reachable_frontier",
+    "sample_rr_chunk",
     "PackedRRSets",
     "RRSetCollection",
     "generate_rr_set",

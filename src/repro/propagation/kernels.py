@@ -1,6 +1,6 @@
 """Sampling kernels for reverse-reachable sets.
 
-Two interchangeable kernels draw one RR set from an in-CSR graph:
+Three interchangeable kernels draw RR sets from an in-CSR graph:
 
 * ``"vectorized"`` (the default) — frontier-batched: per BFS level it
   gathers the in-CSR slices of the *whole* frontier at once (``np.repeat``
@@ -11,14 +11,22 @@ Two interchangeable kernels draw one RR set from an in-CSR graph:
 * ``"legacy"`` — the historical node-at-a-time loop over Python sets
   (:func:`repro.propagation.rrsets._reverse_reachable`), kept selectable for
   bit-compatibility with earlier releases.
+* ``"native"`` — chunk-batched compiled C core with a draw-for-draw
+  identical pure-NumPy fallback (:mod:`repro.propagation.native`): a whole
+  chunk of roots goes into one call that writes the packed ``(nodes,
+  offsets)`` payload directly, with coins from a splitmix64 stream both
+  implementations consume in the same order.  Always selectable — the
+  fallback runs when the optional extension didn't build — and bit-stable
+  either way.
 
 Each kernel is self-deterministic — a fixed seed reproduces its results on
-any backend at any worker count — but the two kernels consume the RNG
-stream in different orders (per-node draws vs per-level draws), so their
-outputs need not match each other sample-for-sample.  They do sample the
-same distribution: every in-edge of every visited node is crossed with
-exactly one fresh coin, which is the lazy live-edge coupling of the IC
-model (see the exact world-enumeration test in ``test_rr_kernels.py``).
+any backend at any worker count — but the kernels consume their RNG
+streams in different orders (per-node draws vs per-level draws vs the
+splitmix64 side stream), so their outputs need not match each other
+sample-for-sample.  They do sample the same distribution: every in-edge of
+every visited node is crossed with exactly one fresh coin, which is the
+lazy live-edge coupling of the IC model (see the exact world-enumeration
+tests in ``test_rr_kernels.py`` and ``test_native_kernel.py``).
 """
 
 from __future__ import annotations
@@ -41,7 +49,7 @@ __all__ = [
 ]
 
 #: Recognised kernel names, in presentation order.
-RR_KERNELS = ("vectorized", "legacy")
+RR_KERNELS = ("vectorized", "legacy", "native")
 
 #: The kernel used when callers don't choose one.
 DEFAULT_RR_KERNEL = "vectorized"

@@ -8,11 +8,16 @@ spread, and greedy maximum coverage over RR sets yields the standard
 query-time IM baseline and, with fixed thresholds, inside the influencer
 index of Section II-D.
 
-Sampling runs on one of two kernels (see :mod:`repro.propagation.kernels`):
-the frontier-batched ``"vectorized"`` kernel (default) or the node-at-a-time
-``"legacy"`` kernel kept for bit-compatibility with earlier releases.
-Batches are stored packed (:class:`~repro.propagation.packed.PackedRRSets`),
-which makes every estimator below a flat array operation.
+Sampling runs on one of three kernels (see :mod:`repro.propagation.kernels`):
+the frontier-batched ``"vectorized"`` kernel (default), the node-at-a-time
+``"legacy"`` kernel kept for bit-compatibility with earlier releases, or the
+chunk-batched ``"native"`` kernel whose compiled C core (optional — a
+draw-for-draw identical NumPy fallback always works) emits the packed
+payload in one call per chunk.  Batches are stored packed
+(:class:`~repro.propagation.packed.PackedRRSets`), which makes every
+estimator below a flat array operation; greedy max-cover's inner
+cover-update step likewise runs compiled when the extension is loaded,
+with byte-identical selections either way.
 """
 
 from __future__ import annotations
@@ -31,6 +36,7 @@ from typing import (
 import numpy as np
 
 from repro.graph.digraph import SocialGraph
+from repro.propagation import native
 from repro.propagation.kernels import (
     DEFAULT_RR_KERNEL,
     check_rr_kernel,
@@ -96,9 +102,21 @@ def sample_packed_rr_sets(
     them, which is what keeps ``kernel="legacy"`` bit-compatible.
 
     Returns the ``(nodes, offsets)`` chunk payload
-    (:meth:`PackedRRSets.chunk_payload` form).
+    (:meth:`PackedRRSets.chunk_payload` form).  ``kernel="native"`` hands
+    the whole chunk to :func:`repro.propagation.native.sample_rr_chunk`
+    in one call — the compiled core (or its identical NumPy twin) writes
+    the packed buffers directly instead of packing per-sample arrays.
     """
     edge_probabilities = np.asarray(edge_probabilities, dtype=np.float64)
+    if kernel == "native":
+        root_array = (
+            None
+            if roots is None
+            else np.asarray(list(roots), dtype=np.int64)
+        )
+        return native.sample_rr_chunk(
+            graph, edge_probabilities, count, rng, root_array
+        )
     arrays: List[np.ndarray] = []
     if kernel == "legacy":
         for index in range(count):
@@ -153,6 +171,15 @@ def generate_rr_set(
     edge_probabilities = np.asarray(edge_probabilities, dtype=np.float64)
     if kernel == "legacy":
         return _reverse_reachable(graph, edge_probabilities, root, rng)
+    if kernel == "native":
+        nodes, _offsets = native.sample_rr_chunk(
+            graph,
+            edge_probabilities,
+            1,
+            rng,
+            np.array([root], dtype=np.int64),
+        )
+        return set(nodes.tolist())
     members = reverse_reachable_frontier(graph, edge_probabilities, root, rng)
     return set(members.tolist())
 
@@ -269,13 +296,17 @@ class RRSetCollection:
     def greedy_max_cover(self, k: int) -> Tuple[List[int], float]:
         """Greedy maximum coverage: the TIM/IMM node-selection phase.
 
-        Runs in O(Σ|R|) total via ``np.bincount`` coverage counting: each
-        round takes the max of the per-node coverage array (ties break by
-        first appearance in the packed batch — exactly the membership-dict
-        insertion order of the historical implementation, so selections
-        reproduce earlier releases) and subtracts the member counts of the
-        newly covered sets, so no set's members are walked more than once.
-        Returns the seed list and the estimated spread of the full set.
+        Runs in O(Σ|R|) total: each round takes the max of the per-node
+        coverage array (ties break by first appearance in the packed batch
+        — exactly the membership-dict insertion order of the historical
+        implementation, so selections reproduce earlier releases) and
+        subtracts the member counts of the newly covered sets, so no set's
+        members are walked more than once.  The cover-update inner step
+        (:func:`repro.propagation.native.apply_cover_seed`) runs on the
+        compiled extension when loaded and on the ``np.bincount`` path
+        otherwise — same exact integer arithmetic, so the selection
+        sequence never depends on which one ran.  Returns the seed list
+        and the estimated spread of the full set.
         """
         check_positive(k, "k")
         packed = self.packed
@@ -292,16 +323,14 @@ class RRSetCollection:
             candidates = np.flatnonzero(coverage == best_cover)
             best = int(candidates[np.argmin(first_seen[candidates])])
             seeds.append(best)
-            candidate_sets = member_sets[
-                member_offsets[best]:member_offsets[best + 1]
-            ]
-            new_sets = candidate_sets[~covered[candidate_sets]]
-            covered[new_sets] = True
-            member_indices = gather_csr_slices(
-                packed.offsets[new_sets], packed.offsets[new_sets + 1]
-            )
-            coverage -= np.bincount(
-                packed.nodes[member_indices], minlength=num_nodes
+            native.apply_cover_seed(
+                best,
+                member_offsets,
+                member_sets,
+                covered,
+                packed.offsets,
+                packed.nodes,
+                coverage,
             )
         spread = num_nodes * float(covered.sum()) / packed.num_sets
         return seeds, spread

@@ -20,7 +20,9 @@ from repro.service import OctopusService
 CLUSTER_TIMEOUT = 20.0
 
 
-def small_config(execution_backend: str = "serial") -> OctopusConfig:
+def small_config(
+    execution_backend: str = "serial", rr_kernel: str = "vectorized"
+) -> OctopusConfig:
     """Tiny index budgets; chunked or serial sampling semantics."""
     return OctopusConfig(
         num_sketches=30,
@@ -29,6 +31,7 @@ def small_config(execution_backend: str = "serial") -> OctopusConfig:
         oracle_samples=15,
         execution_backend=execution_backend,
         workers=1 if execution_backend != "serial" else None,
+        rr_kernel=rr_kernel,
         seed=29,
     )
 
@@ -37,10 +40,13 @@ def small_config(execution_backend: str = "serial") -> OctopusConfig:
 def make_service(citation_dataset):
     """Factory: a fresh small service over the shared dataset."""
 
-    def build(execution_backend: str = "serial") -> OctopusService:
+    def build(
+        execution_backend: str = "serial", rr_kernel: str = "vectorized"
+    ) -> OctopusService:
         return OctopusService(
             Octopus.from_dataset(
-                citation_dataset, config=small_config(execution_backend)
+                citation_dataset,
+                config=small_config(execution_backend, rr_kernel),
             )
         )
 

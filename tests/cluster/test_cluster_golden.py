@@ -78,6 +78,29 @@ class TestThreeWayShardDeterminism:
         assert golden_forms(one_by_one) == reference_forms
 
 
+class TestNativeKernelShardDeterminism:
+    """``rr_kernel="native"`` honours the same byte contract: shards
+    sample their contiguous chunk ranges with the native kernel (compiled
+    or fallback — forked replicas run whichever this checkout has) and
+    1/2/4-shard output must equal the single-process service's bytes
+    through the distributed max-cover path."""
+
+    @pytest.fixture(scope="class")
+    def native_reference_forms(self, make_service):
+        service = make_service("threads", rr_kernel="native")
+        return golden_forms([service.execute(r) for r in GOLDEN_WORKLOAD])
+
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    def test_native_cluster_matches_serial_service(
+        self, make_service, running_cluster, native_reference_forms, shards
+    ):
+        backend = make_service("threads", rr_kernel="native")
+        with running_cluster(backend, shards=shards) as cluster:
+            served = cluster.execute_batch(GOLDEN_WORKLOAD)
+        assert golden_forms(served) == native_reference_forms
+        assert all(response.ok for response in served)
+
+
 class TestDistributedPathIsReallyDistributed:
     """With chunked semantics, targeted queries must use the fan-out
     protocol — not fall back to whole-query routing on one shard."""

@@ -234,6 +234,10 @@ class TestBackendOptions:
         arguments = parser.parse_args(["stats", "dir", "--rr-kernel", "legacy"])
         assert arguments.rr_kernel == "legacy"
         assert parser.parse_args(["stats", "dir"]).rr_kernel == "vectorized"
+        assert (
+            parser.parse_args(["stats", "dir", "--rr-kernel", "native"]).rr_kernel
+            == "native"
+        )
 
     def test_parser_rejects_unknown_rr_kernel(self):
         parser = build_parser()

@@ -219,6 +219,19 @@ class TestExecutionBackends:
             OctopusConfig(rr_kernel="cuda")
         assert OctopusConfig().rr_kernel == "vectorized"
         assert OctopusConfig(rr_kernel="legacy").rr_kernel == "legacy"
+        assert OctopusConfig(rr_kernel="native").rr_kernel == "native"
+
+    def test_statistics_report_kernel_provenance(self, system):
+        """`execution.rr_kernel` + native provenance surface in stats."""
+        from repro.propagation.native import kernel_provenance
+
+        stats = system.statistics()
+        assert stats["execution.rr_kernel"] == system.config.rr_kernel
+        assert stats["execution.native_kernel"] == kernel_provenance()
+        assert stats["execution.native_kernel"] in (
+            "native-compiled",
+            "native-fallback",
+        )
 
     def test_pooled_builds_agree_with_each_other(self, citation_dataset_module):
         """threads and processes builds answer queries identically."""

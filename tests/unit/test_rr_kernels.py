@@ -1,11 +1,15 @@
 """Kernel-equivalence and seed-stability tests for RR sampling.
 
-The vectorized (frontier-batched) and legacy (node-at-a-time) kernels draw
-from the *same* distribution — each in-edge of each visited node is crossed
-with exactly one fresh coin — but consume the RNG stream in different
-orders, so they are compared distributionally (against exact world
-enumeration) rather than sample-for-sample.  Per kernel, a fixed seed must
-give bit-identical packed arrays on every backend at every worker count.
+The vectorized (frontier-batched), legacy (node-at-a-time) and native
+(chunk-batched, optionally compiled) kernels draw from the *same*
+distribution — each in-edge of each visited node is crossed with exactly
+one fresh coin — but consume their RNG streams in different orders, so
+they are compared distributionally (against exact world enumeration)
+rather than sample-for-sample.  Per kernel, a fixed seed must give
+bit-identical packed arrays on every backend at every worker count.  The
+parametrized suites below run over all of ``RR_KERNELS``, native
+included; the native kernel's own contracts (compiled-vs-fallback draw
+identity, shard partitions, provenance) live in ``test_native_kernel.py``.
 """
 
 import itertools
@@ -28,9 +32,10 @@ from repro.utils.validation import ValidationError
 
 class TestKernelRegistry:
     def test_names(self):
-        assert set(RR_KERNELS) == {"vectorized", "legacy"}
+        assert set(RR_KERNELS) == {"vectorized", "legacy", "native"}
         assert DEFAULT_RR_KERNEL == "vectorized"
         assert check_rr_kernel("legacy") == "legacy"
+        assert check_rr_kernel("native") == "native"
 
     def test_unknown_kernel_rejected(self):
         with pytest.raises(ValidationError):
@@ -151,6 +156,7 @@ class TestKernelDistributionEquivalence:
                 np.diff(collection.packed.offsets).astype(np.float64)
             )
         assert sizes["vectorized"] == pytest.approx(sizes["legacy"], rel=0.1)
+        assert sizes["native"] == pytest.approx(sizes["legacy"], rel=0.1)
 
 
 class TestSeedStability:
