@@ -195,6 +195,14 @@ class ExecutionBackend(abc.ABC):
     #: Short identifier (``serial`` / ``threads`` / ``processes``).
     name: str = "abstract"
 
+    #: How chunk payloads travel back from workers: ``"inline"`` when no
+    #: process boundary exists (serial / threads — results are passed by
+    #: reference), ``"shm"`` / ``"pickle"`` for process-crossing backends
+    #: (see :mod:`repro.backend.shm`).  Pure observability — surfaced as
+    #: ``execution.payload_transport`` in stats snapshots, never an
+    #: answer change.
+    payload_transport: str = "inline"
+
     @property
     @abc.abstractmethod
     def workers(self) -> int:
@@ -279,8 +287,23 @@ class ExecutionBackend(abc.ABC):
                 num_sets, chunk_size, sequence, root_cycle
             )
         ]
+        return self._collect_packed(graph.num_nodes, tasks)
+
+    def _collect_packed(
+        self, num_nodes: int, tasks: Sequence[Tuple]
+    ) -> PackedRRSets:
+        """Run the chunk tasks and assemble the packed batch.
+
+        The transport seam: in-memory backends map the plain chunk
+        function and concatenate the returned arrays;
+        :class:`~repro.backend.pools.ProcessPoolBackend` overrides this to
+        route chunk payloads through the shared-memory arena
+        (:mod:`repro.backend.shm`) so only descriptors cross the pipe.
+        Either way the assembled batch is identical byte for byte —
+        transport is never allowed to change results.
+        """
         chunks = self.map_chunks(_sample_rr_chunk, tasks)
-        return PackedRRSets.from_chunks(graph.num_nodes, chunks)
+        return PackedRRSets.from_chunks(num_nodes, chunks)
 
     def sample_rr_sets(
         self,
@@ -292,11 +315,15 @@ class ExecutionBackend(abc.ABC):
         roots: Optional[Sequence[int]] = None,
         chunk_size: int = DEFAULT_RR_CHUNK_SIZE,
         kernel: str = DEFAULT_RR_KERNEL,
-    ) -> List[Set[int]]:
-        """Like :meth:`sample_rr_sets_packed`, materialised as Python sets.
+    ) -> Sequence[Set[int]]:
+        """Like :meth:`sample_rr_sets_packed`, viewed as Python sets.
 
         Compatibility surface for callers that want the legacy
-        ``List[Set[int]]`` form; the sampling itself runs packed.
+        ``List[Set[int]]`` shape; the sampling itself runs packed and the
+        returned :class:`~repro.propagation.packed.PackedSetSequence`
+        materialises each set lazily on first access (no eager whole-batch
+        conversion), while still comparing equal to a list of the same
+        sets.
         """
         return self.sample_rr_sets_packed(
             graph,
@@ -306,4 +333,4 @@ class ExecutionBackend(abc.ABC):
             roots=roots,
             chunk_size=chunk_size,
             kernel=kernel,
-        ).to_sets()
+        ).as_set_sequence()

@@ -60,6 +60,13 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.backend.base import DEFAULT_RR_CHUNK_SIZE, rr_chunk_plan, seed_to_sequence
+from repro.backend.shm import (
+    ShmArena,
+    ShmSession,
+    ShmSlice,
+    default_arena_bytes,
+    shm_enabled,
+)
 from repro.cluster.merge import (
     merge_coverage,
     merge_first_seen,
@@ -134,16 +141,40 @@ class _ShardHandle:
         process: multiprocessing.Process,
         connection,
         node_range: Tuple[int, int],
+        arena: Optional[ShmArena] = None,
     ) -> None:
         self.shard_id = shard_id
         self.process = process
         self.connection = connection
         self.node_range = node_range
+        self.arena = arena
         self.lock = threading.Lock()
         self.dead_reason = ""
         self._alive = True
         self._sequence = 0
         self._abandoned: set = set()
+
+    def resolve(self, value: Any) -> Any:
+        """Materialise any :class:`ShmSlice` descriptors in a reply value.
+
+        The resolved arrays are zero-copy read-only views into the shard's
+        arena; they stay valid exactly until the next command is sent to
+        this shard (the worker rewinds its arena at the start of every
+        cover command), which the one-command-in-flight protocol plus the
+        merge arithmetic's fresh output arrays make safe.
+        """
+        if self.arena is None:
+            return value
+        if isinstance(value, ShmSlice):
+            return self.arena.read(value)[0]
+        if isinstance(value, dict):
+            return {
+                key: self.arena.read(entry)[0]
+                if isinstance(entry, ShmSlice)
+                else entry
+                for key, entry in value.items()
+            }
+        return value
 
     def is_alive(self) -> bool:
         """Liveness: not marked dead *and* the process is still running."""
@@ -203,7 +234,7 @@ class _ShardHandle:
             if frame_sequence == sequence:
                 if not reply.ok:
                     raise ShardCommandError(reply.error)
-                return reply.value
+                return self.resolve(reply.value)
             if frame_sequence in self._abandoned:
                 self._abandoned.discard(frame_sequence)
                 continue  # late answer to a timed-out exchange
@@ -295,6 +326,24 @@ class ClusterCoordinator:
         num_nodes = self.service.backend.graph.num_nodes
         node_ranges = partition_contiguous(num_nodes, self.shards)
         context = multiprocessing.get_context("fork")
+        # The shared-memory data plane: one coordinator-owned session
+        # directory holding one arena per shard, created *before* the
+        # forks so each shard inherits its base mapping.  Ownership stays
+        # here — a killed shard cannot leak a segment, and close()
+        # reclaims the whole session directory in one sweep.  Each arena
+        # must hold one cover reply (two int64 node-length vectors) with
+        # generous headroom; larger graphs grow on demand.
+        self._shm_session: Optional[ShmSession] = None
+        arenas: List[Optional[ShmArena]] = [None] * self.shards
+        if shm_enabled():
+            self._shm_session = ShmSession()
+            capacity = max(
+                default_arena_bytes(), 4 * num_nodes * 8 + 65536
+            )
+            arenas = [
+                ShmArena(self._shm_session, f"shard{shard_id}", capacity)
+                for shard_id in range(self.shards)
+            ]
         self._handles: List[_ShardHandle] = []
         for shard_id in range(self.shards):
             parent_end, child_end = context.Pipe(duplex=True)
@@ -306,6 +355,7 @@ class ClusterCoordinator:
                     shard_id,
                     self.shards,
                     node_ranges[shard_id],
+                    arenas[shard_id],
                 ),
                 name=f"octopus-shard-{shard_id}",
                 daemon=True,
@@ -313,7 +363,13 @@ class ClusterCoordinator:
             process.start()
             child_end.close()  # the parent keeps only its end
             self._handles.append(
-                _ShardHandle(shard_id, process, parent_end, node_ranges[shard_id])
+                _ShardHandle(
+                    shard_id,
+                    process,
+                    parent_end,
+                    node_ranges[shard_id],
+                    arenas[shard_id],
+                )
             )
         self._round_robin = itertools.count()
         self._session_ids = itertools.count()
@@ -441,6 +497,9 @@ class ClusterCoordinator:
         stats["executor.kind"] = "cluster"
         stats["executor.workers"] = float(self.shards)
         stats["executor.shards"] = float(self.shards)
+        stats["executor.payload_transport"] = (
+            "shm" if self._shm_session is not None else "pickle"
+        )
         alive = 0
         for handle in self._handles:
             prefix = f"cluster.shard{handle.shard_id}"
@@ -492,6 +551,12 @@ class ClusterCoordinator:
         self.closed = True
         for handle in self._handles:
             handle.shutdown(timeout=min(self.shard_timeout, 10.0))
+        # Shards are down (or terminated): reclaim the data plane.
+        for handle in self._handles:
+            if handle.arena is not None:
+                handle.arena.close()
+        if self._shm_session is not None:
+            self._shm_session.close()
 
     def __enter__(self) -> "ClusterCoordinator":
         return self

@@ -138,7 +138,10 @@ def merge_first_seen(first_seens: Sequence[np.ndarray]) -> np.ndarray:
     """Global tie-break array: elementwise min of shifted shard arrays."""
     if not first_seens:
         raise ValueError("merge_first_seen needs at least one shard array")
-    merged = np.asarray(first_seens[0], dtype=np.int64)
+    # Force a copy: with one shard the input may be a zero-copy view into
+    # that shard's arena, which the shard overwrites on later rounds —
+    # the merged tie-break array must outlive the transport window.
+    merged = np.array(first_seens[0], dtype=np.int64)
     for local in first_seens[1:]:
         merged = np.minimum(merged, np.asarray(local, dtype=np.int64))
     return merged

@@ -28,6 +28,16 @@ command            shard action
 ``Ping``           liveness probe (pid + per-shard request counters)
 ``Shutdown``       reply, close the pipe, exit the process
 =================  ====================================================
+
+Large int64 reply arrays — the ``coverage`` / ``first_seen`` vectors of
+``CoverInit`` and ``CoverRound`` — may travel as
+:class:`~repro.backend.shm.ShmSlice` descriptors instead of pickled
+ndarrays when the shared-memory data plane is on: the shard writes the
+array into its coordinator-owned arena and the frame carries only the
+(segment, offset, lengths) triple; the coordinator reconstructs a
+zero-copy view.  Frames are shape-agnostic — a reply field is "ndarray or
+descriptor" and the coordinator's resolver normalises it — so the pickle
+twin (``REPRO_SHM=0``) speaks the identical protocol with inline arrays.
 """
 
 from __future__ import annotations
@@ -37,10 +47,12 @@ from typing import Any, Optional, Tuple
 
 import numpy as np
 
+from repro.backend.shm import ShmSlice
 from repro.service.requests import ServiceRequest
 
 __all__ = [
     "ChunkSpec",
+    "ShmSlice",
     "CoverInit",
     "CoverRound",
     "DropSession",

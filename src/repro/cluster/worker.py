@@ -28,10 +28,11 @@ from __future__ import annotations
 
 import os
 import signal
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.backend.shm import ShmArena, ShmSlice
 from repro.cluster.merge import ShardCoverState
 from repro.cluster.protocol import (
     CoverInit,
@@ -63,14 +64,33 @@ class ShardWorker:
         shard_id: int,
         num_shards: int,
         node_range: Tuple[int, int],
+        arena: Optional[ShmArena] = None,
     ) -> None:
         self.service = service
         self.shard_id = int(shard_id)
         self.num_shards = int(num_shards)
         self.node_range = (int(node_range[0]), int(node_range[1]))
+        self.arena = arena
         self._sessions: Dict[str, Dict[str, Any]] = {}
         self.commands_served = 0
         self.requests_executed = 0
+
+    def _ship(self, array: np.ndarray) -> Union[np.ndarray, ShmSlice]:
+        """Move a reply array into the arena; descriptor out, array back in.
+
+        The arena is rewound at the start of every cover command (see the
+        handlers), which is safe because the coordinator's protocol is
+        strictly one-command-in-flight per shard *and* it folds each
+        reply's views into fresh merge arrays before sending the next
+        command.  A full arena (``OSError``) degrades to the inline
+        pickle payload — identical bytes, just slower.
+        """
+        if self.arena is None:
+            return array
+        try:
+            return self.arena.write_arrays((array,))
+        except OSError:  # pragma: no cover — filesystem refusal
+            return array
 
     # ------------------------------------------------------------------
     # Command dispatch
@@ -169,11 +189,13 @@ class ShardWorker:
             state["packed"], command.base, command.total_members
         )
         state["cover"] = cover
+        if self.arena is not None:
+            self.arena.reset()
         return ShardReply(
             ok=True,
             value={
-                "coverage": cover.coverage.copy(),
-                "first_seen": cover.first_seen_global,
+                "coverage": self._ship(cover.coverage),
+                "first_seen": self._ship(cover.first_seen_global),
             },
         )
 
@@ -187,10 +209,12 @@ class ShardWorker:
                 f"not run)"
             )
         cover.apply_seed(int(command.seed_node))
+        if self.arena is not None:
+            self.arena.reset()
         return ShardReply(
             ok=True,
             value={
-                "coverage": cover.coverage.copy(),
+                "coverage": self._ship(cover.coverage),
                 "covered": cover.covered_count,
             },
         )
@@ -228,6 +252,7 @@ def shard_main(
     shard_id: int,
     num_shards: int,
     node_range: Tuple[int, int],
+    arena: Optional[ShmArena] = None,
 ) -> None:
     """Entry point of a forked shard process.
 
@@ -235,6 +260,12 @@ def shard_main(
     initializer (drop the inherited pool, disable the replica's result
     cache — the coordinator's cache is authoritative), then serves
     ``(sequence, command)`` frames until ``Shutdown`` or a closed pipe.
+
+    *arena* — when the shared-memory data plane is on — is this shard's
+    slice of the coordinator-owned session: created before the fork (the
+    base mapping is inherited), written here, read (and on close,
+    reclaimed) by the coordinator.  The shard never owns a segment, so a
+    crashed shard cannot leak one.
 
     The shard ignores ``SIGINT``: a terminal Ctrl-C hits the whole
     foreground process group, and shards must survive it so the
@@ -255,7 +286,7 @@ def shard_main(
         if isinstance(layer, RateLimitMiddleware):
             layer.burst = float("inf")
             layer._tokens = float("inf")
-    worker = ShardWorker(service, shard_id, num_shards, node_range)
+    worker = ShardWorker(service, shard_id, num_shards, node_range, arena)
     try:
         while True:
             try:

@@ -530,6 +530,14 @@ class Octopus:
         from repro.propagation.native import kernel_provenance
 
         stats["execution.native_kernel"] = kernel_provenance()
+        # How chunk payloads reach the parent: "inline" (same address
+        # space — serial/threads), "shm" (zero-copy arena descriptors) or
+        # "pickle" (the REPRO_SHM=0 twin / non-fork fallback).
+        stats["execution.payload_transport"] = (
+            getattr(self.execution, "payload_transport", "inline")
+            if self.execution is not None
+            else "inline"
+        )
         stats["graph.num_nodes"] = float(self.graph.num_nodes)
         stats["graph.num_edges"] = float(self.graph.num_edges)
         return stats

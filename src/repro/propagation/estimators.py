@@ -47,9 +47,10 @@ class MonteCarloSpreadEstimator:
         edge_probabilities: np.ndarray,
         num_samples: int = 200,
         seed: SeedLike = None,
+        kernel: str = "vectorized",
     ) -> None:
         check_positive(num_samples, "num_samples")
-        self._cascade = IndependentCascade(graph, edge_probabilities)
+        self._cascade = IndependentCascade(graph, edge_probabilities, kernel)
         self.num_samples = num_samples
         self._rng = as_generator(seed)
 

@@ -14,10 +14,20 @@ from typing import List, Sequence, Set, Tuple
 import numpy as np
 
 from repro.graph.digraph import SocialGraph
+from repro.propagation.kernels import gather_csr_slices
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.validation import ValidationError, check_node_id, check_positive
 
-__all__ = ["simulate_cascade", "CascadeTrace", "IndependentCascade"]
+__all__ = ["simulate_cascade", "CascadeTrace", "IndependentCascade", "IC_KERNELS"]
+
+#: Forward-simulation kernels: ``"vectorized"`` batches coin flips per
+#: frontier level; ``"legacy"`` is the historical node-at-a-time loop,
+#: kept bit-for-bit (same draws, same activation order) and pinned by
+#: golden unit tests.  Both are exact IC samplers — one coin per out-edge
+#: of each newly activated node — but their frontier orders diverge after
+#: the first level, so seeded cascades differ between kernels (never
+#: within one).
+IC_KERNELS = ("vectorized", "legacy")
 
 
 @dataclass
@@ -46,6 +56,7 @@ def simulate_cascade(
     seed: SeedLike = None,
     *,
     record_trace: bool = False,
+    kernel: str = "vectorized",
 ) -> CascadeTrace:
     """Simulate one IC cascade from *seeds*.
 
@@ -53,6 +64,96 @@ def simulate_cascade(
     the edge's probability.  Returns a :class:`CascadeTrace`; when
     *record_trace* is false the ``activation_edges`` list stays empty (faster
     and lighter for spread estimation).
+
+    *kernel* selects the implementation (see :data:`IC_KERNELS`): the
+    frontier-batched vectorized kernel by default, or the pinned
+    ``"legacy"`` node-at-a-time loop for reproducing historical seeded
+    cascades.
+    """
+    if kernel == "vectorized":
+        return _simulate_cascade_frontier(
+            graph, edge_probabilities, seeds, seed, record_trace
+        )
+    if kernel == "legacy":
+        return _simulate_cascade_legacy(
+            graph, edge_probabilities, seeds, seed, record_trace
+        )
+    raise ValidationError(
+        f"unknown IC kernel {kernel!r}; choose from {list(IC_KERNELS)}"
+    )
+
+
+def _simulate_cascade_frontier(
+    graph: SocialGraph,
+    edge_probabilities: np.ndarray,
+    seeds: Sequence[int],
+    seed: SeedLike,
+    record_trace: bool,
+) -> CascadeTrace:
+    """Frontier-batched cascade: one coin array per level.
+
+    Per level: gather the CSR out-slices of every frontier node into one
+    edge-index array (out-CSR position *is* the edge id), flip all the
+    level's coins in a single draw, drop targets that are already active,
+    and resolve same-level races with ``np.unique`` — the first successful
+    edge in gathered order (frontier order × CSR slice order, exactly the
+    legacy visit order) wins the target.  The next frontier is the sorted
+    winner set.
+    """
+    rng = as_generator(seed)
+    seed_tuple = _check_seeds(graph, seeds)
+    out_offsets = graph.out_offsets
+    out_targets = graph.out_targets
+    active = np.zeros(graph.num_nodes, dtype=bool)
+    frontier = np.asarray(seed_tuple, dtype=np.int64)
+    active[frontier] = True
+    edges: List[Tuple[int, int, int]] = []
+    while frontier.size:
+        starts = out_offsets[frontier]
+        stops = out_offsets[frontier + 1]
+        gathered = gather_csr_slices(starts, stops)
+        if gathered.size == 0:
+            break
+        coins = rng.random(gathered.size)
+        hits = np.flatnonzero(coins < edge_probabilities[gathered])
+        if record_trace:
+            sources = np.repeat(frontier, stops - starts)
+        hit_edges = gathered[hits]
+        candidates = out_targets[hit_edges]
+        fresh = ~active[candidates]
+        hit_edges = hit_edges[fresh]
+        candidates = candidates[fresh]
+        if candidates.size == 0:
+            break
+        winners, first_hit = np.unique(candidates, return_index=True)
+        active[winners] = True
+        if record_trace:
+            hit_sources = sources[hits][fresh]
+            for position in np.sort(first_hit):
+                edges.append(
+                    (
+                        int(hit_edges[position]),
+                        int(hit_sources[position]),
+                        int(candidates[position]),
+                    )
+                )
+        frontier = winners
+    activated = {int(node) for node in np.flatnonzero(active)}
+    return CascadeTrace(seeds=seed_tuple, activated=activated, activation_edges=edges)
+
+
+def _simulate_cascade_legacy(
+    graph: SocialGraph,
+    edge_probabilities: np.ndarray,
+    seeds: Sequence[int],
+    seed: SeedLike,
+    record_trace: bool,
+) -> CascadeTrace:
+    """The historical node-at-a-time loop, preserved bit-for-bit.
+
+    Golden unit tests pin its seeded cascades (activated sets and trace
+    edges), so any refactor that changes a draw or the activation order
+    here is caught immediately.
     """
     rng = as_generator(seed)
     seed_tuple = _check_seeds(graph, seeds)
@@ -104,7 +205,12 @@ class IndependentCascade:
     spread repeatedly.
     """
 
-    def __init__(self, graph: SocialGraph, edge_probabilities: np.ndarray) -> None:
+    def __init__(
+        self,
+        graph: SocialGraph,
+        edge_probabilities: np.ndarray,
+        kernel: str = "vectorized",
+    ) -> None:
         probabilities = np.asarray(edge_probabilities, dtype=np.float64)
         if probabilities.shape != (graph.num_edges,):
             raise ValidationError(
@@ -113,15 +219,25 @@ class IndependentCascade:
             )
         if np.any(probabilities < 0.0) or np.any(probabilities > 1.0):
             raise ValidationError("edge probabilities must lie in [0, 1]")
+        if kernel not in IC_KERNELS:
+            raise ValidationError(
+                f"unknown IC kernel {kernel!r}; choose from {list(IC_KERNELS)}"
+            )
         self.graph = graph
         self.edge_probabilities = probabilities
+        self.kernel = kernel
 
     def simulate(
         self, seeds: Sequence[int], seed: SeedLike = None, *, record_trace: bool = False
     ) -> CascadeTrace:
         """One cascade from *seeds* (see :func:`simulate_cascade`)."""
         return simulate_cascade(
-            self.graph, self.edge_probabilities, seeds, seed, record_trace=record_trace
+            self.graph,
+            self.edge_probabilities,
+            seeds,
+            seed,
+            record_trace=record_trace,
+            kernel=self.kernel,
         )
 
     def estimate_spread(

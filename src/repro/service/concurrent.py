@@ -83,6 +83,11 @@ def _adopt_worker_service(service: OctopusService) -> None:
     execution = getattr(service.backend, "execution", None)
     if execution is not None and hasattr(execution, "_executor"):
         execution._executor = None
+    if execution is not None and hasattr(execution, "_reset_shm_after_fork"):
+        # The parent's shared-memory arenas belong to the parent's pool;
+        # this replica must build its own (inside the inherited session
+        # directory, which keeps crash cleanup with the original owner).
+        execution._reset_shm_after_fork()
     for layer in service.middleware:
         if isinstance(layer, CacheMiddleware):
             layer.cache = _NoOpCache()
