@@ -62,6 +62,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.utils.env import env_positive_int, env_switch
+
 __all__ = [
     "DEFAULT_ARENA_BYTES",
     "ShmArena",
@@ -85,6 +87,7 @@ DEFAULT_ARENA_BYTES = 32 * 1024 * 1024
 _ALIGN = 64
 
 _DISABLING_VALUES = ("0", "off", "pickle")
+_ENABLING_VALUES = ("", "1", "on", "shm")
 
 
 def shm_enabled() -> bool:
@@ -93,9 +96,12 @@ def shm_enabled() -> bool:
     ``REPRO_SHM=0`` / ``off`` / ``pickle`` forces the pickle twin; the
     arena also needs the ``fork`` start method (the initial mapping is
     inherited, and descriptors name files only the forked family can
-    resolve), so non-POSIX platforms fall back automatically.
+    resolve), so non-POSIX platforms fall back automatically.  Any other
+    value (``REPRO_SHM=maybe``) raises a
+    :class:`~repro.utils.validation.ValidationError` at startup rather
+    than silently picking a transport.
     """
-    if os.environ.get("REPRO_SHM", "").lower() in _DISABLING_VALUES:
+    if not env_switch("REPRO_SHM", on=_ENABLING_VALUES, off=_DISABLING_VALUES):
         return False
     return "fork" in multiprocessing.get_all_start_methods()
 
@@ -115,13 +121,13 @@ def shm_root() -> str:
 
 
 def default_arena_bytes() -> int:
-    """Per-arena initial capacity (``REPRO_SHM_ARENA_BYTES`` override)."""
-    raw = os.environ.get("REPRO_SHM_ARENA_BYTES", "")
-    try:
-        value = int(raw)
-    except ValueError:
-        return DEFAULT_ARENA_BYTES
-    return value if value > 0 else DEFAULT_ARENA_BYTES
+    """Per-arena initial capacity (``REPRO_SHM_ARENA_BYTES`` override).
+
+    A malformed or non-positive override raises a
+    :class:`~repro.utils.validation.ValidationError` when the first arena
+    is sized — never a silent fall back to the default.
+    """
+    return env_positive_int("REPRO_SHM_ARENA_BYTES", DEFAULT_ARENA_BYTES)
 
 
 @dataclass(frozen=True)

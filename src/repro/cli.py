@@ -77,6 +77,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import List, Optional
 
@@ -259,8 +260,31 @@ def build_parser() -> argparse.ArgumentParser:
         "rate-limit envelope immediately)",
     )
 
+    snapshot = add_system_command(
+        "snapshot",
+        "write a warm-start snapshot of the built system (OCTOSNAP)",
+    )
+    snapshot.add_argument(
+        "--out",
+        required=True,
+        metavar="PATH",
+        help="snapshot file to write (atomic: temp file + rename)",
+    )
+
     serve = add_system_command(
-        "serve", "serve the JSON envelopes over HTTP (the wire transport)"
+        "serve",
+        "serve the JSON envelopes over HTTP (the wire transport)",
+        dataset_optional=True,
+    )
+    serve.add_argument(
+        "--snapshot",
+        default=None,
+        metavar="PATH",
+        help="boot from an OCTOSNAP snapshot instead of building from the "
+        "dataset (instant warm start; the snapshot's embedded config — "
+        "including the seed — wins over --seed/--fast/--backend flags); "
+        "with --executor cluster the snapshot also enables dead-shard "
+        "respawn",
     )
     serve.add_argument(
         "--host", default="127.0.0.1", help="bind address (default loopback)"
@@ -567,17 +591,62 @@ def _server_ssl_context(arguments: argparse.Namespace):
     return context
 
 
+def _command_snapshot(arguments: argparse.Namespace) -> int:
+    from repro.snapshot import save_snapshot
+
+    service = _load_service(arguments)
+    try:
+        header = save_snapshot(
+            service.backend, arguments.out, source=arguments.dataset
+        )
+    except Exception as error:  # noqa: BLE001 — CLI error contract
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    size = os.path.getsize(arguments.out)
+    print(f"wrote snapshot to {arguments.out} ({size:,d} bytes)")
+    print(f"  format version   {header['version']}")
+    print(f"  nodes / edges    {header['num_nodes']:,d} / "
+          f"{header['num_edges']:,d}")
+    print(f"  topics           {len(header['topic_names'])}")
+    print("boot it with: octopus serve --snapshot " + arguments.out)
+    return 0
+
+
+def _snapshot_service(arguments: argparse.Namespace) -> OctopusService:
+    """Warm-boot the service layer from an OCTOSNAP file."""
+    from repro.snapshot import load_snapshot
+
+    return OctopusService(load_snapshot(arguments.snapshot))
+
+
 def _command_serve(arguments: argparse.Namespace) -> int:
     try:
         ssl_context = _server_ssl_context(arguments)
     except ValidationError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
-    service = _load_service(arguments)
+    if arguments.snapshot is None and arguments.dataset is None:
+        print("error: serve needs a dataset directory or --snapshot PATH",
+              file=sys.stderr)
+        return 2
+    if arguments.snapshot is not None:
+        from repro.snapshot import SnapshotError
+
+        try:
+            service = _snapshot_service(arguments)
+        except (SnapshotError, OSError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+    else:
+        service = _load_service(arguments)
     if arguments.executor == "cluster":
         from repro.cluster import ClusterCoordinator
 
-        service = ClusterCoordinator(service, shards=arguments.shards)
+        service = ClusterCoordinator(
+            service,
+            shards=arguments.shards,
+            snapshot_path=arguments.snapshot,
+        )
     elif arguments.executor != "serial":
         from repro.service import ConcurrentOctopusService
 
@@ -617,7 +686,12 @@ def _command_serve(arguments: argparse.Namespace) -> int:
             ssl_context=ssl_context,
             verbose=arguments.verbose,
         )
-    print(f"serving {arguments.dataset} on {server.url} "
+    origin = (
+        arguments.dataset
+        if arguments.snapshot is None
+        else f"snapshot {arguments.snapshot}"
+    )
+    print(f"serving {origin} on {server.url} "
           f"(executor={arguments.executor}, frontend={arguments.frontend})")
     print("endpoints: POST /query  POST /batch  GET /stats  GET /healthz")
     print("press Ctrl-C to drain and stop")
@@ -755,6 +829,7 @@ _HANDLERS = {
     "complete": _command_complete,
     "stats": _command_stats,
     "query": _command_query,
+    "snapshot": _command_snapshot,
     "serve": _command_serve,
 }
 

@@ -51,8 +51,10 @@ from __future__ import annotations
 
 import copy
 import dataclasses
+import glob
 import itertools
 import multiprocessing
+import os
 import threading
 import time
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
@@ -84,7 +86,7 @@ from repro.cluster.protocol import (
     ShardStatsCmd,
     Shutdown,
 )
-from repro.cluster.worker import shard_main
+from repro.cluster.worker import shard_main, shard_respawn_main
 from repro.core.octopus import Octopus
 from repro.core.query import KeywordQuery
 from repro.core.targeted import TargetedKeywordIM
@@ -298,6 +300,7 @@ class ClusterCoordinator:
         *,
         shards: int = 2,
         shard_timeout: float = 60.0,
+        snapshot_path: Optional[str] = None,
         **service_kwargs: Any,
     ) -> None:
         if isinstance(service, OctopusService):
@@ -323,9 +326,14 @@ class ClusterCoordinator:
         self.shard_timeout = float(shard_timeout)
         check_positive(self.shard_timeout, "shard_timeout")
         self.closed = False
+        # With a snapshot on disk, a dead shard can be respawned from it
+        # (see respawn_dead_shards) instead of degrading permanently.
+        self.snapshot_path = snapshot_path
+        self._respawn_lock = threading.Lock()
         num_nodes = self.service.backend.graph.num_nodes
         node_ranges = partition_contiguous(num_nodes, self.shards)
         context = multiprocessing.get_context("fork")
+        self._context = context
         # The shared-memory data plane: one coordinator-owned session
         # directory holding one arena per shard, created *before* the
         # forks so each shard inherits its base mapping.  Ownership stays
@@ -543,6 +551,100 @@ class ClusterCoordinator:
             "degraded": alive < self.shards,
             "shard_liveness": liveness,
         }
+
+    def respawn_dead_shards(self) -> List[int]:
+        """Respawn every dead shard from the snapshot; returns their ids.
+
+        Requires ``snapshot_path`` at construction.  Each respawned child
+        forks from the coordinator — inheriting the dead shard's arena
+        base mapping exactly as at first construction — restores its
+        replica from the snapshot (:func:`repro.snapshot.load_snapshot`,
+        byte-identical to the replica it replaces), and takes over the
+        dead shard's node range; distributed chunk ranges are assigned
+        positionally over the handle list, so chunk-range ownership
+        restores automatically.  Boot is confirmed with a bounded ping
+        before the new handle enters rotation, so a snapshot that fails
+        to restore surfaces as a :class:`ShardError` (and the shard stays
+        dead) rather than a half-live shard.  Once every shard is alive
+        again, :meth:`health` reports ``degraded: False`` and the
+        distributed max-cover path resumes.
+        """
+        if self.snapshot_path is None:
+            raise ValidationError(
+                "respawning needs a snapshot: construct the coordinator "
+                "with snapshot_path= (see `octopus snapshot`)"
+            )
+        respawned: List[int] = []
+        with self._respawn_lock:
+            if self.closed:
+                return respawned
+            for index, handle in enumerate(self._handles):
+                if handle.is_alive():
+                    continue
+                # Reap the dead process and retire its pipe endpoint.
+                try:
+                    handle.connection.close()
+                except OSError:
+                    pass
+                handle.process.join(timeout=2.0)
+                self._reclaim_arena(handle.arena)
+                parent_end, child_end = self._context.Pipe(duplex=True)
+                # Unlike the first fork, the respawned shard must *build*
+                # its replica (snapshot restore re-runs the index build),
+                # and a pooled execution_backend forks its own workers for
+                # that — which a daemonic child may not do.  Non-daemon is
+                # safe here: the serve loop exits on pipe EOF the moment
+                # the coordinator goes away.
+                process = self._context.Process(
+                    target=shard_respawn_main,
+                    args=(
+                        child_end,
+                        self.snapshot_path,
+                        handle.shard_id,
+                        self.shards,
+                        handle.node_range,
+                        handle.arena,
+                    ),
+                    name=f"octopus-shard-{handle.shard_id}",
+                    daemon=False,
+                )
+                process.start()
+                child_end.close()
+                fresh = _ShardHandle(
+                    handle.shard_id,
+                    process,
+                    parent_end,
+                    handle.node_range,
+                    handle.arena,
+                )
+                try:
+                    fresh.call(Ping(), timeout=self.shard_timeout)
+                except ShardError:
+                    fresh.shutdown(timeout=2.0)
+                    raise
+                self._handles[index] = fresh
+                respawned.append(handle.shard_id)
+        return respawned
+
+    @staticmethod
+    def _reclaim_arena(arena: Optional[ShmArena]) -> None:
+        """Clear a dead shard's leftover grow-files before its successor
+        inherits the arena: segment creation is ``O_EXCL``, so a stale
+        ``.g<n>`` file would push the respawned writer onto the inline
+        pickle fallback.  The session directory is coordinator-owned, so
+        unlinking here is safe — the shard is dead and its replies are
+        out of rotation."""
+        if arena is None:
+            return
+        arena.reset()
+        pattern = os.path.join(
+            arena.session_path, arena.base_segment + ".g*"
+        )
+        for path in glob.glob(pattern):
+            try:
+                os.unlink(path)
+            except OSError:  # pragma: no cover — cleanup is best-effort
+                pass
 
     def close(self) -> None:
         """Drain and stop every shard process; idempotent."""

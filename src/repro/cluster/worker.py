@@ -52,7 +52,7 @@ from repro.propagation.rrsets import sample_packed_rr_sets
 from repro.service.concurrent import _adopt_worker_service
 from repro.service.dispatcher import OctopusService
 
-__all__ = ["ShardWorker", "shard_main"]
+__all__ = ["ShardWorker", "shard_main", "shard_respawn_main"]
 
 
 class ShardWorker:
@@ -274,6 +274,85 @@ def shard_main(
     the coordinator escalates to ``terminate()`` after its bounded join).
     """
     signal.signal(signal.SIGINT, signal.SIG_IGN)
+    _serve_shard(connection, service, shard_id, num_shards, node_range, arena)
+
+
+def shard_respawn_main(
+    connection,
+    snapshot_path: str,
+    shard_id: int,
+    num_shards: int,
+    node_range: Tuple[int, int],
+    arena: Optional[ShmArena] = None,
+) -> None:
+    """Entry point of a shard respawned from a snapshot.
+
+    Unlike :func:`shard_main`, the replica is not inherited copy-on-write
+    from the coordinator: the child rebuilds it from the OCTOSNAP file
+    (:func:`repro.snapshot.load_snapshot`), which reconstructs the exact
+    constructor inputs and re-runs the seed-keyed index build — so the
+    respawned replica answers with the same bytes as the shard it
+    replaces.  The node range and arena are the dead shard's own (the
+    arena's base mapping is inherited across the fork exactly as at first
+    construction, since the coordinator owns the session), so routing and
+    chunk-range ownership resume unchanged.
+
+    A snapshot that fails to load is reported over the pipe as an error
+    reply to the coordinator's boot-confirmation ping rather than a silent
+    child death, so ``respawn_dead_shards`` surfaces the cause.
+    """
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    try:
+        from repro.snapshot import load_snapshot
+
+        octopus = load_snapshot(snapshot_path)
+        # A pooled execution backend forked workers (and possibly a shm
+        # session) for the index build; release them cleanly now — the
+        # serve loop's fork hygiene would only drop the reference, and a
+        # pool re-creates lazily if a routed request ever needs one.
+        execution = getattr(octopus, "execution", None)
+        if execution is not None and hasattr(execution, "close"):
+            execution.close()
+        service = OctopusService(octopus)
+    except BaseException as error:  # noqa: BLE001 — reported, then exit
+        try:
+            sequence, _command = connection.recv()
+            connection.send(
+                (
+                    sequence,
+                    ShardReply(
+                        ok=False,
+                        error=f"snapshot restore failed: "
+                        f"{type(error).__name__}: {error}",
+                    ),
+                )
+            )
+        except (EOFError, OSError, BrokenPipeError):
+            pass
+        finally:
+            try:
+                connection.close()
+            except OSError:
+                pass
+        return
+    _serve_shard(connection, service, shard_id, num_shards, node_range, arena)
+
+
+def _serve_shard(
+    connection,
+    service: OctopusService,
+    shard_id: int,
+    num_shards: int,
+    node_range: Tuple[int, int],
+    arena: Optional[ShmArena],
+) -> None:
+    """The shared shard body: fork hygiene, then the command loop.
+
+    Applies the same hygiene as the process-pool executor's worker
+    initializer (drop any inherited pool, disable the replica's result
+    cache — the coordinator's cache is authoritative), then serves
+    ``(sequence, command)`` frames until ``Shutdown`` or a closed pipe.
+    """
     _adopt_worker_service(service)
     # The coordinator enforces the configured rate limit once, for every
     # path; a forked private limiter here would add a second, skewed

@@ -45,7 +45,6 @@ from __future__ import annotations
 
 import asyncio
 import json
-import math
 import ssl
 import sys
 import threading
@@ -72,6 +71,7 @@ from repro.server.wire import (
     decode_body,
     parse_batch,
     parse_content_length,
+    retry_after_header_value,
     route_error_envelope,
     status_for_response,
     unauthorized_envelope,
@@ -169,8 +169,10 @@ _STREAM_LIMIT = 64 * 1024
 
 
 def _retry_after_header(seconds: float) -> str:
-    """``Retry-After`` delta-seconds (integral, at least 1)."""
-    return str(max(1, int(math.ceil(seconds))))
+    """``Retry-After`` delta-seconds (integral, at least 1, rounded up —
+    shared with the threaded front end via :mod:`repro.server.wire` so
+    both ceil identically and clients never retry early)."""
+    return retry_after_header_value(seconds)
 
 
 class OctopusAsyncGateway:

@@ -48,12 +48,12 @@ same suite).
 
 from __future__ import annotations
 
-import os
 from typing import List, Optional, Tuple
 
 import numpy as np
 
 from repro.propagation.kernels import gather_csr_slices
+from repro.utils.env import env_switch
 
 __all__ = [
     "HAVE_COMPILED",
@@ -73,11 +73,26 @@ except ImportError:  # pragma: no cover — the mandatory-fallback leg
 HAVE_COMPILED = _rrnative is not None
 
 #: ``REPRO_NATIVE=0`` (or ``off`` / ``fallback``) forces the NumPy twin.
-_FORCED_FALLBACK = os.environ.get("REPRO_NATIVE", "").lower() in (
-    "0",
-    "off",
-    "fallback",
-)
+#: ``None`` means "consult the environment at call time"; tests may pin
+#: this attribute to ``True``/``False`` to force a path directly.
+_FORCED_FALLBACK: Optional[bool] = None
+
+_FALLBACK_VALUES = ("0", "off", "fallback")
+_COMPILED_VALUES = ("", "1", "on", "compiled", "native")
+
+
+def _forced_fallback() -> bool:
+    """Whether ``REPRO_NATIVE`` forces the NumPy twin right now.
+
+    An unrecognized value (``REPRO_NATIVE=2``) raises a
+    :class:`~repro.utils.validation.ValidationError` at the first kernel
+    dispatch instead of silently selecting the compiled path.
+    """
+    if _FORCED_FALLBACK is not None:
+        return _FORCED_FALLBACK
+    return not env_switch(
+        "REPRO_NATIVE", on=_COMPILED_VALUES, off=_FALLBACK_VALUES
+    )
 
 _EMPTY = np.empty(0, dtype=np.int64)
 
@@ -91,7 +106,7 @@ _TO_DOUBLE = 1.0 / 9007199254740992.0  # 2**-53
 
 def use_compiled() -> bool:
     """Whether calls will run on the compiled extension right now."""
-    return HAVE_COMPILED and not _FORCED_FALLBACK
+    return HAVE_COMPILED and not _forced_fallback()
 
 
 def kernel_provenance() -> str:

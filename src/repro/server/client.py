@@ -231,7 +231,13 @@ class OctopusClient:
 
         Freshness matters for retry safety: only a *reused* socket can be
         a stale keep-alive the server quietly timed out.
+
+        Raises ``RuntimeError`` after :meth:`close`: a post-close request
+        would otherwise open a fresh socket into the already-swapped-out
+        pool, where nothing would ever reclaim it.
         """
+        if self.closed:
+            raise RuntimeError("client is closed")
         connection = getattr(self._local, "connection", None)
         if connection is not None:
             return connection, True
@@ -246,9 +252,18 @@ class OctopusClient:
             connection = http.client.HTTPConnection(
                 self.host, self.port, timeout=self.timeout
             )
-        self._local.connection = connection
         with self._connections_lock:
+            # close() may have won the race since the check above; its
+            # sweep of self._connections has already happened, so an
+            # append now would leak the socket forever.
+            if self.closed:
+                try:
+                    connection.close()
+                except OSError:  # pragma: no cover — close is best-effort
+                    pass
+                raise RuntimeError("client is closed")
             self._connections.append(connection)
+        self._local.connection = connection
         return connection, False
 
     def _drop_connection(self) -> None:

@@ -53,6 +53,8 @@ from repro.server.wire import (
     decode_body,
     parse_batch,
     parse_content_length,
+    retry_after_header_value,
+    retry_after_hint,
     route_error_envelope,
     status_for_response,
     unauthorized_envelope,
@@ -204,10 +206,32 @@ class _OctopusRequestHandler(BaseHTTPRequestHandler):
         return text
 
     def _send_envelope(self, response: ServiceResponse) -> None:
-        """Send one envelope with its mapped HTTP status."""
-        self._send_json(status_for_response(response), response.to_json())
+        """Send one envelope with its mapped HTTP status.
 
-    def _send_json(self, status: int, payload: Any) -> None:
+        Rate-limit envelopes carry their refill deficit as a
+        ``Retry-After`` header (ceil'd — see
+        :func:`~repro.server.wire.retry_after_header_value`), so clients
+        opted into retries sleep long enough instead of burning an
+        attempt on a guaranteed second 429.
+        """
+        hint = retry_after_hint(response)
+        extra_headers = (
+            {"Retry-After": retry_after_header_value(hint)}
+            if hint is not None
+            else None
+        )
+        self._send_json(
+            status_for_response(response),
+            response.to_json(),
+            extra_headers=extra_headers,
+        )
+
+    def _send_json(
+        self,
+        status: int,
+        payload: Any,
+        extra_headers: Optional[Dict[str, str]] = None,
+    ) -> None:
         """Send *payload* (JSON text or a JSON-able object) with *status*."""
         if not isinstance(payload, str):
             payload = json.dumps(payload, sort_keys=True)
@@ -215,6 +239,8 @@ class _OctopusRequestHandler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (extra_headers or {}).items():
+            self.send_header(name, value)
         if self.server.draining:
             # Ask clients off persistent connections so the drain finishes
             # without waiting out idle keep-alive timeouts.

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import hmac
 import json
+import math
 import threading
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -40,6 +41,8 @@ __all__ = [
     "decode_body",
     "parse_batch",
     "batch_body_text",
+    "retry_after_header_value",
+    "retry_after_hint",
 ]
 
 #: Structured error code → HTTP status.  Client mistakes are 4xx so a
@@ -72,6 +75,33 @@ def status_for_response(response: ServiceResponse) -> int:
         return 200
     assert response.error is not None
     return HTTP_STATUS_BY_ERROR_CODE.get(response.error.code, 500)
+
+
+def retry_after_header_value(seconds: float) -> str:
+    """``Retry-After`` delta-seconds for *seconds*, as header text.
+
+    Rounds **up** to an integral second (and never below 1): the rate
+    limiter reports fractional deficits, and a truncated value would let
+    a client with ``retries=N`` legally retry before the bucket refills —
+    burning a retry attempt on a guaranteed second 429.
+    """
+    return str(max(1, int(math.ceil(float(seconds)))))
+
+
+def retry_after_hint(response: ServiceResponse) -> Optional[float]:
+    """The ``retry_after_seconds`` hint in a rate-limit envelope, if any.
+
+    Both front ends use this to decide whether a 429 response carries a
+    ``Retry-After`` header (via :func:`retry_after_header_value`).
+    """
+    if response.ok or response.error is None:
+        return None
+    if response.error.code != "rate_limited":
+        return None
+    value = response.error.details.get("retry_after_seconds")
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return None
+    return float(value)
 
 
 class HTTPCounters:

@@ -1,0 +1,36 @@
+"""Snapshot/restore of a built system: the OCTOSNAP on-disk format.
+
+``save_snapshot`` serializes a built :class:`~repro.core.Octopus` (graph
+CSR arrays, topic-edge probabilities, topic model, keyword profiles,
+config) to one checksummed, versioned file; ``load_snapshot`` restores it
+without re-running dataset ingestion, producing a system whose
+``deterministic_form()`` output is byte-identical to the fresh build.  The
+cluster coordinator uses snapshots to respawn dead shards
+(:meth:`~repro.cluster.ClusterCoordinator.respawn_dead_shards`), and the
+CLI exposes ``octopus snapshot`` / ``octopus serve --snapshot`` for warm
+starts.  See :mod:`repro.snapshot.format` for the byte layout.
+"""
+
+from repro.snapshot.format import (
+    FORMAT_VERSION,
+    MAGIC,
+    SnapshotError,
+    SnapshotFormatError,
+    SnapshotIntegrityError,
+    SnapshotVersionError,
+    load_snapshot,
+    read_snapshot_header,
+    save_snapshot,
+)
+
+__all__ = [
+    "FORMAT_VERSION",
+    "MAGIC",
+    "SnapshotError",
+    "SnapshotFormatError",
+    "SnapshotIntegrityError",
+    "SnapshotVersionError",
+    "load_snapshot",
+    "read_snapshot_header",
+    "save_snapshot",
+]

@@ -1,0 +1,91 @@
+"""Regression tests: a closed client must never mint new sockets.
+
+The bug: ``OctopusClient._connection()`` never checked ``self.closed``.
+``execute()`` after ``close()`` from the *same* thread was caught by the
+transport guard in ``_exchange``, but a **second thread** (whose
+thread-local had no connection yet) reached ``_connection()`` directly and
+silently created a fresh socket, appending it to the post-close
+``_connections`` list — where nothing would ever reclaim it, since
+``close()`` had already swept that list.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.server import OctopusClient, OctopusTransportError
+from repro.service import CompleteRequest, OctopusService
+
+
+def _run_in_thread(target):
+    """Run *target* on a fresh thread (fresh thread-local state) and
+    return its result or re-raise its exception."""
+    box = {}
+
+    def runner():
+        try:
+            box["value"] = target()
+        except BaseException as error:  # noqa: BLE001 — re-raised below
+            box["error"] = error
+
+    thread = threading.Thread(target=runner)
+    thread.start()
+    thread.join(timeout=10.0)
+    assert not thread.is_alive(), "worker thread hung"
+    if "error" in box:
+        raise box["error"]
+    return box.get("value")
+
+
+class TestClosedClient:
+    def test_connection_raises_runtime_error_after_close(
+        self, backend, running_server
+    ):
+        with running_server(OctopusService(backend)) as server:
+            client = OctopusClient(server.url)
+            client.close()
+            with pytest.raises(RuntimeError, match="client is closed"):
+                client._connection()
+            assert client._connections == []
+
+    def test_execute_from_second_thread_leaks_no_socket(
+        self, backend, running_server
+    ):
+        with running_server(OctopusService(backend)) as server:
+            client = OctopusClient(server.url)
+            assert client.execute(CompleteRequest(prefix="da")).ok
+            client.close()
+            assert client._connections == []
+
+            def post_close_execute():
+                client.execute(CompleteRequest(prefix="da"))
+
+            with pytest.raises((OctopusTransportError, RuntimeError)):
+                _run_in_thread(post_close_execute)
+            # The regression: the second thread's fresh thread-local used
+            # to mint a new connection into the swept pool.
+            assert client._connections == []
+
+    def test_connection_from_second_thread_raises_and_leaks_nothing(
+        self, backend, running_server
+    ):
+        """The internal guard itself, exercised where the bug lived: a
+        thread whose thread-local has no connection yet."""
+        with running_server(OctopusService(backend)) as server:
+            client = OctopusClient(server.url)
+            client.close()
+            with pytest.raises(RuntimeError, match="client is closed"):
+                _run_in_thread(client._connection)
+            assert client._connections == []
+
+    def test_close_is_idempotent_and_still_guards(
+        self, backend, running_server
+    ):
+        with running_server(OctopusService(backend)) as server:
+            client = OctopusClient(server.url)
+            client.close()
+            client.close()
+            with pytest.raises(RuntimeError, match="client is closed"):
+                client._connection()

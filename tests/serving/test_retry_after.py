@@ -1,0 +1,124 @@
+"""Retry-After propagation: delta-seconds always round *up*, never down.
+
+The bug class this pins: the limiter reports fractional deficits (e.g.
+2.3 s), and a front end that truncates (``int(2.3)`` → ``"2"``) tells a
+well-behaved client it may retry a second early — a guaranteed second
+429 that burns one of its retry attempts.  Both front ends now derive
+the header from :func:`repro.server.wire.retry_after_header_value`, and
+the threaded server (which used to send *no* header at all on 429)
+attaches it whenever the envelope carries a ``rate_limited`` hint.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import math
+
+from repro.gateway.http import _retry_after_header
+from repro.server.wire import retry_after_header_value, retry_after_hint
+from repro.service import OctopusService, StatsRequest
+from repro.service.responses import ServiceResponse
+
+
+class TestHeaderValue:
+    def test_fractional_deficit_rounds_up(self):
+        # The pin from the audit: a 2.3 s deficit must read "3", not "2".
+        assert retry_after_header_value(2.3) == "3"
+
+    def test_exact_integers_pass_through(self):
+        assert retry_after_header_value(2.0) == "2"
+        assert retry_after_header_value(5) == "5"
+
+    def test_never_below_one_second(self):
+        # Sub-second deficits still need a whole-second header; "0" would
+        # invite an immediate retry into a still-empty bucket.
+        assert retry_after_header_value(0.2) == "1"
+        assert retry_after_header_value(0.0) == "1"
+
+    def test_gateway_wrapper_delegates(self):
+        # The asyncio gateway builds its header through the same helper.
+        assert _retry_after_header(2.3) == "3"
+        assert _retry_after_header(0.4) == "1"
+
+
+class TestHint:
+    def _rate_limited(self, details):
+        return ServiceResponse.failure(
+            "stats", "rate_limited", "shed", details=details
+        )
+
+    def test_extracts_fractional_hint(self):
+        response = self._rate_limited({"retry_after_seconds": 2.3})
+        assert retry_after_hint(response) == 2.3
+
+    def test_ignores_other_error_codes(self):
+        response = ServiceResponse.failure(
+            "stats", "invalid_request", "bad", details={"retry_after_seconds": 2.3}
+        )
+        assert retry_after_hint(response) is None
+
+    def test_ignores_success_and_missing_or_bogus_hints(self):
+        assert retry_after_hint(ServiceResponse.success("stats", {})) is None
+        assert retry_after_hint(self._rate_limited({})) is None
+        assert (
+            retry_after_hint(self._rate_limited({"retry_after_seconds": "2.3"}))
+            is None
+        )
+        assert (
+            retry_after_hint(self._rate_limited({"retry_after_seconds": True}))
+            is None
+        )
+
+
+class TestThreadedServerHeader:
+    def test_429_carries_ceiled_retry_after_header(
+        self, backend, running_server
+    ):
+        # rate = 1/2.3 with the implied burst of one: the first request
+        # spends the only token and the second sheds with a *fractional*
+        # deficit of ~2.3 s — exactly the truncation-prone shape.
+        service = OctopusService(backend, rate_limit=1.0 / 2.3)
+        with running_server(service) as server:
+            host, port = server.server_address[:2]
+            connection = http.client.HTTPConnection(host, port, timeout=10.0)
+            try:
+                body = StatsRequest().to_json()
+                headers = {"Content-Type": "application/json"}
+                connection.request("POST", "/query", body, headers)
+                first = connection.getresponse()
+                first.read()
+                assert first.status == 200
+
+                connection.request("POST", "/query", body, headers)
+                second = connection.getresponse()
+                payload = json.loads(second.read())
+            finally:
+                connection.close()
+
+        assert second.status == 429
+        hint = payload["error"]["details"]["retry_after_seconds"]
+        header = second.getheader("Retry-After")
+        assert header is not None
+        # The header is the hint rounded *up* to whole seconds — an
+        # honest wait, never shorter than the bucket's actual deficit.
+        assert int(header) == max(1, math.ceil(hint))
+        assert int(header) >= hint
+
+    def test_non_rate_limited_errors_have_no_retry_after(
+        self, backend, running_server
+    ):
+        with running_server(OctopusService(backend)) as server:
+            host, port = server.server_address[:2]
+            connection = http.client.HTTPConnection(host, port, timeout=10.0)
+            try:
+                connection.request(
+                    "POST", "/query", '{"bad json',
+                    {"Content-Type": "application/json"},
+                )
+                response = connection.getresponse()
+                response.read()
+            finally:
+                connection.close()
+        assert response.status == 400
+        assert response.getheader("Retry-After") is None

@@ -25,6 +25,7 @@ from repro.backend.shm import (
     shm_enabled,
     shm_root,
 )
+from repro.utils.validation import ValidationError
 
 pytestmark = pytest.mark.skipif(
     not shm_enabled() and os.environ.get("REPRO_SHM", "") == "",
@@ -138,7 +139,8 @@ class TestShmArena:
         monkeypatch.setenv("REPRO_SHM_ARENA_BYTES", "4096")
         assert default_arena_bytes() == 4096
         monkeypatch.setenv("REPRO_SHM_ARENA_BYTES", "not-a-number")
-        assert default_arena_bytes() == DEFAULT_ARENA_BYTES
+        with pytest.raises(ValidationError, match="REPRO_SHM_ARENA_BYTES"):
+            default_arena_bytes()
 
 
 class TestToggles:
@@ -154,6 +156,11 @@ class TestToggles:
 
         expected = "fork" in multiprocessing.get_all_start_methods()
         assert shm_enabled() == expected
+
+    def test_unrecognized_value_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHM", "maybe")
+        with pytest.raises(ValidationError, match="REPRO_SHM"):
+            shm_enabled()
 
 
 class TestPoolTransport:
