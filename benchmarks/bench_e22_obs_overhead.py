@@ -1,0 +1,122 @@
+"""E22 — observability overhead: tracing off vs on vs on+debug_timings.
+
+PR 10 threads request tracing through every serving layer; this
+experiment prices it.  The acceptance budget is **<5 % warm-latency
+overhead with tracing on** (request ids stamped, stage spans recorded,
+histograms fed): a trace is a handful of ``perf_counter`` reads plus one
+``dataclasses.replace`` at the front door, so the tax should disappear
+into socket noise.  ``debug_timings`` additionally serialises the stage
+breakdown into every envelope, which only debugging sessions pay.
+
+All three modes hammer the same warm :class:`OctopusService` behind the
+threaded front end on a persistent connection, so the comparison
+isolates the tracing code path.  ``BENCH_SMOKE=1`` shrinks the backend;
+the CI bench-smoke job executes this module with ``--benchmark-disable``
+so the tracing benchmark code cannot rot.
+"""
+
+import os
+
+import pytest
+
+from repro.server import OctopusClient, serve_in_background
+from repro.service import OctopusService, RadarRequest
+
+BENCH_SMOKE = os.environ.get("BENCH_SMOKE") == "1"
+
+#: The warm probe request (cheap lane, small payload — front-end bound).
+PROBE = RadarRequest("data mining")
+
+#: Tracing modes priced against each other: server kwargs + client headers.
+MODES = {
+    "off": {"tracing": False, "headers": {}},
+    "on": {"tracing": True, "headers": {}},
+    "debug": {"tracing": True, "headers": {"X-Debug-Timings": "1"}},
+}
+
+
+@pytest.fixture(scope="module")
+def obs_service(bench_system):
+    """One warm dispatcher shared by every tracing mode."""
+    service = OctopusService(bench_system)
+    response = service.execute(PROBE)
+    assert response.ok, response.error
+    return service
+
+
+@pytest.fixture(scope="module", params=sorted(MODES))
+def traced_frontend(request, obs_service):
+    """A threaded server in one tracing mode → ``(mode, url, headers)``."""
+    mode = MODES[request.param]
+    server = serve_in_background(
+        obs_service,
+        request_timeout=30.0,
+        tracing=mode["tracing"],
+        slow_query_ms=0.0,  # the slow log is priced separately below
+    )
+    yield request.param, server.url, mode["headers"]
+    server.shutdown_gracefully()
+
+
+@pytest.mark.benchmark(group="e22-obs-overhead")
+def test_warm_latency_by_mode(benchmark, traced_frontend):
+    """Warm per-request latency in each tracing mode.
+
+    Compare the three modes' means within one run: ``on`` vs ``off`` is
+    the headline overhead number, ``debug`` adds envelope serialisation.
+    """
+    mode, url, headers = traced_frontend
+    with OctopusClient(url, timeout=30.0, request_headers=headers) as client:
+        response = benchmark(client.execute, PROBE)
+    assert response.ok
+    if mode == "off":
+        assert response.request_id is None
+    else:
+        assert response.request_id is not None
+    if mode == "debug":
+        assert response.timings
+    benchmark.extra_info["mode"] = mode
+    benchmark.extra_info["payload_bytes"] = len(response.to_json())
+
+
+@pytest.mark.benchmark(group="e22-obs-overhead")
+def test_slow_query_log_cost(benchmark, obs_service):
+    """Worst case: every request crosses the slow threshold and logs."""
+    server = serve_in_background(
+        obs_service, request_timeout=30.0, tracing=True, slow_query_ms=0.0001
+    )
+    try:
+        with OctopusClient(server.url, timeout=30.0) as client:
+            response = benchmark(client.execute, PROBE)
+        assert response.ok
+    finally:
+        server.shutdown_gracefully()
+    benchmark.extra_info["mode"] = "on+slowlog-every-request"
+
+
+@pytest.mark.benchmark(group="e22-obs-overhead")
+def test_metrics_scrape_latency(benchmark, obs_service):
+    """A ``GET /metrics`` scrape must stay cheap under live traffic."""
+    import http.client
+
+    server = serve_in_background(obs_service, request_timeout=30.0, tracing=True)
+    try:
+        with OctopusClient(server.url, timeout=30.0) as client:
+            for _ in range(5):  # populate the histograms being rendered
+                assert client.execute(PROBE).ok
+        host, port = server.url.split("//", 1)[1].rstrip("/").split(":")
+        connection = http.client.HTTPConnection(host, int(port), timeout=30.0)
+
+        def scrape():
+            connection.request("GET", "/metrics")
+            response = connection.getresponse()
+            return response.status, response.read()
+
+        try:
+            status, body = benchmark(scrape)
+        finally:
+            connection.close()
+        assert status == 200
+        benchmark.extra_info["body_bytes"] = len(body)
+    finally:
+        server.shutdown_gracefully()

@@ -35,6 +35,7 @@ from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tupl
 
 import numpy as np
 
+from repro.obs.trace import stage as _trace_stage
 from repro.backend.base import (
     ExecutionBackend,
     _discard_sampling_state,
@@ -180,13 +181,19 @@ class _PooledBackend(ExecutionBackend):
     def map_chunks(
         self, function: Callable[[Any], Any], chunks: Sequence[Any]
     ) -> List[Any]:
-        """Dispatch chunks to the pool; results come back in input order."""
+        """Dispatch chunks to the pool; results come back in input order.
+
+        The whole dispatch is one ``backend.map_chunks`` trace stage —
+        under an active request trace the sampling fan-out shows up as a
+        single wall-time entry (a no-op otherwise).
+        """
         if not chunks:
             return []
-        if len(chunks) == 1:
-            # One chunk can't parallelise; skip the dispatch overhead.
-            return [function(chunks[0])]
-        return list(self._pool().map(function, chunks))
+        with _trace_stage("backend.map_chunks"):
+            if len(chunks) == 1:
+                # One chunk can't parallelise; skip the dispatch overhead.
+                return [function(chunks[0])]
+            return list(self._pool().map(function, chunks))
 
     def close(self) -> None:
         """Shut the pool down and forget it (a later call restarts it)."""
@@ -427,11 +434,17 @@ class ProcessPoolBackend(_PooledBackend):
     def map_chunks(
         self, function: Callable[[Any], Any], chunks: Sequence[Any]
     ) -> List[Any]:
-        """Dispatch chunks, batching queue traffic for many small chunks."""
+        """Dispatch chunks, batching queue traffic for many small chunks.
+
+        Wrapped in a ``backend.map_chunks`` trace stage like the thread
+        pool's, so per-request timings name the sampling fan-out the
+        same way whichever pool ran it.
+        """
         if not chunks:
             return []
         if len(chunks) == 1:
-            return [function(chunks[0])]
+            with _trace_stage("backend.map_chunks"):
+                return [function(chunks[0])]
         batch = max(1, len(chunks) // (self._workers * 4))
         with self._executor_lock:
             if self._executor is None:
@@ -441,7 +454,8 @@ class ProcessPoolBackend(_PooledBackend):
             # instead of shutting it down mid-map.
             self._inflight += 1
         try:
-            return list(executor.map(function, chunks, chunksize=batch))
+            with _trace_stage("backend.map_chunks"):
+                return list(executor.map(function, chunks, chunksize=batch))
         finally:
             with self._executor_lock:
                 self._inflight -= 1

@@ -27,6 +27,8 @@ Commands::
                         [--queue-depth N] [--gateway-workers N]
                         [--heavy-slots N] [--tenant-rate RPS]
                         [--tls-cert PEM --tls-key PEM]
+                        [--log-level {debug,info,warning}] [--log-json]
+                        [--no-trace] [--slow-query-ms MS]
 
 ``query`` is the wire-level entry point: it takes a JSON request (or a JSON
 array with ``--batch``), ``@file`` to read from a file, or ``-`` for stdin,
@@ -37,7 +39,11 @@ extends across the socket).
 
 ``serve`` boots the HTTP wire transport over a dataset: ``POST /query``,
 ``POST /batch``, ``GET /stats`` and ``GET /healthz`` speak the JSON
-envelopes.  ``--executor threads|processes`` serves requests from a
+envelopes, and ``GET /metrics`` exposes Prometheus text for scraping.
+``--log-level`` turns on library console logging (``--log-json`` for one
+JSON object per line, request ids included); ``--no-trace`` disables
+request tracing and ``--slow-query-ms`` tunes the slow-query log
+threshold.  ``--executor threads|processes`` serves requests from a
 :class:`~repro.service.ConcurrentOctopusService` worker pool (``--workers``
 sizes it); ``--executor cluster`` serves from ``--shards`` long-lived shard
 processes behind a :class:`~repro.cluster.ClusterCoordinator` — answers
@@ -397,6 +403,35 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--verbose", action="store_true", help="log every HTTP request"
     )
+    serve.add_argument(
+        "--log-level",
+        choices=("debug", "info", "warning"),
+        default=None,
+        help="enable library console logging on stderr at this level "
+        "(default: no library logging; slow-query lines need at least "
+        "'warning')",
+    )
+    serve.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit log lines as one JSON object per line (implies "
+        "--log-level info unless --log-level is given); each object "
+        "carries the request id when the line was logged under a trace",
+    )
+    serve.add_argument(
+        "--no-trace",
+        action="store_true",
+        help="disable request tracing (request ids, stage timings, "
+        "slow-query log); serving bytes are identical either way",
+    )
+    serve.add_argument(
+        "--slow-query-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="threshold for the structured slow-query log line "
+        "(default REPRO_SLOW_QUERY_MS or 1000)",
+    )
     return parser
 
 
@@ -625,6 +660,12 @@ def _command_serve(arguments: argparse.Namespace) -> int:
     except ValidationError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    if arguments.log_level is not None or arguments.log_json:
+        from repro.utils.logging import enable_console_logging
+
+        enable_console_logging(
+            arguments.log_level or "info", json_lines=arguments.log_json
+        )
     if arguments.snapshot is None and arguments.dataset is None:
         print("error: serve needs a dataset directory or --snapshot PATH",
               file=sys.stderr)
@@ -673,6 +714,8 @@ def _command_serve(arguments: argparse.Namespace) -> int:
             auth_token=arguments.auth_token,
             ssl_context=ssl_context,
             verbose=arguments.verbose,
+            tracing=False if arguments.no_trace else None,
+            slow_query_ms=arguments.slow_query_ms,
         )
         server.start()
     else:
@@ -685,6 +728,8 @@ def _command_serve(arguments: argparse.Namespace) -> int:
             auth_token=arguments.auth_token,
             ssl_context=ssl_context,
             verbose=arguments.verbose,
+            tracing=False if arguments.no_trace else None,
+            slow_query_ms=arguments.slow_query_ms,
         )
     origin = (
         arguments.dataset
@@ -693,7 +738,8 @@ def _command_serve(arguments: argparse.Namespace) -> int:
     )
     print(f"serving {origin} on {server.url} "
           f"(executor={arguments.executor}, frontend={arguments.frontend})")
-    print("endpoints: POST /query  POST /batch  GET /stats  GET /healthz")
+    print("endpoints: POST /query  POST /batch  GET /stats  GET /healthz  "
+          "GET /metrics")
     print("press Ctrl-C to drain and stop")
     try:
         server.serve_forever()

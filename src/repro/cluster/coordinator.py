@@ -88,6 +88,13 @@ from repro.cluster.protocol import (
 )
 from repro.cluster.worker import shard_main, shard_respawn_main
 from repro.core.octopus import Octopus
+from repro.obs.histogram import aggregate_latency_keys
+from repro.obs.trace import (
+    current_trace,
+    record_stage,
+    stage as trace_stage,
+    stamp_response,
+)
 from repro.core.query import KeywordQuery
 from repro.core.targeted import TargetedKeywordIM
 from repro.service.dispatcher import OctopusService, RequestLike
@@ -404,10 +411,12 @@ class ClusterCoordinator:
         try:
             typed = OctopusService._coerce(request)
         except ValidationError as error:
-            return ServiceResponse.failure(
-                OctopusService._service_name_of(request),
-                "malformed_request",
-                str(error),
+            return stamp_response(
+                ServiceResponse.failure(
+                    OctopusService._service_name_of(request),
+                    "malformed_request",
+                    str(error),
+                )
             )
         started = time.perf_counter()
         if self.closed:
@@ -434,7 +443,8 @@ class ClusterCoordinator:
             )
         key = self._safe_cache_key(typed)
         if key is not None:
-            cached = self.service.cache.get(key)
+            with trace_stage("cache_lookup"):
+                cached = self.service.cache.get(key)
             if cached is not None:
                 response = dataclasses.replace(
                     cached,
@@ -443,7 +453,7 @@ class ClusterCoordinator:
                     latency_ms=(time.perf_counter() - started) * 1e3,
                 )
                 self.service.metrics.record(response)
-                return response
+                return stamp_response(response)
         return self._finish(self._compute(typed), started, key)
 
     def execute_batch(
@@ -462,10 +472,12 @@ class ClusterCoordinator:
             try:
                 typed = OctopusService._coerce(raw)
             except ValidationError as error:
-                responses[position] = ServiceResponse.failure(
-                    OctopusService._service_name_of(raw),
-                    "malformed_request",
-                    str(error),
+                responses[position] = stamp_response(
+                    ServiceResponse.failure(
+                        OctopusService._service_name_of(raw),
+                        "malformed_request",
+                        str(error),
+                    )
                 )
                 continue
             groups.setdefault(typed.service, []).append((position, typed))
@@ -482,7 +494,7 @@ class ClusterCoordinator:
                         payload=copy.deepcopy(original.payload),
                         latency_ms=(time.perf_counter() - started) * 1e3,
                     )
-                    responses[position] = duplicate
+                    responses[position] = stamp_response(duplicate)
                     self.service.metrics.record(duplicate)
                     continue
                 response = self.execute(typed)
@@ -499,7 +511,12 @@ class ClusterCoordinator:
         liveness); ``cluster.shard<i>.*`` carries per-shard counters
         (skipped, not blocked on, when a shard is busy with a long
         exchange).  ``service.*`` / ``cache.*`` are the coordinator's
-        authoritative serving metrics.
+        authoritative serving metrics.  When shard replicas have served
+        routed traffic, their per-service latency histograms are merged
+        key-wise (bucket counts sum exactly; percentiles recompute over
+        the merged distribution) and re-emitted under
+        ``cluster.shards.service.*`` so ``/stats`` shows fleet-wide
+        latency, not just the coordinator's own.
         """
         stats: Dict[str, Any] = dict(self.service.stats())
         stats["executor.kind"] = "cluster"
@@ -509,6 +526,7 @@ class ClusterCoordinator:
             "shm" if self._shm_session is not None else "pickle"
         )
         alive = 0
+        shard_snapshots: List[Dict[str, float]] = []
         for handle in self._handles:
             prefix = f"cluster.shard{handle.shard_id}"
             if not handle.is_alive():
@@ -518,15 +536,20 @@ class ClusterCoordinator:
             stats[f"{prefix}.alive"] = 1.0
             try:
                 info = handle.call(
-                    Ping(),
+                    ShardStatsCmd(),
                     timeout=min(self.shard_timeout, 5.0),
                     lock_timeout=1.0,
                 )
             except ShardError:
                 continue  # busy or just died; liveness above still stands
-            stats[f"{prefix}.commands"] = float(info["commands"])
-            stats[f"{prefix}.requests"] = float(info["requests"])
+            stats[f"{prefix}.commands"] = float(info["shard.commands"])
+            stats[f"{prefix}.requests"] = float(info["shard.requests"])
+            shard_snapshots.append(info)
         stats["executor.shards_alive"] = float(alive)
+        for key, value in aggregate_latency_keys(
+            shard_snapshots, key_prefix="service."
+        ).items():
+            stats[f"cluster.shards.{key}"] = value
         return stats
 
     def health(self) -> Dict[str, Any]:
@@ -725,7 +748,14 @@ class ClusterCoordinator:
         started: float,
         key: Optional[Tuple],
     ) -> ServiceResponse:
-        """Stamp latency, record metrics, populate the parent cache."""
+        """Stamp latency, record metrics, populate the parent cache.
+
+        The cached copy is stored with its tracing fields stripped — a
+        later hit belongs to a different request, so the id of the
+        request that happened to compute the entry must never leak into
+        it — and the returned response is stamped with the active trace
+        (overriding any shard-side stamp with the same id).
+        """
         response = dataclasses.replace(
             response, latency_ms=(time.perf_counter() - started) * 1e3
         )
@@ -734,10 +764,13 @@ class ClusterCoordinator:
             self.service.cache.put(
                 key,
                 dataclasses.replace(
-                    response, payload=copy.deepcopy(response.payload)
+                    response,
+                    payload=copy.deepcopy(response.payload),
+                    request_id=None,
+                    timings=None,
                 ),
             )
-        return response
+        return stamp_response(response)
 
     @staticmethod
     def _safe_cache_key(typed: ServiceRequest) -> Optional[Tuple]:
@@ -777,8 +810,18 @@ class ClusterCoordinator:
             return ServiceResponse.failure(
                 typed.service, "internal_error", "no live shards in the cluster"
             )
+        trace = current_trace()
         try:
-            return handle.call(ExecuteRequest(typed), timeout=self.shard_timeout)
+            with trace_stage(f"shard{handle.shard_id}.roundtrip"):
+                return handle.call(
+                    ExecuteRequest(
+                        typed,
+                        request_id=trace.request_id
+                        if trace is not None
+                        else None,
+                    ),
+                    timeout=self.shard_timeout,
+                )
         except ShardDeadError as error:
             return ServiceResponse.failure(
                 typed.service,
@@ -1004,14 +1047,17 @@ class ClusterCoordinator:
         Sends go out before any receive so shards compute concurrently;
         each receive is individually bounded by the shard timeout.
         """
+        started = time.perf_counter()
         sequences = [
             handle.send_locked(command)
             for handle, command in zip(handles, commands)
         ]
-        return [
+        replies = [
             handle.receive_locked(sequence, self.shard_timeout)
             for handle, sequence in zip(handles, sequences)
         ]
+        record_stage("cluster.exchange", time.perf_counter() - started)
+        return replies
 
     def _drop_session(
         self, handles: Sequence[_ShardHandle], session: str

@@ -82,9 +82,18 @@ class ChunkSpec:
 
 @dataclass(frozen=True)
 class ExecuteRequest:
-    """Serve one whole typed request on the shard's service replica."""
+    """Serve one whole typed request on the shard's service replica.
+
+    ``request_id`` carries the front-door trace id across the fork
+    boundary (context variables do not survive ``fork()``): the shard
+    worker re-activates a trace under that id so its log lines and the
+    envelope it returns stay correlated with the coordinator's request.
+    ``None`` — the default, so older pickled frames still construct —
+    means the request is untraced.
+    """
 
     request: ServiceRequest
+    request_id: Optional[str] = None
 
 
 @dataclass(frozen=True)

@@ -46,11 +46,15 @@ from repro.cluster.protocol import (
     ShardStatsCmd,
     Shutdown,
 )
+from repro.obs.trace import RequestTrace, trace_context
 from repro.propagation.kernels import gather_csr_slices
 from repro.propagation.packed import PackedRRSets
 from repro.propagation.rrsets import sample_packed_rr_sets
 from repro.service.concurrent import _adopt_worker_service
 from repro.service.dispatcher import OctopusService
+from repro.utils.logging import get_logger
+
+_logger = get_logger("cluster.worker")
 
 __all__ = ["ShardWorker", "shard_main", "shard_respawn_main"]
 
@@ -142,9 +146,29 @@ class ShardWorker:
     # ------------------------------------------------------------------
 
     def _handle_execute(self, command: ExecuteRequest) -> ShardReply:
-        """Run a whole request on the replica's full middleware stack."""
+        """Run a whole request on the replica's full middleware stack.
+
+        A propagated ``request_id`` (the front-door trace crossed the
+        fork boundary inside the command frame) re-activates a shard-side
+        trace for the duration: the replica's log lines carry the id and
+        the envelope it returns is stamped with it — the coordinator's
+        own stamp then overrides with the same id, keeping the
+        correlation end to end.
+        """
         self.requests_executed += 1
-        return ShardReply(ok=True, value=self.service.execute(command.request))
+        if command.request_id is None:
+            return ShardReply(
+                ok=True, value=self.service.execute(command.request)
+            )
+        with trace_context(RequestTrace(command.request_id)):
+            response = self.service.execute(command.request)
+        _logger.debug(
+            "shard %d served %s request_id=%s",
+            self.shard_id,
+            command.request.service,
+            command.request_id,
+        )
+        return ShardReply(ok=True, value=response)
 
     def _handle_sample(self, command: SampleShard) -> ShardReply:
         """Sample this shard's chunk range into a resident packed batch.

@@ -32,7 +32,18 @@ the threaded stack lacks:
 
 ``GET /healthz`` is answered inline on the event loop — it never touches
 the admission queue, so liveness probes keep answering while the queue
-sheds everything else.
+sheds everything else.  ``GET /metrics`` (the Prometheus text scrape)
+gets the same treatment: rendered inline from in-process counters, never
+queued, never authed, so scrapes stay green under saturation.
+
+Requests are traced end to end exactly like the threaded server's
+(:mod:`repro.obs`): every ``POST`` gets a request id — adopted from a
+well-formed ``X-Request-Id`` header or minted — echoed as a response
+header and in the envelope's wall-clock section; the admission-queue
+wait is recorded as a ``queue_wait`` stage; ``X-Debug-Timings: 1`` opts
+into the per-stage ``timings`` breakdown; slow requests emit one
+structured slow-query log line.  ``deterministic_form`` bytes are
+identical with tracing on or off.
 
 The gateway runs its event loop on a dedicated background thread and
 exposes the same synchronous lifecycle as the threaded server
@@ -64,6 +75,17 @@ from repro.gateway.admission import (
     shed_envelope,
 )
 from repro.gateway.limits import ANONYMOUS_TENANT, TenantRateLimiter
+from repro.obs.prometheus import CONTENT_TYPE as PROMETHEUS_CONTENT_TYPE
+from repro.obs.prometheus import render_exposition
+from repro.obs.trace import (
+    RequestTrace,
+    clean_request_id,
+    default_slow_query_ms,
+    maybe_log_slow,
+    stamp_response,
+    trace_context,
+    tracing_enabled_default,
+)
 from repro.server.wire import (
     HTTPCounters,
     batch_body_text,
@@ -130,24 +152,41 @@ class GatewayConfig:
 
 
 class _Request:
-    """One parsed HTTP request head (body is read separately)."""
+    """One parsed HTTP request head (body is read separately).
 
-    __slots__ = ("method", "path", "version", "headers")
+    ``started`` is the loop-clock instant the request line was read;
+    the response writer turns it into the exchange's ``duration_ms``
+    for the HTTP latency histogram.
+    """
+
+    __slots__ = ("method", "path", "version", "headers", "started")
 
     def __init__(
-        self, method: str, path: str, version: str, headers: Dict[str, str]
+        self,
+        method: str,
+        path: str,
+        version: str,
+        headers: Dict[str, str],
+        started: Optional[float] = None,
     ) -> None:
         self.method = method
         self.path = path
         self.version = version
         self.headers = headers
+        self.started = started
 
 
 class _Job:
     """One admitted unit of compute: runs ``fn`` on the pool, resolves
-    ``future`` with ``(status, body_text)``."""
+    ``future`` with ``(status, body_text)``.
 
-    __slots__ = ("lane", "fn", "future", "enqueued")
+    ``trace`` is the request's :class:`~repro.obs.trace.RequestTrace`
+    (or ``None`` untraced): context variables do not cross the
+    ``run_in_executor`` hop, so the trace rides the job object and the
+    compute closure re-activates it on the pool thread.
+    """
+
+    __slots__ = ("lane", "fn", "future", "enqueued", "trace")
 
     def __init__(
         self,
@@ -155,11 +194,13 @@ class _Job:
         fn: Callable[[], Tuple[int, str]],
         future: "asyncio.Future[Tuple[int, str]]",
         enqueued: float,
+        trace: Optional[RequestTrace] = None,
     ) -> None:
         self.lane = lane
         self.fn = fn
         self.future = future
         self.enqueued = enqueued
+        self.trace = trace
 
 
 #: Maximum header lines per request — beyond this the peer is babbling.
@@ -197,6 +238,8 @@ class OctopusAsyncGateway:
         auth_token: Optional[str] = None,
         ssl_context: Optional[ssl.SSLContext] = None,
         verbose: bool = False,
+        tracing: Optional[bool] = None,
+        slow_query_ms: Optional[float] = None,
     ) -> None:
         self.service = service
         self.host = host
@@ -205,6 +248,16 @@ class OctopusAsyncGateway:
         self.auth_token = auth_token
         self.ssl_context = ssl_context
         self.verbose = verbose
+        # Tracing defaults from the environment (REPRO_TRACE /
+        # REPRO_SLOW_QUERY_MS) unless the caller pins them explicitly.
+        self.tracing = (
+            tracing_enabled_default() if tracing is None else bool(tracing)
+        )
+        self.slow_query_ms = (
+            default_slow_query_ms()
+            if slow_query_ms is None
+            else float(slow_query_ms)
+        )
         self.draining = False
         self.http_counters = HTTPCounters()
         self.gateway_counters = Counters(prefix="gateway.")
@@ -366,6 +419,25 @@ class OctopusAsyncGateway:
             )
         return stats
 
+    def metrics_exposition(self) -> str:
+        """The ``GET /metrics`` body (Prometheus text format 0.0.4).
+
+        Rendered from in-process state only — the executor's
+        ``ServiceMetrics`` and the gateway's HTTP counters — never from
+        ``stats()``, which on a cluster executor pings every shard; a
+        scrape must stay cheap and answer inline on the event loop.
+        """
+        metrics = getattr(self.service, "metrics", None)
+        return render_exposition(
+            service_state=metrics.export_state() if metrics is not None else None,
+            http_state=self.http_counters.export_state(),
+            extra={
+                "uptime_seconds": round(
+                    time.monotonic() - self._started_at, 3
+                ),
+            },
+        )
+
     # ------------------------------------------------------------------
     # Event loop thread
     # ------------------------------------------------------------------
@@ -460,8 +532,11 @@ class OctopusAsyncGateway:
                         return
                     continue  # another worker got there first
             lane, job = taken
-            waited_ms = (loop.time() - job.enqueued) * 1e3
+            waited = loop.time() - job.enqueued
+            waited_ms = waited * 1e3
             self.gateway_counters.observe(f"lane.{lane}.wait_ms", waited_ms)
+            if job.trace is not None:
+                job.trace.record("queue_wait", waited)
             try:
                 outcome = await loop.run_in_executor(self._pool, job.fn)
             except Exception as error:  # noqa: BLE001 — envelope contract
@@ -479,12 +554,15 @@ class OctopusAsyncGateway:
                 self._work_available.notify_all()
 
     async def _submit(
-        self, lane: str, fn: Callable[[], Tuple[int, str]]
+        self,
+        lane: str,
+        fn: Callable[[], Tuple[int, str]],
+        trace: Optional[RequestTrace] = None,
     ) -> Optional["asyncio.Future[Tuple[int, str]]"]:
         """Admit one job, or return ``None`` when the lane sheds it."""
         assert self._work_available is not None
         loop = asyncio.get_running_loop()
-        job = _Job(lane, fn, loop.create_future(), loop.time())
+        job = _Job(lane, fn, loop.create_future(), loop.time(), trace)
         if not self._queue.offer(lane, job):
             self.gateway_counters.increment(f"lane.{lane}.shed")
             return None
@@ -578,6 +656,7 @@ class OctopusAsyncGateway:
         line = await asyncio.wait_for(reader.readline(), timeout)
         if not line:
             return None
+        started = asyncio.get_running_loop().time()
         try:
             method, target, version = line.decode("latin-1").split()
         except ValueError as error:
@@ -596,7 +675,7 @@ class OctopusAsyncGateway:
         else:
             raise ValueError("too many header lines")
         path = urlsplit(target).path
-        return _Request(method.upper(), path, version, headers)
+        return _Request(method.upper(), path, version, headers, started)
 
     async def _serve_one(
         self,
@@ -609,6 +688,10 @@ class OctopusAsyncGateway:
             request.version == "HTTP/1.1"
             and request.headers.get("connection", "").lower() != "close"
         )
+        # The trace exists before any error can be produced, so every
+        # envelope out of this exchange — transport errors and 401s
+        # included — carries the request id.
+        trace = self._begin_trace(request)
         # Consume any declared body up front so an error response leaves
         # the connection byte-aligned for the next keep-alive request.
         body: Optional[str] = None
@@ -620,20 +703,26 @@ class OctopusAsyncGateway:
             if error is not None:
                 # The (oversized or unparseable) body was never read; the
                 # connection cannot be reused.
-                await self._respond(writer, request, error_envelope=error)
+                await self._respond(
+                    writer, request, error_envelope=error, trace=trace
+                )
                 return False
             raw = await asyncio.wait_for(
                 reader.readexactly(length), self.config.read_timeout
             )
             body, error = decode_body(raw)
             if error is not None:
-                await self._respond(writer, request, error_envelope=error)
+                await self._respond(
+                    writer, request, error_envelope=error, trace=trace
+                )
                 return keep_alive
         elif request.method == "POST":
             _length, error = parse_content_length(
                 None, self.config.max_body_bytes
             )
-            await self._respond(writer, request, error_envelope=error)
+            await self._respond(
+                writer, request, error_envelope=error, trace=trace
+            )
             return False
 
         # Liveness is answered inline — never queued, never authed — so
@@ -643,11 +732,27 @@ class OctopusAsyncGateway:
             await self._respond(writer, request, status=200, body_text=text)
             return keep_alive
 
+        # The scrape endpoint mirrors /healthz: unauthenticated and
+        # rendered inline from in-process counters, so it stays green
+        # under saturation and a scraper never needs the shared secret.
+        if request.method == "GET" and request.path == "/metrics":
+            await self._respond(
+                writer,
+                request,
+                status=200,
+                body_text=self.metrics_exposition(),
+                content_type=PROMETHEUS_CONTENT_TYPE,
+            )
+            return keep_alive
+
         if self.auth_token is not None and not bearer_token_matches(
             request.headers.get("authorization"), self.auth_token
         ):
             await self._respond(
-                writer, request, error_envelope=unauthorized_envelope()
+                writer,
+                request,
+                error_envelope=unauthorized_envelope(),
+                trace=trace,
             )
             return keep_alive
 
@@ -671,6 +776,7 @@ class OctopusAsyncGateway:
                     request,
                     error_envelope=envelope,
                     retry_after=retry_after,
+                    trace=trace,
                 )
                 return keep_alive
 
@@ -679,23 +785,28 @@ class OctopusAsyncGateway:
             fn = self._stats_job()
             lane = LANE_CHEAP
         elif route == ("POST", "/query"):
-            lane, fn = self._query_job(body if body is not None else "")
+            lane, fn = self._query_job(
+                body if body is not None else "", trace
+            )
         elif route == ("POST", "/batch"):
-            lane, fn = self._batch_job(body if body is not None else "")
+            lane, fn = self._batch_job(
+                body if body is not None else "", trace
+            )
         else:
             hints = (
                 ("/query", "/batch")
                 if request.method == "GET"
-                else ("/stats", "/healthz")
+                else ("/stats", "/healthz", "/metrics")
             )
             await self._respond(
                 writer,
                 request,
                 error_envelope=route_error_envelope(request.path, hints),
+                trace=trace,
             )
             return keep_alive
 
-        future = await self._submit(lane, fn)
+        future = await self._submit(lane, fn, trace)
         if future is None:
             retry_after = self.config.retry_after_seconds
             envelope = shed_envelope(
@@ -706,6 +817,7 @@ class OctopusAsyncGateway:
                 request,
                 error_envelope=envelope,
                 retry_after=retry_after,
+                trace=trace,
             )
             return keep_alive
         try:
@@ -721,10 +833,30 @@ class OctopusAsyncGateway:
                 f"request dispatch exceeded "
                 f"{self.config.dispatch_timeout:g}s",
             )
-            await self._respond(writer, request, error_envelope=envelope)
+            await self._respond(
+                writer, request, error_envelope=envelope, trace=trace
+            )
             return False
-        await self._respond(writer, request, status=status, body_text=text)
+        await self._respond(
+            writer, request, status=status, body_text=text, trace=trace
+        )
         return keep_alive
+
+    def _begin_trace(self, request: _Request) -> Optional[RequestTrace]:
+        """A fresh trace for one ``POST``, or ``None`` with tracing off.
+
+        Adopts a well-formed ``X-Request-Id`` header (anything unsafe to
+        echo is discarded and a fresh id minted); ``X-Debug-Timings``
+        opts the response into the per-stage ``timings`` breakdown.
+        GETs are untraced — they serve counters, not queries.
+        """
+        if not self.tracing or request.method != "POST":
+            return None
+        request_id = clean_request_id(request.headers.get("x-request-id"))
+        debug = request.headers.get(
+            "x-debug-timings", ""
+        ).strip().lower() in ("1", "true", "yes", "on")
+        return RequestTrace(request_id, debug=debug)
 
     def _tenant_of(self, request: _Request) -> str:
         """The rate-limit identity of a request: its bearer token."""
@@ -747,7 +879,7 @@ class OctopusAsyncGateway:
         return fn
 
     def _query_job(
-        self, body: str
+        self, body: str, trace: Optional[RequestTrace] = None
     ) -> Tuple[str, Callable[[], Tuple[int, str]]]:
         """Lane + compute closure for one ``/query`` body.
 
@@ -756,6 +888,11 @@ class OctopusAsyncGateway:
         string, exactly as the threaded front end hands it over, so
         every envelope — errors included — stays byte-identical across
         front ends.  Oversized bodies go to the heavy lane unparsed.
+
+        The closure re-activates *trace* on the pool thread (context
+        variables do not cross ``run_in_executor``), stamps the envelope
+        with the request id, and emits the slow-query log line when the
+        whole exchange ran over the threshold.
         """
         lane = LANE_CHEAP
         if len(body) > self.config.inline_parse_bytes:
@@ -769,36 +906,63 @@ class OctopusAsyncGateway:
                 lane = lane_for_service(parsed.get("service"))
 
         def fn() -> Tuple[int, str]:
-            response = self.service.execute(body)
+            with trace_context(trace):
+                response = self.service.execute(body)
+            if trace is not None:
+                response = stamp_response(response, trace)
+                maybe_log_slow(
+                    trace,
+                    service=response.service,
+                    latency_ms=trace.elapsed_ms(),
+                    threshold_ms=self.slow_query_ms,
+                )
             return status_for_response(response), response.to_json()
 
         return lane, fn
 
     def _batch_job(
-        self, body: str
+        self, body: str, trace: Optional[RequestTrace] = None
     ) -> Tuple[str, Callable[[], Tuple[int, str]]]:
         """Lane + compute closure for one ``/batch`` body."""
+
+        def finish(responses: Any) -> Tuple[int, str]:
+            if trace is not None:
+                responses = [
+                    stamp_response(item, trace) for item in responses
+                ]
+                maybe_log_slow(
+                    trace,
+                    service="batch",
+                    latency_ms=trace.elapsed_ms(),
+                    threshold_ms=self.slow_query_ms,
+                )
+            return 200, batch_body_text(responses)
+
         if len(body) > self.config.inline_parse_bytes:
             # Large batch: heavy by size; the worker thread parses it.
             def fn_raw() -> Tuple[int, str]:
                 entries, error = parse_batch(body)
                 if error is not None:
-                    return status_for_response(error), error.to_json()
-                responses = self.service.execute_batch(entries)
-                return 200, batch_body_text(responses)
+                    failure = stamp_response(error, trace)
+                    return status_for_response(failure), failure.to_json()
+                with trace_context(trace):
+                    responses = self.service.execute_batch(entries)
+                return finish(responses)
 
             return LANE_HEAVY, fn_raw
         entries, error = parse_batch(body)
         if error is not None:
             def fn_error() -> Tuple[int, str]:
-                return status_for_response(error), error.to_json()
+                failure = stamp_response(error, trace)
+                return status_for_response(failure), failure.to_json()
 
             return LANE_CHEAP, fn_error
         lane = lane_for_batch(entries, self.config.heavy_batch_size)
 
         def fn() -> Tuple[int, str]:
-            responses = self.service.execute_batch(entries)
-            return 200, batch_body_text(responses)
+            with trace_context(trace):
+                responses = self.service.execute_batch(entries)
+            return finish(responses)
 
         return lane, fn
 
@@ -815,16 +979,24 @@ class OctopusAsyncGateway:
         body_text: Optional[str] = None,
         error_envelope: Optional[ServiceResponse] = None,
         retry_after: Optional[float] = None,
+        trace: Optional[RequestTrace] = None,
+        content_type: str = "application/json",
     ) -> None:
         """Write one bounded response (envelope or pre-rendered body).
 
         Every 429 carries a ``Retry-After`` header — from the explicit
         *retry_after*, the config default for shed requests, or the
         ``retry_after_seconds`` the service layer put in the envelope.
-        A write that cannot drain within ``write_timeout`` aborts the
-        connection: a stuck peer costs one socket, not a handler.
+        With *trace* set, an error envelope is stamped with the request
+        id before serialising and every response echoes it as an
+        ``X-Request-Id`` header (pre-rendered success bodies were
+        stamped by the compute closure).  A write that cannot drain
+        within ``write_timeout`` aborts the connection: a stuck peer
+        costs one socket, not a handler.
         """
         if error_envelope is not None:
+            if trace is not None:
+                error_envelope = stamp_response(error_envelope, trace)
             status = status_for_response(error_envelope)
             body_text = error_envelope.to_json()
             if retry_after is None and status == 429:
@@ -845,9 +1017,11 @@ class OctopusAsyncGateway:
         reason = _REASON_PHRASES.get(status, "Unknown")
         head_lines = [
             f"HTTP/1.1 {status} {reason}",
-            "Content-Type: application/json",
+            f"Content-Type: {content_type}",
             f"Content-Length: {len(body)}",
         ]
+        if trace is not None:
+            head_lines.append(f"X-Request-Id: {trace.request_id}")
         if retry_after is not None:
             head_lines.append(f"Retry-After: {_retry_after_header(retry_after)}")
         if close:
@@ -864,7 +1038,11 @@ class OctopusAsyncGateway:
             if transport is not None:
                 transport.abort()
             raise ConnectionError("write timed out; connection aborted") from None
-        self.http_counters.record(request.path, status)
+        duration_ms: Optional[float] = None
+        if request.started is not None:
+            loop = asyncio.get_running_loop()
+            duration_ms = (loop.time() - request.started) * 1e3
+        self.http_counters.record(request.path, status, duration_ms)
         if self.verbose:
             print(
                 f"gateway: {request.method} {request.path} -> {status}",

@@ -1,0 +1,61 @@
+"""Observability: request tracing, latency histograms, and Prometheus text.
+
+The ``repro.obs`` package is the telemetry layer threaded through every
+serving layer of the system:
+
+* :mod:`repro.obs.trace` — per-request identity (``X-Request-Id``) and
+  lightweight stage spans (queue wait, middleware stages, backend
+  sampling, per-shard round-trips), carried on a ``contextvars`` context
+  so any layer can record without plumbing arguments, plus the slow-query
+  log and the opt-in ``debug_timings`` envelope breakdown.
+* :mod:`repro.obs.histogram` — fixed-bucket latency histograms with
+  derivable p50/p95/p99, mergeable across forked shards via flat
+  snapshot keys.
+* :mod:`repro.obs.prometheus` — the ``GET /metrics`` text exposition
+  (format 0.0.4) and an in-repo line-syntax validator, so CI can check a
+  live scrape without an external ``promtool``.
+
+Everything here lives outside the determinism contract:
+:func:`repro.service.responses.deterministic_form` never sees a request
+id or a timing breakdown, so serving bytes are identical with tracing on
+or off.
+"""
+
+from repro.obs.histogram import (
+    DEFAULT_LATENCY_BUCKETS_MS,
+    LatencyHistogram,
+    aggregate_latency_keys,
+)
+from repro.obs.prometheus import render_exposition, validate_exposition
+from repro.obs.trace import (
+    RequestTrace,
+    clean_request_id,
+    current_trace,
+    default_slow_query_ms,
+    maybe_log_slow,
+    new_request_id,
+    record_stage,
+    stage,
+    stamp_response,
+    trace_context,
+    tracing_enabled_default,
+)
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS_MS",
+    "LatencyHistogram",
+    "RequestTrace",
+    "aggregate_latency_keys",
+    "clean_request_id",
+    "current_trace",
+    "default_slow_query_ms",
+    "maybe_log_slow",
+    "new_request_id",
+    "record_stage",
+    "render_exposition",
+    "stage",
+    "stamp_response",
+    "trace_context",
+    "tracing_enabled_default",
+    "validate_exposition",
+]

@@ -1,0 +1,321 @@
+"""Prometheus text exposition (format 0.0.4) and an in-repo validator.
+
+:func:`render_exposition` turns the live metrics objects — per-service
+counters/histograms from ``ServiceMetrics`` and the HTTP counters from
+the wire layer — into the plain-text format both front ends serve on
+``GET /metrics``.  The renderer works from plain exported state (dicts
+plus :class:`~repro.obs.histogram.LatencyHistogram` instances), so this
+module depends on nothing above the obs layer.
+
+:func:`validate_exposition` is the promise that we never need an
+external ``promtool``: a regex line checker for the subset of the format
+we emit (``# HELP`` / ``# TYPE`` comments, optionally-labelled samples,
+histogram series) that the test suite and the CI scrape step both run
+against a live server.  ``python -m repro.obs.prometheus`` validates
+stdin and exits non-zero on the first bad line, which is all the CI step
+needs::
+
+    curl -fsS http://127.0.0.1:8642/metrics | python -m repro.obs.prometheus
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import sys
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.obs.histogram import LatencyHistogram, edge_label
+
+__all__ = [
+    "CONTENT_TYPE",
+    "render_exposition",
+    "validate_exposition",
+]
+
+#: The content type both front ends serve ``GET /metrics`` under.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_METRIC_PREFIX = "octopus"
+
+
+def _escape_label(value: str) -> str:
+    """Escape a label value per the exposition format."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _sample(name: str, labels: Mapping[str, str], value: float) -> str:
+    """One sample line, labels rendered in the given order."""
+    if labels:
+        rendered = ",".join(
+            f'{key}="{_escape_label(item)}"' for key, item in labels.items()
+        )
+        return f"{name}{{{rendered}}} {_format_value(value)}"
+    return f"{name} {_format_value(value)}"
+
+
+def _format_value(value: float) -> str:
+    """Render a sample value (integral counts without a trailing .0)."""
+    number = float(value)
+    if math.isinf(number):
+        return "+Inf" if number > 0 else "-Inf"
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def _histogram_lines(
+    name: str,
+    histogram: LatencyHistogram,
+    labels: Mapping[str, str],
+) -> List[str]:
+    """The ``_bucket`` / ``_sum`` / ``_count`` series for one histogram."""
+    lines: List[str] = []
+    cumulative = histogram.cumulative_counts()
+    edges = list(histogram.bucket_edges) + [math.inf]
+    for edge, count in zip(edges, cumulative):
+        bucket_labels = dict(labels)
+        bucket_labels["le"] = "+Inf" if math.isinf(edge) else edge_label(edge)
+        lines.append(_sample(f"{name}_bucket", bucket_labels, count))
+    lines.append(_sample(f"{name}_sum", labels, histogram.sum_ms))
+    lines.append(_sample(f"{name}_count", labels, cumulative[-1]))
+    return lines
+
+
+def render_exposition(
+    service_state: Optional[Mapping[str, Mapping[str, Any]]] = None,
+    http_state: Optional[Mapping[str, Any]] = None,
+    extra: Optional[Mapping[str, float]] = None,
+) -> str:
+    """Render the full ``/metrics`` body.
+
+    *service_state* is ``ServiceMetrics.export_state()``: per service
+    name a dict with ``requests`` / ``errors`` / ``cache_hits`` floats
+    and a ``histogram`` :class:`LatencyHistogram`.  *http_state* is
+    ``HTTPCounters.export_state()``: ``total``, ``by_path``,
+    ``by_status_class`` and an overall ``histogram``.  *extra* is any
+    flat numeric mapping (executor gauges, queue depths); each entry
+    becomes an ``octopus_stat{key="..."}`` gauge.  The body always ends
+    with a newline, as scrapers expect.
+    """
+    lines: List[str] = []
+
+    if service_state:
+        lines.append(
+            f"# HELP {_METRIC_PREFIX}_service_requests_total "
+            "Requests served per service."
+        )
+        lines.append(f"# TYPE {_METRIC_PREFIX}_service_requests_total counter")
+        for service, state in sorted(service_state.items()):
+            lines.append(
+                _sample(
+                    f"{_METRIC_PREFIX}_service_requests_total",
+                    {"service": service},
+                    state["requests"],
+                )
+            )
+        lines.append(
+            f"# HELP {_METRIC_PREFIX}_service_errors_total "
+            "Error envelopes returned per service."
+        )
+        lines.append(f"# TYPE {_METRIC_PREFIX}_service_errors_total counter")
+        for service, state in sorted(service_state.items()):
+            lines.append(
+                _sample(
+                    f"{_METRIC_PREFIX}_service_errors_total",
+                    {"service": service},
+                    state["errors"],
+                )
+            )
+        lines.append(
+            f"# HELP {_METRIC_PREFIX}_service_cache_hits_total "
+            "Responses served from the result cache per service."
+        )
+        lines.append(f"# TYPE {_METRIC_PREFIX}_service_cache_hits_total counter")
+        for service, state in sorted(service_state.items()):
+            lines.append(
+                _sample(
+                    f"{_METRIC_PREFIX}_service_cache_hits_total",
+                    {"service": service},
+                    state["cache_hits"],
+                )
+            )
+        lines.append(
+            f"# HELP {_METRIC_PREFIX}_service_latency_ms "
+            "End-to-end service latency per service (milliseconds)."
+        )
+        lines.append(f"# TYPE {_METRIC_PREFIX}_service_latency_ms histogram")
+        for service, state in sorted(service_state.items()):
+            lines.extend(
+                _histogram_lines(
+                    f"{_METRIC_PREFIX}_service_latency_ms",
+                    state["histogram"],
+                    {"service": service},
+                )
+            )
+
+    if http_state is not None:
+        lines.append(
+            f"# HELP {_METRIC_PREFIX}_http_requests_total "
+            "HTTP requests accepted across all paths."
+        )
+        lines.append(f"# TYPE {_METRIC_PREFIX}_http_requests_total counter")
+        lines.append(
+            _sample(
+                f"{_METRIC_PREFIX}_http_requests_total", {}, http_state["total"]
+            )
+        )
+        lines.append(
+            f"# HELP {_METRIC_PREFIX}_http_path_requests_total "
+            "HTTP requests per known path."
+        )
+        lines.append(f"# TYPE {_METRIC_PREFIX}_http_path_requests_total counter")
+        for path, count in sorted(http_state["by_path"].items()):
+            lines.append(
+                _sample(
+                    f"{_METRIC_PREFIX}_http_path_requests_total",
+                    {"path": path},
+                    count,
+                )
+            )
+        lines.append(
+            f"# HELP {_METRIC_PREFIX}_http_responses_total "
+            "HTTP responses per status class."
+        )
+        lines.append(f"# TYPE {_METRIC_PREFIX}_http_responses_total counter")
+        for code_class, count in sorted(http_state["by_status_class"].items()):
+            lines.append(
+                _sample(
+                    f"{_METRIC_PREFIX}_http_responses_total",
+                    {"code_class": code_class},
+                    count,
+                )
+            )
+        lines.append(
+            f"# HELP {_METRIC_PREFIX}_http_request_latency_ms "
+            "Wall time spent answering HTTP requests (milliseconds)."
+        )
+        lines.append(
+            f"# TYPE {_METRIC_PREFIX}_http_request_latency_ms histogram"
+        )
+        lines.extend(
+            _histogram_lines(
+                f"{_METRIC_PREFIX}_http_request_latency_ms",
+                http_state["histogram"],
+                {},
+            )
+        )
+
+    if extra:
+        lines.append(
+            f"# HELP {_METRIC_PREFIX}_stat "
+            "Flat numeric gauges from the executor stats surface."
+        )
+        lines.append(f"# TYPE {_METRIC_PREFIX}_stat gauge")
+        for key, value in sorted(extra.items()):
+            if isinstance(value, (int, float)) and math.isfinite(float(value)):
+                lines.append(
+                    _sample(f"{_METRIC_PREFIX}_stat", {"key": key}, float(value))
+                )
+
+    return "\n".join(lines) + "\n"
+
+
+# --- validation -------------------------------------------------------------
+
+_NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+_LABEL = r'[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\\n]|\\\\|\\"|\\n)*"'
+_VALUE = r"(?:[-+]?Inf|NaN|[-+]?[0-9]*\.?[0-9]+(?:[eE][-+]?[0-9]+)?)"
+
+_HELP_RE = re.compile(rf"^# HELP ({_NAME}) .+$")
+_TYPE_RE = re.compile(
+    rf"^# TYPE ({_NAME}) (counter|gauge|histogram|summary|untyped)$"
+)
+_SAMPLE_RE = re.compile(
+    rf"^({_NAME})(?:\{{{_LABEL}(?:,{_LABEL})*\}})? {_VALUE}(?: [0-9]+)?$"
+)
+_HISTOGRAM_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def validate_exposition(text: str) -> List[str]:
+    """Check *text* against the exposition line grammar.
+
+    Returns a list of human-readable problems (empty means valid):
+    malformed comment or sample lines, samples whose metric family was
+    never declared with ``# TYPE``, histogram families missing their
+    ``_bucket`` / ``_sum`` / ``_count`` series, and a body that does not
+    end with a newline.  Intentionally a line-grammar checker, not a full
+    Prometheus parser — that is all CI needs to catch a broken emitter.
+    """
+    problems: List[str] = []
+    if not text:
+        return ["empty exposition body"]
+    if not text.endswith("\n"):
+        problems.append("body does not end with a newline")
+    declared: Dict[str, str] = {}
+    seen_samples: Dict[str, List[str]] = {}
+    for number, line in enumerate(text.splitlines(), start=1):
+        if not line:
+            continue
+        if line.startswith("#"):
+            if _HELP_RE.match(line) or _TYPE_RE.match(line):
+                match = _TYPE_RE.match(line)
+                if match is not None:
+                    declared[match.group(1)] = match.group(2)
+                continue
+            problems.append(f"line {number}: malformed comment: {line!r}")
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            problems.append(f"line {number}: malformed sample: {line!r}")
+            continue
+        name = match.group(1)
+        family = name
+        for suffix in _HISTOGRAM_SUFFIXES:
+            base = name[: -len(suffix)] if name.endswith(suffix) else None
+            if base and declared.get(base) == "histogram":
+                family = base
+                break
+        if family not in declared:
+            problems.append(
+                f"line {number}: sample {name!r} has no # TYPE declaration"
+            )
+            continue
+        seen_samples.setdefault(family, []).append(name)
+    for family, kind in declared.items():
+        if kind != "histogram":
+            continue
+        names = set(seen_samples.get(family, ()))
+        missing = [
+            suffix
+            for suffix in _HISTOGRAM_SUFFIXES
+            if f"{family}{suffix}" not in names
+        ]
+        if missing:
+            problems.append(
+                f"histogram {family!r} is missing series: {', '.join(missing)}"
+            )
+    return problems
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Validate an exposition body read from stdin (CI scrape helper)."""
+    del argv
+    body = sys.stdin.read()
+    problems = validate_exposition(body)
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if problems:
+        return 1
+    lines = sum(1 for line in body.splitlines() if line and not line.startswith("#"))
+    print(f"ok: {lines} samples")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

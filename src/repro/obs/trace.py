@@ -1,0 +1,262 @@
+"""Per-request identity and stage spans.
+
+A :class:`RequestTrace` is created once per request at the front door
+(threaded server or asyncio gateway) — either adopting a well-formed
+``X-Request-Id`` header or minting a fresh id — and installed on a
+``contextvars`` context for the duration of the compute.  Any layer can
+then call :func:`record_stage` / :func:`stage` without plumbing the trace
+through call signatures: middleware records validate/cache/rate-limit
+spans, the dispatcher records backend sampling and payload assembly, the
+gateway records admission-queue wait, and the cluster coordinator records
+per-shard round-trips.
+
+Everything a trace produces lives in the envelope's wall-clock section
+(``request_id`` / ``timings``), which
+:func:`repro.service.responses.deterministic_form` excludes by
+construction — serving bytes are identical with tracing on or off.
+
+Context variables do **not** cross ``fork()`` or plain pool submission,
+so propagation is explicit at each boundary: the thread-pool executor
+copies its submission context, and the cluster pipe protocol carries the
+id in :class:`repro.cluster.protocol.ExecuteRequest` for the shard worker
+to re-activate.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import dataclasses
+import json
+import os
+import re
+import threading
+import time
+import uuid
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.utils.logging import get_logger
+
+__all__ = [
+    "RequestTrace",
+    "clean_request_id",
+    "current_trace",
+    "default_slow_query_ms",
+    "maybe_log_slow",
+    "new_request_id",
+    "record_stage",
+    "stage",
+    "stamp_response",
+    "trace_context",
+    "tracing_enabled_default",
+]
+
+#: Accepted shape of a client-supplied ``X-Request-Id``: short, printable,
+#: safe to echo into headers and log lines verbatim.
+_REQUEST_ID_RE = re.compile(r"^[A-Za-z0-9._:-]{1,64}$")
+
+#: Environment switch: ``REPRO_TRACE=0`` disables front-door tracing.
+_TRACE_ENV = "REPRO_TRACE"
+#: Environment knob: slow-query threshold in milliseconds.
+_SLOW_ENV = "REPRO_SLOW_QUERY_MS"
+
+_slow_logger = get_logger("obs.slowlog")
+
+
+def new_request_id() -> str:
+    """Mint a fresh request id (32 hex chars, UUID4 entropy)."""
+    return uuid.uuid4().hex
+
+
+def clean_request_id(candidate: Optional[str]) -> Optional[str]:
+    """Validate a client-supplied request id, or ``None`` to mint one.
+
+    Only short header-and-log-safe tokens are adopted; anything else is
+    discarded (the front door then generates its own id) rather than
+    echoed back — a hostile header must never reach a log line or a
+    response header verbatim.
+    """
+    if candidate is None:
+        return None
+    value = candidate.strip()
+    if _REQUEST_ID_RE.match(value):
+        return value
+    return None
+
+
+def tracing_enabled_default() -> bool:
+    """Whether front doors trace by default (``REPRO_TRACE`` switch).
+
+    Tracing is on unless ``REPRO_TRACE`` is ``0`` / ``off`` / ``false``
+    — the overhead budget (benchmark E22) is a few microseconds per
+    request, so opt-out rather than opt-in.
+    """
+    value = os.environ.get(_TRACE_ENV, "").strip().lower()
+    return value not in ("0", "off", "false", "no")
+
+
+def default_slow_query_ms() -> float:
+    """Default slow-query threshold (``REPRO_SLOW_QUERY_MS``, else 1000).
+
+    Non-positive values disable the slow-query log; an unparseable value
+    falls back to the 1000 ms default rather than crashing serving.
+    """
+    raw = os.environ.get(_SLOW_ENV, "").strip()
+    if raw:
+        try:
+            return float(raw)
+        except ValueError:
+            pass
+    return 1000.0
+
+
+class RequestTrace:
+    """One request's identity plus its accumulated stage spans.
+
+    Stages are ``(name, seconds)`` pairs appended under a lock (shard
+    fan-out records from multiple threads); :meth:`breakdown_ms` folds
+    repeated stage names together in first-seen order, which is what the
+    opt-in ``debug_timings`` envelope section and the slow-query log both
+    show.
+    """
+
+    __slots__ = ("request_id", "debug", "started", "_stages", "_lock")
+
+    def __init__(
+        self, request_id: Optional[str] = None, *, debug: bool = False
+    ) -> None:
+        self.request_id = request_id or new_request_id()
+        self.debug = bool(debug)
+        self.started = time.perf_counter()
+        self._stages: List[Tuple[str, float]] = []
+        self._lock = threading.Lock()
+
+    def record(self, name: str, seconds: float) -> None:
+        """Append one stage span (wall seconds) to the trace."""
+        with self._lock:
+            self._stages.append((name, float(seconds)))
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        """Context manager timing its body as stage *name*."""
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.record(name, time.perf_counter() - started)
+
+    def elapsed_ms(self) -> float:
+        """Wall milliseconds since the trace was created."""
+        return (time.perf_counter() - self.started) * 1e3
+
+    def breakdown_ms(self) -> Dict[str, float]:
+        """Stage totals in milliseconds, first-seen order, 3 decimals."""
+        totals: Dict[str, float] = {}
+        with self._lock:
+            stages = list(self._stages)
+        for name, seconds in stages:
+            totals[name] = totals.get(name, 0.0) + seconds * 1e3
+        return {name: round(value, 3) for name, value in totals.items()}
+
+
+_current_trace: contextvars.ContextVar[Optional[RequestTrace]] = (
+    contextvars.ContextVar("repro_request_trace", default=None)
+)
+
+
+def current_trace() -> Optional[RequestTrace]:
+    """The trace active on this context, or ``None`` outside a request."""
+    return _current_trace.get()
+
+
+@contextmanager
+def trace_context(trace: Optional[RequestTrace]) -> Iterator[Optional[RequestTrace]]:
+    """Install *trace* as the active trace for the duration of the body.
+
+    ``trace_context(None)`` is a no-op passthrough so call sites can use
+    one ``with`` statement whether tracing is enabled or not.
+    """
+    if trace is None:
+        yield None
+        return
+    token = _current_trace.set(trace)
+    try:
+        yield trace
+    finally:
+        _current_trace.reset(token)
+
+
+def record_stage(name: str, seconds: float) -> None:
+    """Record a stage span on the active trace; no-op outside a request."""
+    trace = _current_trace.get()
+    if trace is not None:
+        trace.record(name, seconds)
+
+
+@contextmanager
+def stage(name: str) -> Iterator[None]:
+    """Time the body as stage *name* on the active trace (no-op without one)."""
+    trace = _current_trace.get()
+    if trace is None:
+        yield
+        return
+    started = time.perf_counter()
+    try:
+        yield
+    finally:
+        trace.record(name, time.perf_counter() - started)
+
+
+def stamp_response(response, trace: Optional[RequestTrace] = None):
+    """Copy *response* with the trace's wall-clock fields stamped on.
+
+    Sets ``request_id`` (always, overriding any id a cached or shard-side
+    copy carried — the front-door trace is authoritative) and, when the
+    trace was opened with ``debug=True``, the ``timings`` breakdown.
+    Returns *response* unchanged when no trace is active, so the function
+    is safe to call unconditionally on every return path.
+    """
+    active = trace if trace is not None else _current_trace.get()
+    if active is None:
+        return response
+    timings = active.breakdown_ms() if active.debug else None
+    if response.request_id == active.request_id and response.timings == timings:
+        return response
+    return dataclasses.replace(
+        response, request_id=active.request_id, timings=timings
+    )
+
+
+def maybe_log_slow(
+    trace: RequestTrace,
+    *,
+    service: str,
+    latency_ms: float,
+    threshold_ms: float,
+) -> bool:
+    """Emit the structured slow-query log line when over threshold.
+
+    One ``WARNING`` on the ``repro.obs.slowlog`` logger per slow request:
+    the message carries service, latency, threshold and the stage
+    breakdown as compact JSON, and the record's ``request_id`` /
+    ``stages`` attributes feed the JSON formatter
+    (:class:`repro.utils.logging.JsonLogFormatter`).  Returns whether a
+    line was logged; a non-positive *threshold_ms* disables the log.
+    """
+    if threshold_ms <= 0 or latency_ms < threshold_ms:
+        return False
+    stages = trace.breakdown_ms()
+    _slow_logger.warning(
+        "slow query service=%s latency_ms=%.1f threshold_ms=%.1f stages=%s",
+        service,
+        latency_ms,
+        threshold_ms,
+        json.dumps(stages, sort_keys=True),
+        extra={
+            "request_id": trace.request_id,
+            "stages": stages,
+            "service": service,
+            "latency_ms": round(latency_ms, 3),
+        },
+    )
+    return True

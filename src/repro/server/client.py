@@ -109,6 +109,7 @@ class OctopusClient:
         auth_token: Optional[str] = None,
         verify: Union[bool, str, ssl.SSLContext] = True,
         retries: int = 0,
+        request_headers: Optional[Dict[str, str]] = None,
     ) -> None:
         parts = urlsplit(url if "//" in url else f"//{url}", scheme="http")
         if parts.scheme not in ("http", "https"):
@@ -130,6 +131,10 @@ class OctopusClient:
         self.timeout = float(timeout)
         self.auth_token = auth_token
         self.retries = int(retries)
+        # Extra headers sent with every request — how callers propagate a
+        # trace across hops (``X-Request-Id``) or opt into the per-stage
+        # breakdown (``X-Debug-Timings: 1``).
+        self.request_headers: Dict[str, str] = dict(request_headers or {})
         self._ssl_context: Optional[ssl.SSLContext] = (
             _build_ssl_context(verify) if parts.scheme == "https" else None
         )
@@ -334,6 +339,7 @@ class OctopusClient:
         url = self.prefix + path
         data = body.encode("utf-8") if body is not None else None
         headers = {"Content-Type": "application/json"} if data else {}
+        headers.update(self.request_headers)
         if self.auth_token is not None:
             headers["Authorization"] = f"Bearer {self.auth_token}"
         for attempt in (0, 1):

@@ -14,7 +14,18 @@ path          method  body
                       the HTTP status is 200)
 ``/stats``    GET     merged service/cache/backend/HTTP counters
 ``/healthz``  GET     liveness: status, uptime, requests served
+``/metrics``  GET     Prometheus text exposition (unauthenticated, inline)
 ============  ======  ====================================================
+
+Requests are traced end to end (:mod:`repro.obs`): every ``/query`` /
+``/batch`` gets a request id — adopted from a well-formed
+``X-Request-Id`` header or minted — echoed as a response header and in
+the envelope's wall-clock section, an ``X-Debug-Timings: 1`` header opts
+into the per-stage ``timings`` breakdown, and requests slower than the
+server's ``slow_query_ms`` threshold emit one structured slow-query log
+line.  Tracing can be disabled per server (``tracing=False``) or via
+``REPRO_TRACE=0``; serving bytes under ``deterministic_form`` are
+identical either way.
 
 The dispatcher behind the socket is anything with the service executor
 shape — a plain :class:`~repro.service.OctopusService` or a
@@ -45,6 +56,17 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Union
 from urllib.parse import urlsplit
 
+from repro.obs.prometheus import CONTENT_TYPE as PROMETHEUS_CONTENT_TYPE
+from repro.obs.prometheus import render_exposition
+from repro.obs.trace import (
+    RequestTrace,
+    clean_request_id,
+    default_slow_query_ms,
+    maybe_log_slow,
+    stamp_response,
+    trace_context,
+    tracing_enabled_default,
+)
 from repro.server.wire import (
     HTTP_STATUS_BY_ERROR_CODE,
     HTTPCounters,
@@ -91,6 +113,12 @@ class _OctopusRequestHandler(BaseHTTPRequestHandler):
     # Mypy-friendly narrowing: the ThreadingHTTPServer we run under.
     server: "OctopusHTTPServer"
 
+    # Per-request tracing state, reset at the top of every do_* so a
+    # keep-alive connection can never leak one request's trace (or start
+    # time) into the next exchange on the same handler instance.
+    _active_trace: Optional[RequestTrace] = None
+    _request_started: Optional[float] = None
+
     def setup(self) -> None:
         # Bound every socket read so an idle keep-alive connection cannot
         # pin a handler thread forever (the graceful drain joins them).
@@ -102,11 +130,22 @@ class _OctopusRequestHandler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 — http.server's casing
+        self._request_started = time.perf_counter()
+        self._active_trace = None
         path = urlsplit(self.path).path
         if path == "/healthz":
             # Liveness stays open even behind auth: probes and load
             # balancers must not need the shared secret to see "alive".
             self._send_json(200, self.server.health())
+        elif path == "/metrics":
+            # The scrape endpoint mirrors /healthz: unauthenticated and
+            # answered inline from in-process counters, so it stays green
+            # under saturation and a scraper never needs the shared secret.
+            self._send_json(
+                200,
+                self.server.metrics_exposition(),
+                content_type=PROMETHEUS_CONTENT_TYPE,
+            )
         elif not self._authorized():
             pass  # 401 envelope already sent
         elif path == "/stats":
@@ -119,6 +158,8 @@ class _OctopusRequestHandler(BaseHTTPRequestHandler):
             self._send_envelope(self._route_error(path, ("/query", "/batch")))
 
     def do_POST(self) -> None:  # noqa: N802 — http.server's casing
+        self._request_started = time.perf_counter()
+        self._active_trace = self._begin_trace()
         path = urlsplit(self.path).path
         if not self._authorized():
             return  # 401 envelope already sent
@@ -130,11 +171,31 @@ class _OctopusRequestHandler(BaseHTTPRequestHandler):
             # The POST body is never read on this path; close so its
             # bytes cannot poison the next keep-alive request.
             self.close_connection = True
-            self._send_envelope(self._route_error(path, ("/stats", "/healthz")))
+            self._send_envelope(
+                self._route_error(path, ("/stats", "/healthz", "/metrics"))
+            )
 
     # ------------------------------------------------------------------
     # Endpoints
     # ------------------------------------------------------------------
+
+    def _begin_trace(self) -> Optional[RequestTrace]:
+        """A fresh request trace, or ``None`` with tracing disabled.
+
+        Adopts a well-formed ``X-Request-Id`` header (anything unsafe to
+        echo is discarded and a fresh id minted); ``X-Debug-Timings``
+        opts the response into the per-stage ``timings`` breakdown.
+        """
+        if not self.server.tracing:
+            return None
+        request_id = clean_request_id(self.headers.get("X-Request-Id"))
+        debug = self.headers.get("X-Debug-Timings", "").strip().lower() in (
+            "1",
+            "true",
+            "yes",
+            "on",
+        )
+        return RequestTrace(request_id, debug=debug)
 
     def _handle_query(self) -> None:
         """One JSON request in, one envelope out; the dispatcher does the
@@ -142,7 +203,8 @@ class _OctopusRequestHandler(BaseHTTPRequestHandler):
         body = self._read_body()
         if body is None:
             return
-        response = self.server.service.execute(body)
+        with trace_context(self._active_trace):
+            response = self.server.service.execute(body)
         self._send_envelope(response)
 
     def _handle_batch(self) -> None:
@@ -155,7 +217,17 @@ class _OctopusRequestHandler(BaseHTTPRequestHandler):
         if error is not None:
             self._send_envelope(error)
             return
-        responses = self.server.service.execute_batch(entries)
+        trace = self._active_trace
+        with trace_context(trace):
+            responses = self.server.service.execute_batch(entries)
+        if trace is not None:
+            responses = [stamp_response(item, trace) for item in responses]
+            maybe_log_slow(
+                trace,
+                service="batch",
+                latency_ms=trace.elapsed_ms(),
+                threshold_ms=self.server.slow_query_ms,
+            )
         self._send_json(200, batch_body_text(responses))
 
     def _authorized(self) -> bool:
@@ -213,7 +285,21 @@ class _OctopusRequestHandler(BaseHTTPRequestHandler):
         :func:`~repro.server.wire.retry_after_header_value`), so clients
         opted into retries sleep long enough instead of burning an
         attempt on a guaranteed second 429.
+
+        With a trace active the envelope (error envelopes included) is
+        stamped with the request id — and debug timings when requested —
+        and a request over the slow-query threshold logs one structured
+        line before the bytes go out.
         """
+        trace = self._active_trace
+        if trace is not None:
+            response = stamp_response(response, trace)
+            maybe_log_slow(
+                trace,
+                service=response.service,
+                latency_ms=trace.elapsed_ms(),
+                threshold_ms=self.server.slow_query_ms,
+            )
         hint = retry_after_hint(response)
         extra_headers = (
             {"Retry-After": retry_after_header_value(hint)}
@@ -231,14 +317,17 @@ class _OctopusRequestHandler(BaseHTTPRequestHandler):
         status: int,
         payload: Any,
         extra_headers: Optional[Dict[str, str]] = None,
+        content_type: str = "application/json",
     ) -> None:
         """Send *payload* (JSON text or a JSON-able object) with *status*."""
         if not isinstance(payload, str):
             payload = json.dumps(payload, sort_keys=True)
         body = payload.encode("utf-8")
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        if self._active_trace is not None:
+            self.send_header("X-Request-Id", self._active_trace.request_id)
         for name, value in (extra_headers or {}).items():
             self.send_header(name, value)
         if self.server.draining:
@@ -252,7 +341,14 @@ class _OctopusRequestHandler(BaseHTTPRequestHandler):
             self.send_header("Connection", "close")
         self.end_headers()
         self.wfile.write(body)
-        self.server.http_counters.record(urlsplit(self.path).path, status)
+        started = self._request_started
+        self.server.http_counters.record(
+            urlsplit(self.path).path,
+            status,
+            duration_ms=(time.perf_counter() - started) * 1e3
+            if started is not None
+            else None,
+        )
 
     def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
         """Quiet by default; flip ``server.verbose`` for stderr access logs."""
@@ -287,6 +383,8 @@ class OctopusHTTPServer(ThreadingHTTPServer):
         auth_token: Optional[str] = None,
         ssl_context: Optional[ssl.SSLContext] = None,
         verbose: bool = False,
+        tracing: Optional[bool] = None,
+        slow_query_ms: Optional[float] = None,
     ) -> None:
         self.service = service
         self.request_timeout = float(request_timeout)
@@ -294,6 +392,16 @@ class OctopusHTTPServer(ThreadingHTTPServer):
         self.auth_token = auth_token
         self.ssl_context = ssl_context
         self.verbose = verbose
+        # Tracing defaults from the environment (REPRO_TRACE /
+        # REPRO_SLOW_QUERY_MS) unless the caller pins them explicitly.
+        self.tracing = (
+            tracing_enabled_default() if tracing is None else bool(tracing)
+        )
+        self.slow_query_ms = (
+            default_slow_query_ms()
+            if slow_query_ms is None
+            else float(slow_query_ms)
+        )
         self.draining = False
         self.http_counters = HTTPCounters()
         self.final_stats: Optional[Dict[str, Any]] = None
@@ -374,6 +482,25 @@ class OctopusHTTPServer(ThreadingHTTPServer):
         stats = dict(self.service.stats())
         stats.update(self.http_counters.snapshot())
         return stats
+
+    def metrics_exposition(self) -> str:
+        """The ``GET /metrics`` body (Prometheus text format 0.0.4).
+
+        Rendered from in-process state only — the executor's
+        ``ServiceMetrics`` and this server's HTTP counters — never from
+        ``stats()``, which on a cluster executor pings every shard; a
+        scrape must stay cheap and green under saturation.
+        """
+        metrics = getattr(self.service, "metrics", None)
+        return render_exposition(
+            service_state=metrics.export_state() if metrics is not None else None,
+            http_state=self.http_counters.export_state(),
+            extra={
+                "uptime_seconds": round(
+                    time.monotonic() - self._started_at, 3
+                ),
+            },
+        )
 
     def handle_error(self, request: Any, client_address: Any) -> None:
         """Keep client disconnects quiet; defer to the base otherwise.

@@ -27,6 +27,7 @@ import math
 import threading
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.obs.histogram import LatencyHistogram
 from repro.service.responses import ServiceResponse
 
 __all__ = [
@@ -64,7 +65,7 @@ HTTP_STATUS_BY_ERROR_CODE: Dict[str, int] = {
 #: The paths the servers actually serve; anything else is bucketed under
 #: one ``http.path.other`` counter so a URL scanner cannot grow the
 #: per-path stats dict without bound.
-KNOWN_PATHS = ("/query", "/batch", "/stats", "/healthz")
+KNOWN_PATHS = ("/query", "/batch", "/stats", "/healthz", "/metrics")
 
 
 def status_for_response(response: ServiceResponse) -> int:
@@ -116,9 +117,17 @@ class HTTPCounters:
         self._by_path: Dict[str, int] = {}
         self._by_status_class: Dict[str, int] = {}
         self._total = 0
+        self.latency = LatencyHistogram()
 
-    def record(self, path: str, status: int) -> None:
-        """Fold one served HTTP exchange into the counters."""
+    def record(
+        self, path: str, status: int, duration_ms: Optional[float] = None
+    ) -> None:
+        """Fold one served HTTP exchange into the counters.
+
+        *duration_ms*, when the front end measured it, feeds the overall
+        HTTP latency histogram (the histogram has its own lock, so the
+        observation happens outside this collector's).
+        """
         if path not in KNOWN_PATHS:
             path = "other"  # bound the per-path dict against URL scanners
         bucket = f"{status // 100}xx"
@@ -128,6 +137,8 @@ class HTTPCounters:
             self._by_status_class[bucket] = (
                 self._by_status_class.get(bucket, 0) + 1
             )
+        if duration_ms is not None:
+            self.latency.observe(duration_ms)
 
     @property
     def total(self) -> int:
@@ -136,14 +147,42 @@ class HTTPCounters:
             return self._total
 
     def snapshot(self) -> Dict[str, float]:
-        """Flat counter dict keyed ``http.<metric>``."""
+        """Flat counter dict keyed ``http.<metric>``.
+
+        The historical keys are unchanged; when the latency histogram has
+        observations it additionally contributes ``http.p50_latency_ms``
+        (p95/p99 likewise) and the per-bucket ``http.latency_ms_le.*``
+        counts.
+        """
         with self._lock:
             stats: Dict[str, float] = {"http.requests": float(self._total)}
             for path, count in sorted(self._by_path.items()):
                 stats[f"http.path.{path.lstrip('/') or 'root'}"] = float(count)
             for bucket, count in sorted(self._by_status_class.items()):
                 stats[f"http.responses.{bucket}"] = float(count)
-            return stats
+        if self.latency.count:
+            self.latency.snapshot_into(stats, "http")
+        return stats
+
+    def export_state(self) -> Dict[str, Any]:
+        """Structured state for the Prometheus renderer.
+
+        Counts are copied; the latency histogram is handed over live (its
+        accessors take their own lock).
+        """
+        with self._lock:
+            return {
+                "total": float(self._total),
+                "by_path": {
+                    path: float(count)
+                    for path, count in sorted(self._by_path.items())
+                },
+                "by_status_class": {
+                    bucket: float(count)
+                    for bucket, count in sorted(self._by_status_class.items())
+                },
+                "histogram": self.latency,
+            }
 
 
 # ----------------------------------------------------------------------
@@ -191,14 +230,14 @@ def route_error_envelope(path: str, hint_paths: Tuple[str, ...]) -> ServiceRespo
         return ServiceResponse.failure(
             "http",
             "method_not_allowed",
-            f"wrong method for {path}; see GET /healthz, GET /stats, "
-            f"POST /query, POST /batch",
+            f"wrong method for {path}; see GET /healthz, GET /metrics, "
+            f"GET /stats, POST /query, POST /batch",
         )
     return ServiceResponse.failure(
         "http",
         "not_found",
         f"unknown path {path!r}; endpoints are GET /healthz, "
-        f"GET /stats, POST /query, POST /batch",
+        f"GET /metrics, GET /stats, POST /query, POST /batch",
     )
 
 

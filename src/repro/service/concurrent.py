@@ -30,6 +30,7 @@ many while preserving input order.
 
 from __future__ import annotations
 
+import contextvars
 import copy
 import dataclasses
 import multiprocessing
@@ -307,9 +308,17 @@ class ConcurrentOctopusService:
     def _submit_compute(
         self, typed: ServiceRequest
     ) -> "Future[ServiceResponse]":
-        """Dispatch one computation to the pool (no de-duplication)."""
+        """Dispatch one computation to the pool (no de-duplication).
+
+        Thread mode runs the dispatch under a copy of the caller's
+        context so a front door's active request trace (a context
+        variable) follows the request onto the worker thread.
+        """
         if self.mode == "threads":
-            return self._pool().submit(self.service.execute, typed)
+            context = contextvars.copy_context()
+            return self._pool().submit(
+                context.run, self.service.execute, typed
+            )
         return self._submit_process(typed)
 
     def _submit_process(
@@ -343,10 +352,15 @@ class ConcurrentOctopusService:
                 )
             self.service.metrics.record(response)
             if key is not None and response.ok and not response.cache_hit:
+                # Tracing fields never enter the cache: a later hit
+                # belongs to a different request.
                 self.service.cache.put(
                     key,
                     dataclasses.replace(
-                        response, payload=copy.deepcopy(response.payload)
+                        response,
+                        payload=copy.deepcopy(response.payload),
+                        request_id=None,
+                        timings=None,
                     ),
                 )
             outer.set_result(response)

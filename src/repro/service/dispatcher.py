@@ -19,6 +19,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.octopus import Octopus
 from repro.index.cache import LRUCache
+from repro.obs.trace import stage, stamp_response
 from repro.service.middleware import (
     CacheMiddleware,
     Handler,
@@ -112,14 +113,21 @@ class OctopusService:
 
         Accepts a typed :class:`ServiceRequest`, its dict form, or a JSON
         string — the three shapes a log replayer or wire server deals in.
+        When a request trace is active on the calling context, the
+        response (error envelopes included) is stamped with its id and,
+        in debug mode, the stage-timing breakdown.
         """
         try:
             typed = self._coerce(request)
         except ValidationError as error:
-            return ServiceResponse.failure(
-                self._service_name_of(request), "malformed_request", str(error)
+            return stamp_response(
+                ServiceResponse.failure(
+                    self._service_name_of(request),
+                    "malformed_request",
+                    str(error),
+                )
             )
-        return self._run_stack(typed)
+        return stamp_response(self._run_stack(typed))
 
     def execute_batch(
         self, requests: Sequence[RequestLike]
@@ -170,7 +178,10 @@ class OctopusService:
                 if key is not None and response.ok:
                     shared[key] = response
         assert all(response is not None for response in responses)
-        return list(responses)  # type: ignore[arg-type]
+        return [
+            stamp_response(response)  # type: ignore[arg-type]
+            for response in responses
+        ]
 
     def stats(self) -> Dict[str, Any]:
         """Merged serving + backend statistics.
@@ -242,7 +253,8 @@ class OctopusService:
                 f"no handler for service {request.service!r}",
             )
         try:
-            payload = handler(request)
+            with stage("backend"):
+                payload = handler(request)
         except ValidationError as error:
             return ServiceResponse.failure(
                 request.service, "invalid_request", str(error)
@@ -253,7 +265,8 @@ class OctopusService:
                 "internal_error",
                 f"{type(error).__name__}: {error}",
             )
-        return ServiceResponse.success(request.service, payload)
+        with stage("assemble"):
+            return ServiceResponse.success(request.service, payload)
 
     # -- per-service handlers -------------------------------------------
 

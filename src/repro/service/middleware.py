@@ -18,6 +18,8 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional
 
 from repro.index.cache import LRUCache
+from repro.obs.histogram import LatencyHistogram
+from repro.obs.trace import stage
 from repro.service.requests import ServiceRequest
 from repro.service.responses import ServiceResponse
 from repro.utils.validation import ValidationError, check_positive
@@ -88,13 +90,19 @@ class Counters:
 
 @dataclass
 class _ServiceCounters:
-    """Per-service serving counters."""
+    """Per-service serving counters.
+
+    Latency lives in a fixed-bucket :class:`LatencyHistogram` rather than
+    running mean/max scalars: the histogram carries exact sum, count and
+    max (so the historical ``mean_latency_ms`` / ``max_latency_ms``
+    snapshot keys are still derived losslessly) plus per-bucket counts
+    that make p50/p95/p99 derivable and shard-mergeable.
+    """
 
     requests: int = 0
     errors: int = 0
     cache_hits: int = 0
-    total_latency_ms: float = 0.0
-    max_latency_ms: float = 0.0
+    histogram: LatencyHistogram = field(default_factory=LatencyHistogram)
 
 
 @dataclass
@@ -113,7 +121,13 @@ class ServiceMetrics:
     )
 
     def record(self, response: ServiceResponse) -> None:
-        """Fold one response into the counters."""
+        """Fold one response into the counters.
+
+        Latency is folded for **every** response, error envelopes
+        included — a slow failure is precisely the signal the latency
+        histogram exists to surface, so the error path must never be
+        cheaper in the metrics than it was on the wire.
+        """
         with self._lock:
             counters = self.per_service.setdefault(
                 response.service, _ServiceCounters()
@@ -123,13 +137,18 @@ class ServiceMetrics:
                 counters.errors += 1
             if response.cache_hit:
                 counters.cache_hits += 1
-            counters.total_latency_ms += response.latency_ms
-            counters.max_latency_ms = max(
-                counters.max_latency_ms, response.latency_ms
-            )
+            counters.histogram.observe(response.latency_ms)
 
     def snapshot(self) -> Dict[str, float]:
-        """Flat metric dict, keyed ``service.<name>.<metric>``."""
+        """Flat metric dict, keyed ``service.<name>.<metric>``.
+
+        Alongside the historical keys (``requests`` / ``errors`` /
+        ``cache_hits`` / ``hit_rate`` / ``mean_latency_ms`` /
+        ``max_latency_ms``, the latter two now derived from the
+        histogram), each service emits ``p50/p95/p99_latency_ms`` and the
+        per-bucket ``latency_ms_le.<edge>`` counts that the cluster
+        coordinator sums across shards.
+        """
         stats: Dict[str, float] = {}
         with self._lock:
             for service, counters in sorted(self.per_service.items()):
@@ -142,13 +161,28 @@ class ServiceMetrics:
                     if counters.requests
                     else 0.0
                 )
-                stats[f"{prefix}.mean_latency_ms"] = (
-                    counters.total_latency_ms / counters.requests
-                    if counters.requests
-                    else 0.0
-                )
-                stats[f"{prefix}.max_latency_ms"] = counters.max_latency_ms
+                stats[f"{prefix}.mean_latency_ms"] = counters.histogram.mean_ms
+                stats[f"{prefix}.max_latency_ms"] = counters.histogram.max_ms
+                counters.histogram.snapshot_into(stats, prefix)
         return stats
+
+    def export_state(self) -> Dict[str, Dict[str, object]]:
+        """Structured per-service state for the Prometheus renderer.
+
+        Each entry carries the raw counters plus the **live**
+        :class:`LatencyHistogram` (its accessors take their own lock), so
+        the ``/metrics`` endpoint renders without copying bucket arrays.
+        """
+        with self._lock:
+            return {
+                service: {
+                    "requests": float(counters.requests),
+                    "errors": float(counters.errors),
+                    "cache_hits": float(counters.cache_hits),
+                    "histogram": counters.histogram,
+                }
+                for service, counters in sorted(self.per_service.items())
+            }
 
     def reset(self) -> None:
         """Drop all counters."""
@@ -188,7 +222,8 @@ class ValidationMiddleware:
     ) -> ServiceResponse:
         """Validate, then continue down the stack."""
         try:
-            request.validate()
+            with stage("validate"):
+                request.validate()
         except ValidationError as error:
             return ServiceResponse.failure(
                 request.service, "invalid_request", str(error)
@@ -216,7 +251,8 @@ class CacheMiddleware:
         key = request.cache_key()
         if key is None:
             return call_next(request)
-        cached = self.cache.get(key)
+        with stage("cache_lookup"):
+            cached = self.cache.get(key)
         if cached is not None:
             return dataclasses.replace(
                 cached, cache_hit=True, payload=copy.deepcopy(cached.payload)
@@ -263,7 +299,7 @@ class RateLimitMiddleware:
         self, request: ServiceRequest, call_next: Handler
     ) -> ServiceResponse:
         """Spend a token or reject with ``rate_limited``."""
-        with self._bucket_lock:
+        with stage("rate_limit"), self._bucket_lock:
             now = self._clock()
             self._tokens = min(
                 self.burst, self._tokens + (now - self._last) * self.rate

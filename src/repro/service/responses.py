@@ -132,6 +132,15 @@ class ServiceResponse:
     is meaningful.  ``latency_ms`` measures the full serving path (middleware
     included), ``cache_hit`` marks answers served from the result cache (or
     shared within a batch) without recomputation.
+
+    ``request_id`` and ``timings`` are the tracing section
+    (:mod:`repro.obs`): the per-request id stamped at the front door and,
+    when the caller opted into debug timings, the per-stage wall-clock
+    breakdown in milliseconds.  Like ``latency_ms`` / ``cache_hit`` they
+    are wall-clock measurements outside the determinism contract —
+    :func:`deterministic_form` never includes them — and they are only
+    emitted on the wire when set, so untraced envelopes keep their exact
+    historical byte shape.
     """
 
     service: str
@@ -140,6 +149,8 @@ class ServiceResponse:
     error: Optional[ServiceError] = None
     latency_ms: float = 0.0
     cache_hit: bool = False
+    request_id: Optional[str] = None
+    timings: Optional[Dict[str, float]] = None
 
     def raise_for_error(self) -> "ServiceResponse":
         """Convenience for callers that do want an exception on failure."""
@@ -149,8 +160,13 @@ class ServiceResponse:
         return self
 
     def to_dict(self) -> Dict[str, Any]:
-        """Plain JSON-serializable dict."""
-        return {
+        """Plain JSON-serializable dict.
+
+        The tracing fields are emitted only when set, so responses from
+        an untraced serve are byte-identical to the pre-tracing wire
+        format.
+        """
+        body: Dict[str, Any] = {
             "service": self.service,
             "ok": self.ok,
             "payload": jsonify(self.payload) if self.payload is not None else None,
@@ -158,6 +174,13 @@ class ServiceResponse:
             "latency_ms": float(self.latency_ms),
             "cache_hit": self.cache_hit,
         }
+        if self.request_id is not None:
+            body["request_id"] = self.request_id
+        if self.timings is not None:
+            body["timings"] = {
+                str(name): float(value) for name, value in self.timings.items()
+            }
+        return body
 
     def to_json(self, *, indent: Optional[int] = None) -> str:
         """JSON encoding of :meth:`to_dict`."""
@@ -167,6 +190,7 @@ class ServiceResponse:
     def from_dict(cls, payload: Dict[str, Any]) -> "ServiceResponse":
         """Rebuild a response from its :meth:`to_dict` form."""
         error = payload.get("error")
+        timings = payload.get("timings")
         return cls(
             service=str(payload["service"]),
             ok=bool(payload["ok"]),
@@ -174,6 +198,8 @@ class ServiceResponse:
             error=ServiceError.from_dict(error) if error is not None else None,
             latency_ms=float(payload.get("latency_ms", 0.0)),
             cache_hit=bool(payload.get("cache_hit", False)),
+            request_id=payload.get("request_id"),
+            timings=dict(timings) if timings is not None else None,
         )
 
     @classmethod

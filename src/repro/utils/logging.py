@@ -1,17 +1,38 @@
 """Library logging configuration.
 
-The library logs under the ``repro`` namespace and never configures the root
-logger; applications opt in via :func:`enable_console_logging`.
+The library logs under the ``repro`` namespace and never configures the
+root logger; applications opt in via :func:`enable_console_logging`.
+
+Every record passing through the console handler is run through
+:class:`RequestIdFilter`, which injects the active request trace's id
+(see :mod:`repro.obs.trace`) as ``record.request_id`` — so both the
+plain-text format and the JSON-lines format
+(:class:`JsonLogFormatter`, one object per line) correlate log output
+with the request that produced it without the call sites doing anything.
 """
 
 from __future__ import annotations
 
+import json
 import logging
-from typing import Optional
+from typing import Any, Dict, Optional, Union
 
-__all__ = ["get_logger", "enable_console_logging"]
+__all__ = [
+    "LOG_LEVELS",
+    "JsonLogFormatter",
+    "RequestIdFilter",
+    "get_logger",
+    "enable_console_logging",
+]
 
 _BASE = "repro"
+
+#: Names accepted by ``octopus serve --log-level`` → stdlib levels.
+LOG_LEVELS: Dict[str, int] = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+}
 
 
 def get_logger(name: Optional[str] = None) -> logging.Logger:
@@ -24,19 +45,105 @@ def get_logger(name: Optional[str] = None) -> logging.Logger:
     return logging.getLogger(f"{_BASE}.{name}")
 
 
-def enable_console_logging(level: int = logging.INFO) -> logging.Handler:
+class RequestIdFilter(logging.Filter):
+    """Stamps every record with the active trace's ``request_id``.
+
+    A filter rather than call-site discipline: any log line emitted
+    anywhere under a request's trace context — middleware, backend,
+    shard worker — picks up the id automatically.  Records logged
+    outside any request get ``request_id = None`` (rendered as ``-`` by
+    the text format and omitted by the JSON one).  An explicit
+    ``extra={"request_id": ...}`` on the call wins over the context.
+    """
+
+    def filter(self, record: logging.LogRecord) -> bool:
+        if getattr(record, "request_id", None) is None:
+            # Imported lazily: repro.obs.trace logs through this module,
+            # so a top-level import would be circular.
+            from repro.obs.trace import current_trace
+
+            trace = current_trace()
+            record.request_id = (
+                trace.request_id if trace is not None else None
+            )
+        return True
+
+
+class _TextFormatter(logging.Formatter):
+    """The classic one-line text format, with the request id appended
+    (as ``rid=<id>``) only when one is set — untraced lines keep their
+    historical shape byte for byte."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        text = super().format(record)
+        request_id = getattr(record, "request_id", None)
+        if request_id:
+            text = f"{text} rid={request_id}"
+        return text
+
+
+class JsonLogFormatter(logging.Formatter):
+    """One JSON object per line — the machine-readable twin of the text
+    format, for shipping to a log aggregator.
+
+    Always present: ``ts`` (epoch seconds), ``level``, ``logger``,
+    ``message``.  ``request_id`` appears whenever the record carries one
+    (injected by :class:`RequestIdFilter` or passed via ``extra``), and
+    the structured slow-query fields (``service``, ``latency_ms``,
+    ``stages``) pass through when set — so a slow-query line is fully
+    parseable without regexing the message.  Exception info is folded
+    into ``exc_info`` as rendered text.
+    """
+
+    #: Structured extras copied onto the JSON object when present.
+    _EXTRA_FIELDS = ("request_id", "service", "latency_ms", "stages")
+
+    def format(self, record: logging.LogRecord) -> str:
+        entry: Dict[str, Any] = {
+            "ts": round(record.created, 6),
+            "level": record.levelname,
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        for name in self._EXTRA_FIELDS:
+            value = getattr(record, name, None)
+            if value is not None:
+                entry[name] = value
+        if record.exc_info:
+            entry["exc_info"] = self.formatException(record.exc_info)
+        return json.dumps(entry, sort_keys=True, default=str)
+
+
+def enable_console_logging(
+    level: Union[int, str] = logging.INFO, *, json_lines: bool = False
+) -> logging.Handler:
     """Attach a stderr handler to the library logger and return it.
 
-    Calling it twice replaces the previous handler instead of duplicating
-    output.
+    *level* may be a stdlib level int or one of the :data:`LOG_LEVELS`
+    names (``octopus serve --log-level debug`` passes the name through
+    unchanged).  ``json_lines=True`` emits one JSON object per line
+    (:class:`JsonLogFormatter`) instead of the text format.  Calling it
+    twice replaces the previous handler instead of duplicating output.
     """
+    if isinstance(level, str):
+        try:
+            level = LOG_LEVELS[level.strip().lower()]
+        except KeyError:
+            raise ValueError(
+                f"unknown log level {level!r}; "
+                f"choose from {sorted(LOG_LEVELS)}"
+            ) from None
     logger = logging.getLogger(_BASE)
     for handler in list(logger.handlers):
         logger.removeHandler(handler)
     handler = logging.StreamHandler()
-    handler.setFormatter(
-        logging.Formatter("%(asctime)s %(name)s %(levelname)s: %(message)s")
-    )
+    if json_lines:
+        handler.setFormatter(JsonLogFormatter())
+    else:
+        handler.setFormatter(
+            _TextFormatter("%(asctime)s %(name)s %(levelname)s: %(message)s")
+        )
+    handler.addFilter(RequestIdFilter())
     logger.addHandler(handler)
     logger.setLevel(level)
     return handler

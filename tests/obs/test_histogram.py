@@ -1,0 +1,245 @@
+"""Unit and property tests for the fixed-bucket latency histogram.
+
+The load-bearing property (pinned with Hypothesis below): for any bucket
+layout and any sample set, the histogram's quantile estimate lands in the
+same bucket as the true sample quantile — fixed buckets lose precision,
+never rank.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.histogram import (
+    DEFAULT_LATENCY_BUCKETS_MS,
+    LatencyHistogram,
+    aggregate_latency_keys,
+    edge_label,
+)
+
+
+class TestConstruction:
+    def test_default_buckets(self):
+        histogram = LatencyHistogram()
+        assert histogram.bucket_edges == DEFAULT_LATENCY_BUCKETS_MS
+        assert histogram.count == 0
+        assert histogram.quantile(0.5) == 0.0
+
+    def test_rejects_empty_layout(self):
+        with pytest.raises(ValueError, match="at least one bucket"):
+            LatencyHistogram(())
+
+    def test_rejects_non_increasing_edges(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            LatencyHistogram((5.0, 5.0, 10.0))
+
+    def test_rejects_non_finite_or_non_positive_edges(self):
+        with pytest.raises(ValueError, match="finite and positive"):
+            LatencyHistogram((0.0, 5.0))
+        with pytest.raises(ValueError, match="finite and positive"):
+            LatencyHistogram((1.0, math.inf))
+
+
+class TestObserve:
+    def test_le_bucketing(self):
+        histogram = LatencyHistogram((1.0, 10.0, 100.0))
+        for value in (0.5, 1.0, 5.0, 10.0, 50.0, 1000.0):
+            histogram.observe(value)
+        # le semantics: a value equal to an edge lands in that edge's
+        # bucket, so 1.0 joins (<=1], 10.0 joins (1, 10].
+        assert histogram.counts() == (2, 2, 1, 1)
+        assert histogram.cumulative_counts() == (2, 4, 5, 6)
+        assert histogram.count == 6
+        assert histogram.max_ms == 1000.0
+
+    def test_negative_and_non_finite_clamp_to_zero(self):
+        histogram = LatencyHistogram((1.0,))
+        histogram.observe(-5.0)
+        histogram.observe(float("nan"))
+        histogram.observe(float("inf"))
+        assert histogram.counts() == (3, 0)
+        assert histogram.sum_ms == 0.0
+
+    def test_mean_and_sum_are_exact(self):
+        histogram = LatencyHistogram((1.0, 10.0))
+        for value in (0.25, 2.0, 3.75):
+            histogram.observe(value)
+        assert histogram.sum_ms == pytest.approx(6.0)
+        assert histogram.mean_ms == pytest.approx(2.0)
+
+    def test_merge_counts(self):
+        histogram = LatencyHistogram((1.0, 10.0))
+        histogram.observe(0.5)
+        histogram.merge_counts([1, 2, 3], sum_ms=40.0, max_ms=99.0)
+        assert histogram.counts() == (2, 2, 3)
+        assert histogram.sum_ms == pytest.approx(40.5)
+        assert histogram.max_ms == 99.0
+
+    def test_merge_counts_rejects_wrong_layout(self):
+        histogram = LatencyHistogram((1.0, 10.0))
+        with pytest.raises(ValueError, match="bucket counts"):
+            histogram.merge_counts([1, 2])
+
+
+class TestQuantiles:
+    def test_quantile_bounds_checked(self):
+        with pytest.raises(ValueError, match="quantile"):
+            LatencyHistogram().quantile(1.5)
+
+    def test_overflow_bucket_reports_last_edge(self):
+        histogram = LatencyHistogram((1.0, 10.0))
+        histogram.observe(500.0)
+        assert histogram.quantile(0.5) == 10.0
+        assert histogram.quantile(0.99) == 10.0
+
+    def test_interpolates_within_bucket(self):
+        histogram = LatencyHistogram((10.0,))
+        for _ in range(4):
+            histogram.observe(5.0)
+        # All mass in (0, 10]: the median interpolates to the middle.
+        assert histogram.quantile(0.5) == pytest.approx(5.0)
+        assert histogram.quantile(1.0) == pytest.approx(10.0)
+
+    def test_percentiles_keys(self):
+        histogram = LatencyHistogram()
+        histogram.observe(3.0)
+        assert set(histogram.percentiles()) == {"p50", "p95", "p99"}
+
+
+class TestSnapshotKeys:
+    def test_snapshot_into_flat_keys(self):
+        histogram = LatencyHistogram((1.0, 10.0))
+        histogram.observe(0.5)
+        histogram.observe(5.0)
+        stats = {}
+        histogram.snapshot_into(stats, "service.query")
+        assert stats["service.query.latency_ms_le.1"] == 1.0
+        assert stats["service.query.latency_ms_le.10"] == 1.0
+        assert stats["service.query.latency_ms_le.inf"] == 0.0
+        assert stats["service.query.latency_ms_sum"] == pytest.approx(5.5)
+        for name in ("p50", "p95", "p99"):
+            assert f"service.query.{name}_latency_ms" in stats
+
+    def test_edge_labels(self):
+        assert edge_label(2.5) == "2.5"
+        assert edge_label(10.0) == "10"
+        assert edge_label(10000.0) == "10000"
+        assert edge_label(math.inf) == "inf"
+
+
+class TestAggregation:
+    def test_two_shards_sum_keywise(self):
+        a = LatencyHistogram((1.0, 10.0))
+        b = LatencyHistogram((1.0, 10.0))
+        for value in (0.5, 2.0):
+            a.observe(value)
+        for value in (3.0, 50.0):
+            b.observe(value)
+        snap_a, snap_b = {}, {}
+        a.snapshot_into(snap_a, "service.query")
+        b.snapshot_into(snap_b, "service.query")
+        merged = aggregate_latency_keys([snap_a, snap_b])
+        assert merged["service.query.latency_ms_le.1"] == 1.0
+        assert merged["service.query.latency_ms_le.10"] == 2.0
+        assert merged["service.query.latency_ms_le.inf"] == 1.0
+        assert merged["service.query.latency_ms_sum"] == pytest.approx(55.5)
+        # The merged percentiles come from a histogram holding all four
+        # observations.
+        reference = LatencyHistogram((1.0, 10.0))
+        for value in (0.5, 2.0, 3.0, 50.0):
+            reference.observe(value)
+        assert merged["service.query.p50_latency_ms"] == pytest.approx(
+            round(reference.quantile(0.5), 3)
+        )
+
+    def test_key_prefix_filters_sources(self):
+        histogram = LatencyHistogram((1.0,))
+        histogram.observe(0.5)
+        snapshot = {}
+        histogram.snapshot_into(snapshot, "service.query")
+        histogram.snapshot_into(snapshot, "http")
+        merged = aggregate_latency_keys([snapshot], key_prefix="service.")
+        assert any(key.startswith("service.query.") for key in merged)
+        assert not any(key.startswith("http.") for key in merged)
+
+    def test_non_histogram_keys_ignored(self):
+        merged = aggregate_latency_keys(
+            [{"service.query.requests": 5.0, "executor.kind": "cluster"}]
+        )
+        assert merged == {}
+
+
+# ----------------------------------------------------------------------
+# The bracketing property
+# ----------------------------------------------------------------------
+
+_EDGES = st.lists(
+    st.floats(min_value=0.01, max_value=1e4, allow_nan=False),
+    min_size=1,
+    max_size=8,
+    unique=True,
+).map(lambda edges: tuple(sorted(edges)))
+
+_SAMPLES = st.lists(
+    st.floats(min_value=0.0, max_value=2e4, allow_nan=False),
+    min_size=1,
+    max_size=60,
+)
+
+
+def _bucket_of(edges, value):
+    """The bucket index *value* falls in under ``le`` semantics."""
+    return bisect.bisect_left(edges, value)
+
+
+@settings(max_examples=150, deadline=None)
+@given(edges=_EDGES, samples=_SAMPLES, q=st.sampled_from([0.5, 0.9, 0.95, 0.99]))
+def test_quantile_estimate_brackets_true_sample_quantile(edges, samples, q):
+    """The estimate lands in the true quantile's bucket, for any layout.
+
+    The true q-quantile here is the order statistic at the histogram's
+    own target rank (``ceil(q * n)``); the estimate interpolates inside
+    some bucket, and that bucket must be the one holding the true value
+    — equivalently, the estimate's bucket bounds bracket it.
+    """
+    histogram = LatencyHistogram(edges)
+    for value in samples:
+        histogram.observe(value)
+    ordered = sorted(samples)
+    rank = max(1, math.ceil(q * len(ordered)))
+    true_value = ordered[rank - 1]
+    estimate = histogram.quantile(q)
+    true_bucket = _bucket_of(edges, true_value)
+    if true_bucket == len(edges):
+        # Overflow: the estimate reports the last finite edge.
+        assert estimate == edges[-1]
+        return
+    lo = 0.0 if true_bucket == 0 else edges[true_bucket - 1]
+    hi = edges[true_bucket]
+    assert lo <= estimate <= hi
+
+
+@settings(max_examples=60, deadline=None)
+@given(edges=_EDGES, samples=_SAMPLES)
+def test_aggregate_of_split_equals_whole(edges, samples):
+    """Splitting samples across shards then merging loses nothing."""
+    whole = LatencyHistogram(edges)
+    left = LatencyHistogram(edges)
+    right = LatencyHistogram(edges)
+    for index, value in enumerate(samples):
+        whole.observe(value)
+        (left if index % 2 == 0 else right).observe(value)
+    snap_left, snap_right, snap_whole = {}, {}, {}
+    left.snapshot_into(snap_left, "service.x")
+    right.snapshot_into(snap_right, "service.x")
+    whole.snapshot_into(snap_whole, "service.x")
+    merged = aggregate_latency_keys([snap_left, snap_right])
+    for key, value in snap_whole.items():
+        # Shard snapshots round sums to 3 decimals before merging, so
+        # the merged sum may differ from the whole's by one rounding ulp.
+        assert merged[key] == pytest.approx(value, abs=2e-3), key

@@ -1,0 +1,179 @@
+"""Tests for console logging: level names, JSON lines, request-id stamping."""
+
+from __future__ import annotations
+
+import json
+import logging
+
+import pytest
+
+from repro.obs import RequestTrace, trace_context
+from repro.utils.logging import (
+    LOG_LEVELS,
+    JsonLogFormatter,
+    RequestIdFilter,
+    enable_console_logging,
+    get_logger,
+)
+
+
+@pytest.fixture
+def clean_library_logger():
+    """Detach whatever handlers a test attached to the ``repro`` logger."""
+    logger = logging.getLogger("repro")
+    before = list(logger.handlers)
+    before_level = logger.level
+    yield logger
+    for handler in list(logger.handlers):
+        logger.removeHandler(handler)
+    for handler in before:
+        logger.addHandler(handler)
+    logger.setLevel(before_level)
+
+
+def _record(message: str = "hello", **extra):
+    record = logging.LogRecord(
+        name="repro.test",
+        level=logging.INFO,
+        pathname=__file__,
+        lineno=1,
+        msg=message,
+        args=(),
+        exc_info=None,
+    )
+    for key, value in extra.items():
+        setattr(record, key, value)
+    return record
+
+
+class TestRequestIdFilter:
+    def test_injects_active_trace_id(self):
+        record = _record()
+        with trace_context(RequestTrace("filter-id-1")):
+            assert RequestIdFilter().filter(record) is True
+        assert record.request_id == "filter-id-1"
+
+    def test_none_outside_a_request(self):
+        record = _record()
+        RequestIdFilter().filter(record)
+        assert record.request_id is None
+
+    def test_explicit_extra_wins_over_context(self):
+        record = _record(request_id="explicit-id")
+        with trace_context(RequestTrace("context-id")):
+            RequestIdFilter().filter(record)
+        assert record.request_id == "explicit-id"
+
+
+class TestJsonLogFormatter:
+    def test_one_object_per_line_with_base_fields(self):
+        line = JsonLogFormatter().format(_record("the message"))
+        assert "\n" not in line
+        entry = json.loads(line)
+        assert entry["message"] == "the message"
+        assert entry["level"] == "INFO"
+        assert entry["logger"] == "repro.test"
+        assert isinstance(entry["ts"], float)
+        assert "request_id" not in entry  # unset extras are omitted
+
+    def test_structured_extras_pass_through(self):
+        line = JsonLogFormatter().format(
+            _record(
+                "slow query",
+                request_id="json-id",
+                service="influencers",
+                latency_ms=1234.5,
+                stages={"backend": 1200.0},
+            )
+        )
+        entry = json.loads(line)
+        assert entry["request_id"] == "json-id"
+        assert entry["service"] == "influencers"
+        assert entry["latency_ms"] == 1234.5
+        assert entry["stages"] == {"backend": 1200.0}
+
+    def test_exception_info_folded_in(self):
+        try:
+            raise RuntimeError("kaboom")
+        except RuntimeError:
+            import sys
+
+            record = _record("failed")
+            record.exc_info = sys.exc_info()
+        entry = json.loads(JsonLogFormatter().format(record))
+        assert "kaboom" in entry["exc_info"]
+
+
+class TestEnableConsoleLogging:
+    def test_accepts_level_names(self, clean_library_logger):
+        handler = enable_console_logging("debug")
+        assert clean_library_logger.level == logging.DEBUG
+        assert handler in clean_library_logger.handlers
+
+    def test_rejects_unknown_level_name(self, clean_library_logger):
+        with pytest.raises(ValueError, match="unknown log level"):
+            enable_console_logging("chatty")
+
+    def test_level_names_match_cli_choices(self):
+        assert sorted(LOG_LEVELS) == ["debug", "info", "warning"]
+
+    def test_repeated_calls_replace_the_handler(self, clean_library_logger):
+        enable_console_logging("info")
+        enable_console_logging("warning", json_lines=True)
+        assert len(clean_library_logger.handlers) == 1
+        assert isinstance(
+            clean_library_logger.handlers[0].formatter, JsonLogFormatter
+        )
+
+    def test_slow_query_line_renders_as_parseable_json(
+        self, clean_library_logger, capsys
+    ):
+        """The full chain: slow log → filter → JSON line on stderr."""
+        from repro.obs import maybe_log_slow
+
+        enable_console_logging("warning", json_lines=True)
+        trace = RequestTrace("chain-id")
+        trace.record("backend", 2.0)
+        assert maybe_log_slow(
+            trace, service="influencers", latency_ms=2000.0, threshold_ms=1000.0
+        )
+        line = capsys.readouterr().err.strip().splitlines()[-1]
+        entry = json.loads(line)
+        assert entry["request_id"] == "chain-id"
+        assert entry["logger"] == "repro.obs.slowlog"
+        assert entry["service"] == "influencers"
+        assert entry["stages"]["backend"] == pytest.approx(2000.0)
+
+
+class TestServeFlags:
+    def test_serve_parses_observability_flags(self):
+        from repro.cli import build_parser
+
+        arguments = build_parser().parse_args(
+            [
+                "serve",
+                "some-dataset",
+                "--log-level",
+                "debug",
+                "--log-json",
+                "--no-trace",
+                "--slow-query-ms",
+                "250",
+            ]
+        )
+        assert arguments.log_level == "debug"
+        assert arguments.log_json is True
+        assert arguments.no_trace is True
+        assert arguments.slow_query_ms == 250.0
+
+    def test_serve_rejects_unknown_log_level(self, capsys):
+        from repro.cli import build_parser
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["serve", "some-dataset", "--log-level", "chatty"]
+            )
+
+    def test_get_logger_namespacing(self):
+        assert get_logger().name == "repro"
+        assert get_logger("obs.slowlog").name == "repro.obs.slowlog"

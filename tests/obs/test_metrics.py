@@ -1,0 +1,136 @@
+"""Tests for the serving-layer metric collectors.
+
+Pins two ISSUE-mandated behaviours: ``Counters.observe`` gauge semantics
+(running maximum only, ``.max``-suffixed snapshot keys) and
+``ServiceMetrics.record`` folding latency for error responses too.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.obs.histogram import DEFAULT_LATENCY_BUCKETS_MS, edge_label
+from repro.server.wire import HTTPCounters
+from repro.service.middleware import Counters, ServiceMetrics
+from repro.service.responses import ServiceResponse
+
+
+class TestCountersObserve:
+    def test_observe_keeps_running_maximum_only(self):
+        counters = Counters()
+        counters.observe("queue_depth", 3.0)
+        counters.observe("queue_depth", 7.0)
+        counters.observe("queue_depth", 5.0)
+        assert counters.snapshot() == {"queue_depth.max": 7.0}
+
+    def test_observe_does_not_touch_counter_namespace(self):
+        counters = Counters()
+        counters.increment("admitted")
+        counters.observe("admitted", 99.0)
+        snapshot = counters.snapshot()
+        assert snapshot["admitted"] == 1.0
+        assert snapshot["admitted.max"] == 99.0
+
+    def test_observe_accepts_negative_samples(self):
+        counters = Counters()
+        counters.observe("drift", -2.0)
+        assert counters.snapshot()["drift.max"] == -2.0
+        counters.observe("drift", -5.0)
+        assert counters.snapshot()["drift.max"] == -2.0
+
+    def test_prefix_applies_to_gauges(self):
+        counters = Counters(prefix="gateway.")
+        counters.observe("queue_depth", 4.0)
+        assert counters.snapshot() == {"gateway.queue_depth.max": 4.0}
+
+
+class TestServiceMetricsRecord:
+    def _response(self, ok: bool, latency_ms: float) -> ServiceResponse:
+        if ok:
+            response = ServiceResponse.success("influencers", {"seeds": []})
+        else:
+            response = ServiceResponse.failure(
+                "influencers", "internal_error", "boom"
+            )
+        return dataclasses.replace(response, latency_ms=latency_ms)
+
+    def test_error_latency_folds_into_histogram(self):
+        """A slow failure must be as visible as a slow success (ISSUE pin)."""
+        metrics = ServiceMetrics()
+        metrics.record(self._response(ok=True, latency_ms=4.0))
+        metrics.record(self._response(ok=False, latency_ms=900.0))
+        snapshot = metrics.snapshot()
+        assert snapshot["service.influencers.requests"] == 2.0
+        assert snapshot["service.influencers.errors"] == 1.0
+        # The error's 900 ms is in the histogram: max reflects it and the
+        # (500, 1000] bucket holds one observation.
+        assert snapshot["service.influencers.max_latency_ms"] == 900.0
+        assert snapshot["service.influencers.latency_ms_le.1000"] == 1.0
+        assert snapshot["service.influencers.mean_latency_ms"] == pytest.approx(
+            452.0
+        )
+
+    def test_mean_and_max_derived_from_histogram(self):
+        metrics = ServiceMetrics()
+        for latency in (2.0, 4.0, 6.0):
+            metrics.record(self._response(ok=True, latency_ms=latency))
+        snapshot = metrics.snapshot()
+        assert snapshot["service.influencers.mean_latency_ms"] == pytest.approx(4.0)
+        assert snapshot["service.influencers.max_latency_ms"] == 6.0
+        for name in ("p50", "p95", "p99"):
+            assert f"service.influencers.{name}_latency_ms" in snapshot
+
+    def test_snapshot_emits_all_default_buckets(self):
+        metrics = ServiceMetrics()
+        metrics.record(self._response(ok=True, latency_ms=3.0))
+        snapshot = metrics.snapshot()
+        for edge in DEFAULT_LATENCY_BUCKETS_MS:
+            assert (
+                f"service.influencers.latency_ms_le.{edge_label(edge)}" in snapshot
+            )
+        assert "service.influencers.latency_ms_le.inf" in snapshot
+        assert "service.influencers.latency_ms_sum" in snapshot
+
+    def test_export_state_shape(self):
+        metrics = ServiceMetrics()
+        metrics.record(self._response(ok=False, latency_ms=10.0))
+        state = metrics.export_state()
+        entry = state["influencers"]
+        assert entry["requests"] == 1.0
+        assert entry["errors"] == 1.0
+        assert entry["cache_hits"] == 0.0
+        assert entry["histogram"].count == 1
+
+    def test_reset_drops_everything(self):
+        metrics = ServiceMetrics()
+        metrics.record(self._response(ok=True, latency_ms=1.0))
+        metrics.reset()
+        assert metrics.snapshot() == {}
+
+
+class TestHTTPCountersHistogram:
+    def test_latency_keys_appear_after_observations(self):
+        counters = HTTPCounters()
+        counters.record("/query", 200, duration_ms=12.0)
+        counters.record("/query", 500, duration_ms=700.0)
+        snapshot = counters.snapshot()
+        assert snapshot["http.requests"] == 2.0
+        assert snapshot["http.responses.5xx"] == 1.0
+        assert snapshot["http.latency_ms_le.25"] == 1.0
+        assert snapshot["http.latency_ms_le.1000"] == 1.0
+        assert snapshot["http.p50_latency_ms"] > 0.0
+
+    def test_no_histogram_keys_before_traffic(self):
+        snapshot = HTTPCounters().snapshot()
+        assert not any("latency_ms" in key for key in snapshot)
+
+    def test_export_state_carries_live_histogram(self):
+        counters = HTTPCounters()
+        counters.record("/stats", 200, duration_ms=2.0)
+        state = counters.export_state()
+        assert state["total"] == 1.0
+        assert state["histogram"].count == 1
+        assert state["by_path"]["/stats"] == 1.0
+        assert state["by_status_class"]["2xx"] == 1.0

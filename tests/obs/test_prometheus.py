@@ -1,0 +1,168 @@
+"""Tests for the Prometheus text renderer and the in-repo validator."""
+
+from __future__ import annotations
+
+import io
+import subprocess
+import sys
+
+from repro.obs.histogram import LatencyHistogram
+from repro.obs.prometheus import (
+    CONTENT_TYPE,
+    render_exposition,
+    validate_exposition,
+)
+from repro.obs import prometheus as prometheus_module
+
+
+def _service_state():
+    histogram = LatencyHistogram((1.0, 10.0))
+    histogram.observe(0.5)
+    histogram.observe(700.0)
+    return {
+        "influencers": {
+            "requests": 2.0,
+            "errors": 1.0,
+            "cache_hits": 0.0,
+            "histogram": histogram,
+        }
+    }
+
+
+def _http_state():
+    histogram = LatencyHistogram((1.0, 10.0))
+    histogram.observe(2.0)
+    return {
+        "total": 3.0,
+        "by_path": {"/query": 2.0, "/stats": 1.0},
+        "by_status_class": {"2xx": 3.0},
+        "histogram": histogram,
+    }
+
+
+class TestRender:
+    def test_content_type_pinned(self):
+        assert CONTENT_TYPE == "text/plain; version=0.0.4; charset=utf-8"
+
+    def test_full_render_is_valid(self):
+        body = render_exposition(
+            _service_state(), _http_state(), extra={"uptime_seconds": 12.5}
+        )
+        assert validate_exposition(body) == []
+        assert body.endswith("\n")
+
+    def test_service_series(self):
+        body = render_exposition(_service_state())
+        assert 'octopus_service_requests_total{service="influencers"} 2' in body
+        assert 'octopus_service_errors_total{service="influencers"} 1' in body
+        assert "# TYPE octopus_service_latency_ms histogram" in body
+        # Cumulative buckets: 0.5 in le=1, both in le=+Inf.
+        assert (
+            'octopus_service_latency_ms_bucket{service="influencers",le="1"} 1'
+            in body
+        )
+        assert (
+            'octopus_service_latency_ms_bucket{service="influencers",le="+Inf"} 2'
+            in body
+        )
+        assert 'octopus_service_latency_ms_count{service="influencers"} 2' in body
+        assert 'octopus_service_latency_ms_sum{service="influencers"} 700.5' in body
+
+    def test_http_series(self):
+        body = render_exposition(None, _http_state())
+        assert "octopus_http_requests_total 3" in body
+        assert 'octopus_http_path_requests_total{path="/query"} 2' in body
+        assert 'octopus_http_responses_total{code_class="2xx"} 3' in body
+        assert 'octopus_http_request_latency_ms_bucket{le="+Inf"} 1' in body
+
+    def test_extra_gauges(self):
+        body = render_exposition(extra={"executor.shards_alive": 4.0})
+        assert 'octopus_stat{key="executor.shards_alive"} 4' in body
+        assert validate_exposition(body) == []
+
+    def test_non_numeric_extra_skipped(self):
+        body = render_exposition(extra={"executor.kind": "cluster", "n": 1.0})
+        assert "executor.kind" not in body
+        assert 'octopus_stat{key="n"} 1' in body
+
+    def test_label_values_escaped(self):
+        body = render_exposition(
+            extra={'weird"key\nname\\x': 1.0}
+        )
+        assert validate_exposition(body) == []
+        assert '\\"' in body and "\\n" in body and "\\\\" in body
+
+    def test_empty_render_still_valid(self):
+        """A fresh server with zero traffic must still scrape cleanly."""
+        empty_http = {
+            "total": 0.0,
+            "by_path": {},
+            "by_status_class": {},
+            "histogram": LatencyHistogram(),
+        }
+        body = render_exposition(None, empty_http, extra={"uptime_seconds": 0.1})
+        assert validate_exposition(body) == []
+        assert "octopus_http_requests_total 0" in body
+
+
+class TestValidator:
+    def test_rejects_empty_body(self):
+        assert validate_exposition("") == ["empty exposition body"]
+
+    def test_rejects_missing_trailing_newline(self):
+        problems = validate_exposition("# TYPE x counter\nx 1")
+        assert any("newline" in problem for problem in problems)
+
+    def test_rejects_malformed_sample(self):
+        problems = validate_exposition("# TYPE x counter\nx one\n")
+        assert any("malformed sample" in problem for problem in problems)
+
+    def test_rejects_malformed_comment(self):
+        problems = validate_exposition("# BOGUS x counter\n")
+        assert any("malformed comment" in problem for problem in problems)
+
+    def test_rejects_undeclared_family(self):
+        problems = validate_exposition("orphan_metric 1\n")
+        assert any("no # TYPE declaration" in problem for problem in problems)
+
+    def test_rejects_incomplete_histogram(self):
+        text = (
+            "# TYPE lat histogram\n"
+            'lat_bucket{le="+Inf"} 1\n'
+            "lat_sum 5\n"
+        )
+        problems = validate_exposition(text)
+        assert any("missing series: _count" in problem for problem in problems)
+
+    def test_accepts_labels_values_and_timestamps(self):
+        text = (
+            "# HELP m A metric.\n"
+            "# TYPE m gauge\n"
+            'm{a="b",c="d"} 1.5e-3 1700000000\n'
+            "m -Inf\n"
+        )
+        assert validate_exposition(text) == []
+
+
+class TestCommandLine:
+    def test_main_accepts_valid_body(self, monkeypatch, capsys):
+        body = render_exposition(_service_state(), _http_state())
+        monkeypatch.setattr(sys, "stdin", io.StringIO(body))
+        assert prometheus_module.main() == 0
+        assert capsys.readouterr().out.startswith("ok: ")
+
+    def test_main_rejects_invalid_body(self, monkeypatch, capsys):
+        monkeypatch.setattr(sys, "stdin", io.StringIO("broken line{\n"))
+        assert prometheus_module.main() == 1
+        assert capsys.readouterr().err
+
+    def test_module_entry_point(self):
+        """``python -m repro.obs.prometheus`` is what the CI scrape pipes to."""
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro.obs.prometheus"],
+            input=render_exposition(extra={"uptime_seconds": 1.0}),
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert completed.returncode == 0, completed.stderr

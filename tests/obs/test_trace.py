@@ -1,0 +1,223 @@
+"""Unit tests for request traces, context propagation, and the slow log."""
+
+from __future__ import annotations
+
+import json
+import logging
+import threading
+
+import pytest
+
+from repro.obs.trace import (
+    RequestTrace,
+    clean_request_id,
+    current_trace,
+    default_slow_query_ms,
+    maybe_log_slow,
+    new_request_id,
+    record_stage,
+    stage,
+    stamp_response,
+    trace_context,
+    tracing_enabled_default,
+)
+from repro.service.responses import ServiceResponse
+
+
+class TestRequestIds:
+    def test_new_request_id_shape(self):
+        rid = new_request_id()
+        assert len(rid) == 32
+        assert clean_request_id(rid) == rid
+        assert new_request_id() != rid
+
+    @pytest.mark.parametrize(
+        "candidate",
+        ["abc-123", "A.B:C_d", "x" * 64, "  padded  "],
+    )
+    def test_clean_accepts_safe_tokens(self, candidate):
+        assert clean_request_id(candidate) == candidate.strip()
+
+    @pytest.mark.parametrize(
+        "candidate",
+        [None, "", "x" * 65, "has space", "new\nline", "quote\"", "é-accent"],
+    )
+    def test_clean_rejects_unsafe_tokens(self, candidate):
+        assert clean_request_id(candidate) is None
+
+
+class TestEnvironmentKnobs:
+    def test_tracing_default_on(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+        assert tracing_enabled_default() is True
+
+    @pytest.mark.parametrize("value", ["0", "off", "false", "no", " OFF "])
+    def test_tracing_opt_out(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_TRACE", value)
+        assert tracing_enabled_default() is False
+
+    def test_slow_query_threshold(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SLOW_QUERY_MS", raising=False)
+        assert default_slow_query_ms() == 1000.0
+        monkeypatch.setenv("REPRO_SLOW_QUERY_MS", "250")
+        assert default_slow_query_ms() == 250.0
+        monkeypatch.setenv("REPRO_SLOW_QUERY_MS", "not-a-number")
+        assert default_slow_query_ms() == 1000.0
+
+
+class TestRequestTrace:
+    def test_minted_id_when_none_supplied(self):
+        trace = RequestTrace()
+        assert clean_request_id(trace.request_id) == trace.request_id
+
+    def test_adopted_id_kept(self):
+        trace = RequestTrace("client-id-1")
+        assert trace.request_id == "client-id-1"
+
+    def test_breakdown_folds_repeats_in_first_seen_order(self):
+        trace = RequestTrace()
+        trace.record("cache_lookup", 0.001)
+        trace.record("backend", 0.010)
+        trace.record("cache_lookup", 0.002)
+        breakdown = trace.breakdown_ms()
+        assert list(breakdown) == ["cache_lookup", "backend"]
+        assert breakdown["cache_lookup"] == pytest.approx(3.0)
+        assert breakdown["backend"] == pytest.approx(10.0)
+
+    def test_stage_context_manager_records(self):
+        trace = RequestTrace()
+        with trace.stage("work"):
+            pass
+        assert "work" in trace.breakdown_ms()
+
+    def test_elapsed_advances(self):
+        trace = RequestTrace()
+        assert trace.elapsed_ms() >= 0.0
+
+    def test_thread_safe_recording(self):
+        trace = RequestTrace()
+
+        def hammer():
+            for _ in range(200):
+                trace.record("shard", 0.001)
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert trace.breakdown_ms()["shard"] == pytest.approx(800.0)
+
+
+class TestContext:
+    def test_no_trace_by_default(self):
+        assert current_trace() is None
+
+    def test_trace_context_installs_and_restores(self):
+        trace = RequestTrace()
+        with trace_context(trace) as active:
+            assert active is trace
+            assert current_trace() is trace
+        assert current_trace() is None
+
+    def test_trace_context_none_is_passthrough(self):
+        with trace_context(None) as active:
+            assert active is None
+            assert current_trace() is None
+
+    def test_record_stage_and_stage_are_noops_without_trace(self):
+        record_stage("orphan", 1.0)
+        with stage("orphan"):
+            pass  # must not raise
+
+    def test_module_stage_records_on_active_trace(self):
+        trace = RequestTrace()
+        with trace_context(trace):
+            with stage("inner"):
+                record_stage("manual", 0.004)
+        breakdown = trace.breakdown_ms()
+        assert "inner" in breakdown
+        assert breakdown["manual"] == pytest.approx(4.0)
+
+
+class TestStampResponse:
+    def test_unchanged_without_trace(self):
+        response = ServiceResponse.success("stats", {"x": 1.0})
+        assert stamp_response(response) is response
+
+    def test_stamps_request_id(self):
+        response = ServiceResponse.success("stats", {"x": 1.0})
+        trace = RequestTrace("rid-1")
+        stamped = stamp_response(response, trace)
+        assert stamped.request_id == "rid-1"
+        assert stamped.timings is None
+
+    def test_debug_adds_timings(self):
+        response = ServiceResponse.success("stats", {"x": 1.0})
+        trace = RequestTrace("rid-2", debug=True)
+        trace.record("backend", 0.005)
+        stamped = stamp_response(response, trace)
+        assert stamped.timings == {"backend": pytest.approx(5.0)}
+
+    def test_overrides_stale_id(self):
+        response = ServiceResponse.success("stats", {"x": 1.0})
+        stale = stamp_response(response, RequestTrace("old-id"))
+        fresh = stamp_response(stale, RequestTrace("new-id"))
+        assert fresh.request_id == "new-id"
+
+    def test_uses_ambient_trace(self):
+        response = ServiceResponse.success("stats", {"x": 1.0})
+        trace = RequestTrace("ambient-id")
+        with trace_context(trace):
+            assert stamp_response(response).request_id == "ambient-id"
+
+    def test_round_trip_preserves_stamp(self):
+        response = ServiceResponse.success("stats", {"x": 1.0})
+        trace = RequestTrace("rt-id", debug=True)
+        trace.record("backend", 0.001)
+        stamped = stamp_response(response, trace)
+        assert ServiceResponse.from_json(stamped.to_json()) == stamped
+
+    def test_untraced_wire_shape_unchanged(self):
+        """Without a trace the envelope keeps its historical byte shape."""
+        response = ServiceResponse.success("stats", {"x": 1.0})
+        payload = json.loads(response.to_json())
+        assert "request_id" not in payload
+        assert "timings" not in payload
+
+
+class TestSlowQueryLog:
+    def test_logs_over_threshold(self, caplog):
+        trace = RequestTrace("slow-rid")
+        trace.record("backend", 1.5)
+        with caplog.at_level(logging.WARNING, logger="repro.obs.slowlog"):
+            logged = maybe_log_slow(
+                trace, service="influencers", latency_ms=1500.0, threshold_ms=1000.0
+            )
+        assert logged is True
+        record = caplog.records[-1]
+        assert record.request_id == "slow-rid"
+        assert record.service == "influencers"
+        assert record.latency_ms == pytest.approx(1500.0)
+        assert record.stages["backend"] == pytest.approx(1500.0)
+        assert "slow query service=influencers" in record.getMessage()
+        # The stage breakdown in the message is compact JSON.
+        stages_json = record.getMessage().split("stages=", 1)[1]
+        assert json.loads(stages_json)["backend"] == pytest.approx(1500.0)
+
+    def test_quiet_under_threshold(self, caplog):
+        trace = RequestTrace()
+        with caplog.at_level(logging.WARNING, logger="repro.obs.slowlog"):
+            logged = maybe_log_slow(
+                trace, service="stats", latency_ms=10.0, threshold_ms=1000.0
+            )
+        assert logged is False
+        assert not caplog.records
+
+    def test_non_positive_threshold_disables(self, caplog):
+        trace = RequestTrace()
+        with caplog.at_level(logging.WARNING, logger="repro.obs.slowlog"):
+            assert not maybe_log_slow(
+                trace, service="stats", latency_ms=9999.0, threshold_ms=0.0
+            )
+        assert not caplog.records

@@ -25,6 +25,7 @@ PACKAGES = [
     "repro.server",
     "repro.cluster",
     "repro.gateway",
+    "repro.obs",
 ]
 
 MODULES = [
@@ -57,6 +58,9 @@ MODULES = [
     "repro.service.requests",
     "repro.service.responses",
     "repro.im.mia",
+    "repro.obs.histogram",
+    "repro.obs.prometheus",
+    "repro.obs.trace",
     "repro.propagation.kernels",
     "repro.propagation.packed",
     "repro.propagation.rrsets",
